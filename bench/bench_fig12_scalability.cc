@@ -1,0 +1,92 @@
+// Reproduces paper Fig. 12: weak scalability. Cluster size doubles from 1 to
+// 16 nodes while the dataset roughly doubles alongside (more versions over
+// the same per-version record count), mirroring the paper's datasets G
+// (many versions, smaller) and H (fewer versions, bigger records).
+// Reported: average full-version (Q1) and record-evolution (Q3) latency and
+// the corresponding average spans.
+//
+// Expected shape: latencies grow slowly with scale - the growth is
+// attributable to increased version/key spans on the bigger datasets, not to
+// cluster overhead (weak scaling holds).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace rstore;
+using namespace rstore::workload;
+using namespace rstore::bench;
+
+void RunSeries(const char* name, uint32_t base_versions,
+               uint32_t records_per_version, uint32_t record_bytes) {
+  std::printf("\n--- Dataset %s: %u recs/version x %uB, versions scale with "
+              "nodes ---\n",
+              name, records_per_version, record_bytes);
+  std::printf("%-7s %10s %12s %14s %12s %12s\n", "Nodes", "Versions",
+              "Q1 avg (s)", "avg ver.span", "Q3 avg (s)", "avg key span");
+  for (uint32_t nodes : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    DatasetConfig config;
+    config.name = name;
+    // Weak scaling: data grows with the cluster (paper doubles versions as
+    // nodes double; 12 nodes get the interpolated size).
+    config.num_versions = base_versions * nodes;
+    config.records_per_version = records_per_version;
+    config.record_size_bytes = record_bytes;
+    config.update_fraction = 0.10;
+    config.branch_probability = 0.2;
+    config.seed = 1000 + nodes;
+    GeneratedDataset gen = GenerateDataset(config);
+
+    Options options;
+    options.chunk_capacity_bytes = ScaledChunkCapacity(gen);
+    LoadedStore loaded =
+        LoadStore(gen, PartitionAlgorithm::kBottomUp, options, nodes);
+
+    QueryWorkloadGenerator qgen(&gen.dataset, 7);
+    const size_t kQueries = 10;
+    // Reported latency = modeled backend time + REAL client-side processing
+    // time: "RStore currently processes the retrieved chunks sequentially
+    // while constructing the query result" (paper §5.5) — that sequential
+    // work is what keeps latency growing with the dataset under weak
+    // scaling, and here it is executed for real (decode + decompress +
+    // extract).
+    QueryStats q1_stats;
+    Stopwatch q1_timer;
+    for (const Query& q : qgen.FullVersionQueries(kQueries)) {
+      auto r = loaded.store->GetVersion(q.version, &q1_stats);
+      if (!r.ok()) std::exit(1);
+    }
+    double q1_wall = q1_timer.ElapsedSeconds();
+    QueryStats q3_stats;
+    Stopwatch q3_timer;
+    for (const Query& q : qgen.EvolutionQueries(kQueries)) {
+      auto r = loaded.store->GetHistory(q.key, &q3_stats);
+      if (!r.ok()) std::exit(1);
+    }
+    double q3_wall = q3_timer.ElapsedSeconds();
+    std::printf("%-7u %10u %12.3f %14.1f %12.4f %12.1f\n", nodes,
+                config.num_versions,
+                (q1_stats.simulated_micros / 1e6 + q1_wall) / kQueries,
+                static_cast<double>(q1_stats.chunks_fetched) / kQueries,
+                (q3_stats.simulated_micros / 1e6 + q3_wall) / kQueries,
+                static_cast<double>(q3_stats.chunks_fetched) / kQueries);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Paper Fig. 12: weak scalability (BOTTOM-UP) ===\n");
+  // G: many smaller versions; H: fewer versions of more records.
+  RunSeries("G", /*base_versions=*/120, /*records_per_version=*/400,
+            /*record_bytes=*/300);
+  RunSeries("H", /*base_versions=*/25, /*records_per_version=*/1500,
+            /*record_bytes=*/300);
+  std::printf("\nPaper shape: Q1 latency grows mildly with scale (7.35s -> "
+              "11.39s for G); growth tracks the increased spans, not node "
+              "count.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Fig. 8: total version span (number of chunks retrieved to
+// reconstruct every version) of BOTTOM-UP, SHINGLE, DEPTHFIRST, BREADTHFIRST
+// and the DELTA baseline across the catalog datasets, without record-level
+// compression (k = 1) and chunk size scaled to the paper's 1 MB regime.
+//
+// Expected shape (paper §5.2): BOTTOM-UP, SHINGLE and DEPTHFIRST beat DELTA
+// everywhere (BOTTOM-UP up to ~8x, ~3.6x average); SHINGLE degrades as
+// average tree depth falls (C*/D*), DEPTHFIRST improves; BREADTHFIRST is
+// never better than DEPTHFIRST and equals it on the linear chains (A*).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/dataset_catalog.h"
+
+int main() {
+  using namespace rstore;
+  using namespace rstore::workload;
+  using namespace rstore::bench;
+
+  const PartitionAlgorithm algorithms[] = {
+      PartitionAlgorithm::kBottomUp, PartitionAlgorithm::kShingle,
+      PartitionAlgorithm::kDepthFirst, PartitionAlgorithm::kBreadthFirst,
+      PartitionAlgorithm::kDeltaBaseline};
+
+  std::printf("=== Paper Fig. 8: total version span, no compression (k=1) "
+              "===\n\n");
+  std::printf("%-8s %12s %12s %12s %12s %12s %18s\n", "Dataset", "BOTTOM-UP",
+              "SHINGLE", "DFS", "BFS", "DELTA", "DELTA/BOTTOM-UP");
+
+  double worst_ratio = 0, ratio_sum = 0;
+  int rows = 0;
+  for (const CatalogEntry& entry : DatasetCatalog()) {
+    std::string name = entry.name;
+    if (name == "E" || name == "F") continue;  // Fig. 8 covers A*-D*
+    GeneratedDataset gen = GenerateDataset(entry.config);
+    Options options;
+    options.chunk_capacity_bytes = ScaledChunkCapacity(gen);
+    options.max_sub_chunk_records = 1;
+    options.compression = CompressionType::kNone;  // k=1, span-only
+
+    uint64_t spans[5];
+    for (int a = 0; a < 5; ++a) {
+      spans[a] = RunPartitioning(gen, algorithms[a], options).total_span;
+    }
+    double ratio = static_cast<double>(spans[4]) / spans[0];
+    worst_ratio = std::max(worst_ratio, ratio);
+    ratio_sum += ratio;
+    ++rows;
+    std::printf("%-8s %12llu %12llu %12llu %12llu %12llu %17.2fx\n",
+                entry.name, (unsigned long long)spans[0],
+                (unsigned long long)spans[1], (unsigned long long)spans[2],
+                (unsigned long long)spans[3], (unsigned long long)spans[4],
+                ratio);
+  }
+  std::printf("\nDELTA vs BOTTOM-UP: max %.2fx, average %.2fx  (paper: up to "
+              "8.21x, avg ~3.56x)\n",
+              worst_ratio, ratio_sum / rows);
+  return 0;
+}

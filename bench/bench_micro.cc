@@ -1,0 +1,171 @@
+// Component microbenchmarks (google-benchmark): the building blocks whose
+// costs the system-level experiments aggregate — codecs, bitmaps, min-hash,
+// backend MultiGet, and the partitioning algorithms themselves.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "compress/bitmap.h"
+#include "compress/delta_codec.h"
+#include "compress/lz_codec.h"
+#include "kvstore/cluster.h"
+#include "workload/dataset_catalog.h"
+#include "workload/record_generator.h"
+
+namespace rstore {
+namespace {
+
+std::string MakeJsonPayload(size_t approx_bytes) {
+  workload::RecordGenerator gen(static_cast<uint32_t>(approx_bytes), 42);
+  return gen.Generate("bench-key");
+}
+
+void BM_LzCompressJson(benchmark::State& state) {
+  std::string input = MakeJsonPayload(static_cast<size_t>(state.range(0)));
+  std::string out;
+  for (auto _ : state) {
+    lz::Compress(Slice(input), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          input.size());
+}
+BENCHMARK(BM_LzCompressJson)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_LzDecompressJson(benchmark::State& state) {
+  std::string input = MakeJsonPayload(static_cast<size_t>(state.range(0)));
+  std::string compressed, out;
+  lz::Compress(Slice(input), &compressed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lz::Decompress(Slice(compressed), &out).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          input.size());
+}
+BENCHMARK(BM_LzDecompressJson)->Arg(4096)->Arg(65536);
+
+void BM_DeltaEncode(benchmark::State& state) {
+  workload::RecordGenerator gen(static_cast<uint32_t>(state.range(0)), 7);
+  std::string base = gen.Generate("k");
+  std::string target = gen.Mutate(base, 0.05);
+  std::string delta;
+  for (auto _ : state) {
+    delta_codec::Encode(Slice(base), Slice(target), &delta);
+    benchmark::DoNotOptimize(delta.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          base.size());
+}
+BENCHMARK(BM_DeltaEncode)->Arg(1024)->Arg(16384);
+
+void BM_DeltaApply(benchmark::State& state) {
+  workload::RecordGenerator gen(static_cast<uint32_t>(state.range(0)), 7);
+  std::string base = gen.Generate("k");
+  std::string target = gen.Mutate(base, 0.05);
+  std::string delta, out;
+  delta_codec::Encode(Slice(base), Slice(target), &delta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        delta_codec::Apply(Slice(base), Slice(delta), &out).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          base.size());
+}
+BENCHMARK(BM_DeltaApply)->Arg(1024)->Arg(16384);
+
+void BM_BitmapSerialize(benchmark::State& state) {
+  Random rng(3);
+  Bitmap bitmap(static_cast<size_t>(state.range(0)));
+  for (int i = 0; i < state.range(0) / 10; ++i) {
+    bitmap.Set(rng.Uniform(static_cast<uint64_t>(state.range(0))));
+  }
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    bitmap.SerializeTo(&out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BitmapSerialize)->Arg(10000)->Arg(1000000);
+
+void BM_MinHashVersionSet(benchmark::State& state) {
+  HashFamily family(4, 99);
+  std::vector<VersionId> versions(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < versions.size(); ++i) {
+    versions[i] = static_cast<VersionId>(i * 3);
+  }
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (uint32_t f = 0; f < 4; ++f) {
+      uint64_t best = UINT64_MAX;
+      for (VersionId v : versions) {
+        best = std::min(best, family.Apply(f, v + 1));
+      }
+      acc ^= best;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MinHashVersionSet)->Arg(16)->Arg(256);
+
+void BM_ClusterMultiGet(benchmark::State& state) {
+  ClusterOptions options;
+  options.num_nodes = 8;
+  options.latency = ZeroLatencyModel();  // measure real CPU cost
+  Cluster cluster(options);
+  (void)cluster.CreateTable("t");
+  std::vector<std::string> keys;
+  for (int i = 0; i < 4096; ++i) {
+    std::string key = "key" + std::to_string(i);
+    keys.push_back(key);
+    (void)cluster.Put("t", key, std::string(256, 'v'));
+  }
+  std::vector<std::string> batch(keys.begin(),
+                                 keys.begin() + state.range(0));
+  for (auto _ : state) {
+    std::map<std::string, std::string> out;
+    benchmark::DoNotOptimize(cluster.MultiGet("t", batch, &out).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ClusterMultiGet)->Arg(16)->Arg(512)->Arg(4096);
+
+void BM_Partitioner(benchmark::State& state) {
+  auto config = *workload::CatalogConfig("C1");
+  config.num_versions = 300;
+  static workload::GeneratedDataset gen = workload::GenerateDataset(config);
+  Options options;
+  options.chunk_capacity_bytes = bench::ScaledChunkCapacity(gen);
+  options.max_sub_chunk_records = 1;
+  options.compression = CompressionType::kNone;
+  RecordVersionMap rv = gen.dataset.BuildRecordVersionMap();
+  auto built = BuildSubChunks(gen.dataset, gen.payloads, rv, options);
+  if (!built.ok()) {
+    state.SkipWithError("sub-chunking failed");
+    return;
+  }
+  auto algorithm = static_cast<PartitionAlgorithm>(state.range(0));
+  auto partitioner = CreatePartitioner(algorithm);
+  PartitionInput input;
+  input.dataset = &gen.dataset;
+  input.items = &built->items;
+  input.options = options;
+  for (auto _ : state) {
+    auto p = partitioner->Partition(input);
+    benchmark::DoNotOptimize(p.ok());
+  }
+  state.SetLabel(PartitionAlgorithmName(algorithm));
+}
+BENCHMARK(BM_Partitioner)
+    ->Arg(static_cast<int>(PartitionAlgorithm::kBottomUp))
+    ->Arg(static_cast<int>(PartitionAlgorithm::kShingle))
+    ->Arg(static_cast<int>(PartitionAlgorithm::kDepthFirst))
+    ->Arg(static_cast<int>(PartitionAlgorithm::kBreadthFirst));
+
+}  // namespace
+}  // namespace rstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+#ifndef RSTORE_COMMON_CODING_H_
+#define RSTORE_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace rstore {
+
+/// Low-level binary encoding primitives shared by every serialized structure
+/// in RStore (chunks, chunk maps, indexes, deltas). Fixed-width integers are
+/// little-endian; variable-width integers use LEB128 varints; signed values
+/// use zigzag so small negatives stay small.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+/// Zigzag-encoded signed varint.
+void PutVarsint64(std::string* dst, int64_t value);
+/// Varint length prefix followed by the raw bytes.
+void PutLengthPrefixed(std::string* dst, Slice value);
+
+/// Each Get* consumes bytes from the front of `input` on success. On failure
+/// (truncated/corrupt input) `input` is left unspecified and a kCorruption
+/// status is returned.
+Status GetFixed32(Slice* input, uint32_t* value);
+Status GetFixed64(Slice* input, uint64_t* value);
+Status GetVarint32(Slice* input, uint32_t* value);
+Status GetVarint64(Slice* input, uint64_t* value);
+Status GetVarsint64(Slice* input, int64_t* value);
+Status GetLengthPrefixed(Slice* input, Slice* value);
+
+/// Number of bytes PutVarint64 would emit for `value`.
+size_t VarintLength(uint64_t value);
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace rstore
+
+#endif  // RSTORE_COMMON_CODING_H_

@@ -1,0 +1,57 @@
+#include "common/hash.h"
+
+#include <cassert>
+
+namespace rstore {
+
+uint64_t Fnv1a64(Slice data) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+// 2^61 - 1, a Mersenne prime: multiplication mod p fits in __int128.
+constexpr uint64_t kMersenne61 = (1ull << 61) - 1;
+
+uint64_t MulMod61(uint64_t a, uint64_t b) {
+  unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+}  // namespace
+
+HashFamily::HashFamily(size_t count, uint64_t seed) {
+  params_.reserve(count);
+  uint64_t state = seed;
+  for (size_t i = 0; i < count; ++i) {
+    state = Mix64(state + i + 1);
+    uint64_t a = state % (kMersenne61 - 1) + 1;  // a != 0
+    state = Mix64(state);
+    uint64_t b = state % kMersenne61;
+    params_.push_back({a, b});
+  }
+}
+
+uint64_t HashFamily::Apply(size_t i, uint64_t x) const {
+  assert(i < params_.size());
+  uint64_t r = MulMod61(params_[i].a, x % kMersenne61);
+  r += params_[i].b;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+}  // namespace rstore

@@ -1,0 +1,42 @@
+#ifndef RSTORE_COMMON_HASH_H_
+#define RSTORE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace rstore {
+
+/// 64-bit FNV-1a over a byte range. Used for record fingerprints and
+/// consistent-hash ring placement.
+uint64_t Fnv1a64(Slice data);
+
+/// Strong 64->64-bit mixer (splitmix64 finalizer). Good avalanche; used to
+/// derive independent hash streams from a single value.
+uint64_t Mix64(uint64_t x);
+
+/// A family of l pairwise-independent hash functions h_i(x) = (a_i*x + b_i)
+/// mod p over a 61-bit Mersenne prime, as required by the min-hashing step of
+/// the shingle partitioner (paper §3.1, Algorithm 1). Deterministic given
+/// `seed` so partitioning runs are reproducible.
+class HashFamily {
+ public:
+  HashFamily(size_t count, uint64_t seed);
+
+  size_t size() const { return params_.size(); }
+
+  /// Applies the i-th function to `x`.
+  uint64_t Apply(size_t i, uint64_t x) const;
+
+ private:
+  struct Params {
+    uint64_t a;
+    uint64_t b;
+  };
+  std::vector<Params> params_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_COMMON_HASH_H_

@@ -1,0 +1,48 @@
+#ifndef RSTORE_COMMON_LOGGING_H_
+#define RSTORE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rstore {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide log threshold; messages below it are dropped. Default kWarn
+/// so library users see problems but benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: accumulates a message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define RSTORE_LOG(level)                                              \
+  if (::rstore::LogLevel::level < ::rstore::GetLogLevel()) {           \
+  } else                                                               \
+    ::rstore::internal::LogMessage(::rstore::LogLevel::level, __FILE__, \
+                                   __LINE__)
+
+}  // namespace rstore
+
+#endif  // RSTORE_COMMON_LOGGING_H_

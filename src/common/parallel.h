@@ -1,0 +1,44 @@
+#ifndef RSTORE_COMMON_PARALLEL_H_
+#define RSTORE_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace rstore {
+
+/// Runs fn(i) for i in [0, count) across up to `max_threads` worker threads
+/// (0 = hardware concurrency). Falls back to inline execution for a single
+/// item or thread. fn must be safe to call concurrently for distinct i;
+/// writers should target disjoint, pre-sized slots.
+inline void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                        unsigned max_threads = 0) {
+  if (count == 0) return;
+  unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  unsigned threads = max_threads == 0 ? hardware
+                                      : std::min(max_threads, hardware);
+  threads = static_cast<unsigned>(
+      std::min<size_t>(threads, count));
+  if (threads <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace rstore
+
+#endif  // RSTORE_COMMON_PARALLEL_H_

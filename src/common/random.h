@@ -1,0 +1,84 @@
+#ifndef RSTORE_COMMON_RANDOM_H_
+#define RSTORE_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rstore {
+
+/// Deterministic xoshiro256** PRNG. All synthetic data generation in RStore
+/// flows through this generator so datasets and experiments are reproducible
+/// from a seed. Satisfies the UniformRandomBitGenerator concept.
+class Random {
+ public:
+  using result_type = uint64_t;
+
+  explicit Random(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  uint64_t Next();
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) without replacement.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t count);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(n, theta) sampler over {0, 1, ..., n-1} where rank 0 is the most
+/// popular item. Uses the rejection-inversion method of Hörmann, so setup is
+/// O(1) and sampling is O(1) regardless of n — important because datasets
+/// with skewed updates draw millions of samples (paper §5.1 "skewed (Zipf)"
+/// update selection).
+class ZipfGenerator {
+ public:
+  /// `n` >= 1; `theta` > 0 is the skew (paper-style workloads use ~0.99).
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Sample(Random* rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double u) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_COMMON_RANDOM_H_

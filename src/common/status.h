@@ -1,0 +1,90 @@
+#ifndef RSTORE_COMMON_STATUS_H_
+#define RSTORE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rstore {
+
+/// Outcome of an operation that can fail.
+///
+/// RStore does not throw exceptions across API boundaries; every fallible
+/// public function returns a Status (or a Result<T>, see result.h). The
+/// set of codes mirrors the failure classes that actually arise in the
+/// system: lookups that miss (kNotFound), malformed input or configuration
+/// (kInvalidArgument), corrupted on-disk/on-wire payloads (kCorruption),
+/// backend/KVS failures (kIOError), double-insertions (kAlreadyExists), and
+/// features intentionally left out (kNotSupported).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound = 1,
+    kInvalidArgument = 2,
+    kCorruption = 3,
+    kIOError = 4,
+    kAlreadyExists = 5,
+    kNotSupported = 6,
+    kAborted = 7,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(Code::kAborted, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<code>: <message>" string, e.g. for logging.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function. Standard early-exit plumbing for Status-based code.
+#define RSTORE_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::rstore::Status _rstore_status = (expr);     \
+    if (!_rstore_status.ok()) return _rstore_status; \
+  } while (false)
+
+}  // namespace rstore
+
+#endif  // RSTORE_COMMON_STATUS_H_

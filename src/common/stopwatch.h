@@ -1,0 +1,32 @@
+#ifndef RSTORE_COMMON_STOPWATCH_H_
+#define RSTORE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rstore {
+
+/// Wall-clock timer for benchmark harnesses. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_COMMON_STOPWATCH_H_

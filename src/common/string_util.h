@@ -1,0 +1,29 @@
+#ifndef RSTORE_COMMON_STRING_UTIL_H_
+#define RSTORE_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rstore {
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "1.5 KB", "3.2 MB", ... human-readable byte counts for reports.
+std::string HumanBytes(uint64_t bytes);
+
+/// "12.3 ms" / "4.56 s" human-readable durations from seconds.
+std::string HumanDuration(double seconds);
+
+/// Splits on a single character; empty tokens are preserved.
+std::vector<std::string> SplitString(const std::string& s, char sep);
+
+/// Joins with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+}  // namespace rstore
+
+#endif  // RSTORE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,127 @@
+#include "compress/bitmap.h"
+
+#include <bit>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace rstore {
+
+void Bitmap::Set(size_t i) {
+  assert(i < size_);
+  words_[i >> 6] |= (1ull << (i & 63));
+}
+
+void Bitmap::Clear(size_t i) {
+  assert(i < size_);
+  words_[i >> 6] &= ~(1ull << (i & 63));
+}
+
+bool Bitmap::Test(size_t i) const {
+  assert(i < size_);
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+size_t Bitmap::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(std::popcount(w));
+  return count;
+}
+
+std::vector<uint32_t> Bitmap::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w) {
+      int bit = std::countr_zero(w);
+      out.push_back(static_cast<uint32_t>(wi * 64 + static_cast<size_t>(bit)));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+void Bitmap::UnionWith(const Bitmap& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitmap::IntersectWith(const Bitmap& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitmap::SerializeTo(std::string* out) const {
+  PutVarint64(out, size_);
+  // Token stream: (count << 2 | kind). kind 0 = run of zero words,
+  // kind 1 = run of all-one words, kind 2 = literal words (count follows
+  // inline as fixed64 each).
+  size_t i = 0;
+  while (i < words_.size()) {
+    uint64_t w = words_[i];
+    if (w == 0 || w == ~0ull) {
+      size_t j = i;
+      while (j < words_.size() && words_[j] == w) ++j;
+      uint64_t kind = (w == 0) ? 0 : 1;
+      PutVarint64(out, ((j - i) << 2) | kind);
+      i = j;
+    } else {
+      size_t j = i;
+      while (j < words_.size() && words_[j] != 0 && words_[j] != ~0ull) ++j;
+      PutVarint64(out, ((j - i) << 2) | 2);
+      for (size_t k = i; k < j; ++k) PutFixed64(out, words_[k]);
+      i = j;
+    }
+  }
+}
+
+Status Bitmap::DeserializeFrom(Slice* input, Bitmap* out) {
+  uint64_t size;
+  RSTORE_RETURN_IF_ERROR(GetVarint64(input, &size));
+  // The size is untrusted: cap the allocation far above any legitimate
+  // bitmap (chunk maps cover at most a chunk's records) but far below
+  // memory exhaustion.
+  constexpr uint64_t kMaxBits = 1ull << 26;  // 64M bits / 8 MB of words
+  if (size > kMaxBits) {
+    return Status::Corruption("bitmap size implausibly large");
+  }
+  Bitmap result(size);
+  size_t word_count = (size + 63) / 64;
+  size_t filled = 0;
+  while (filled < word_count) {
+    uint64_t token;
+    RSTORE_RETURN_IF_ERROR(GetVarint64(input, &token));
+    uint64_t count = token >> 2;
+    uint64_t kind = token & 3;
+    if (filled + count > word_count) {
+      return Status::Corruption("bitmap: word overrun");
+    }
+    switch (kind) {
+      case 0:
+        filled += count;
+        break;
+      case 1:
+        for (uint64_t k = 0; k < count; ++k) result.words_[filled++] = ~0ull;
+        break;
+      case 2:
+        for (uint64_t k = 0; k < count; ++k) {
+          uint64_t w;
+          RSTORE_RETURN_IF_ERROR(GetFixed64(input, &w));
+          result.words_[filled++] = w;
+        }
+        break;
+      default:
+        return Status::Corruption("bitmap: bad token kind");
+    }
+  }
+  // Trailing bits beyond `size` in the last word must be zero for the
+  // equality operator to be meaningful.
+  if (size % 64 != 0 && !result.words_.empty()) {
+    result.words_.back() &= (1ull << (size % 64)) - 1;
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+}  // namespace rstore

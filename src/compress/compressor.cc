@@ -1,0 +1,50 @@
+#include "compress/compressor.h"
+
+#include "compress/lz_codec.h"
+
+namespace rstore {
+
+namespace {
+
+class NoneCompressor : public Compressor {
+ public:
+  CompressionType type() const override { return CompressionType::kNone; }
+
+  void Compress(Slice input, std::string* output) const override {
+    output->assign(input.data(), input.size());
+  }
+
+  Status Decompress(Slice input, std::string* output) const override {
+    output->assign(input.data(), input.size());
+    return Status::OK();
+  }
+};
+
+class LZCompressor : public Compressor {
+ public:
+  CompressionType type() const override { return CompressionType::kLZ; }
+
+  void Compress(Slice input, std::string* output) const override {
+    lz::Compress(input, output);
+  }
+
+  Status Decompress(Slice input, std::string* output) const override {
+    return lz::Decompress(input, output);
+  }
+};
+
+}  // namespace
+
+const Compressor* GetCompressor(CompressionType type) {
+  static const NoneCompressor none;
+  static const LZCompressor lz;
+  switch (type) {
+    case CompressionType::kNone:
+      return &none;
+    case CompressionType::kLZ:
+      return &lz;
+  }
+  return &none;
+}
+
+}  // namespace rstore

@@ -1,0 +1,38 @@
+#ifndef RSTORE_COMPRESS_COMPRESSOR_H_
+#define RSTORE_COMPRESS_COMPRESSOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace rstore {
+
+/// Block compression codecs selectable per-store (Options::compression).
+enum class CompressionType : uint8_t {
+  kNone = 0,
+  kLZ = 1,
+};
+
+/// Stateless block compressor interface. Implementations must be
+/// thread-safe (no mutable state).
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual CompressionType type() const = 0;
+
+  /// Compresses `input` into `*output` (cleared first).
+  virtual void Compress(Slice input, std::string* output) const = 0;
+
+  /// Inverse of Compress; kCorruption on malformed input.
+  virtual Status Decompress(Slice input, std::string* output) const = 0;
+};
+
+/// Returns the process-wide instance for `type` (not owned; never null).
+const Compressor* GetCompressor(CompressionType type);
+
+}  // namespace rstore
+
+#endif  // RSTORE_COMPRESS_COMPRESSOR_H_

@@ -1,0 +1,124 @@
+#include "compress/delta_codec.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace rstore {
+namespace delta_codec {
+
+namespace {
+
+constexpr size_t kAnchor = 8;     // bytes hashed per anchor
+constexpr size_t kMinCopy = 12;   // below this a COPY costs more than ADD
+
+inline uint64_t Hash8(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v * 0x9e3779b97f4a7c15ull;
+}
+
+void EmitAdd(const unsigned char* data, size_t start, size_t end,
+             std::string* out) {
+  if (end <= start) return;
+  size_t len = end - start;
+  PutVarint64(out, (len << 1) | 0);
+  out->append(reinterpret_cast<const char*>(data + start), len);
+}
+
+}  // namespace
+
+void Encode(Slice base, Slice target, std::string* delta) {
+  delta->clear();
+  PutVarint64(delta, target.size());
+  if (target.empty()) return;
+
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(base.data());
+  const unsigned char* t =
+      reinterpret_cast<const unsigned char*>(target.data());
+  const size_t bn = base.size();
+  const size_t tn = target.size();
+
+  if (bn < kAnchor) {
+    EmitAdd(t, 0, tn, delta);
+    return;
+  }
+
+  // Index every 4th anchor of the base (dense enough for record-sized
+  // payloads, 4x cheaper to build).
+  std::unordered_map<uint64_t, uint32_t> index;
+  index.reserve(bn / 4 + 1);
+  for (size_t i = 0; i + kAnchor <= bn; i += 4) {
+    index.emplace(Hash8(b + i), static_cast<uint32_t>(i));
+  }
+
+  size_t add_start = 0;
+  size_t i = 0;
+  while (i + kAnchor <= tn) {
+    auto it = index.find(Hash8(t + i));
+    bool matched = false;
+    if (it != index.end()) {
+      size_t bp = it->second;
+      if (std::memcmp(b + bp, t + i, kAnchor) == 0) {
+        // Extend forward.
+        size_t fwd = kAnchor;
+        while (bp + fwd < bn && i + fwd < tn && b[bp + fwd] == t[i + fwd]) {
+          ++fwd;
+        }
+        // Extend backward into the pending ADD region.
+        size_t back = 0;
+        while (bp > back && i > add_start + back && b[bp - back - 1] == t[i - back - 1]) {
+          ++back;
+        }
+        size_t copy_len = fwd + back;
+        if (copy_len >= kMinCopy) {
+          EmitAdd(t, add_start, i - back, delta);
+          PutVarint64(delta, (copy_len << 1) | 1);
+          PutVarint64(delta, bp - back);
+          i += fwd;
+          add_start = i;
+          matched = true;
+        }
+      }
+    }
+    if (!matched) ++i;
+  }
+  EmitAdd(t, add_start, tn, delta);
+}
+
+Status Apply(Slice base, Slice delta, std::string* target) {
+  target->clear();
+  Slice input = delta;
+  uint64_t expected;
+  RSTORE_RETURN_IF_ERROR(GetVarint64(&input, &expected));
+  // Untrusted header: bound the up-front allocation.
+  target->reserve(std::min<uint64_t>(expected, 1u << 20));
+  while (!input.empty()) {
+    uint64_t token;
+    RSTORE_RETURN_IF_ERROR(GetVarint64(&input, &token));
+    uint64_t len = token >> 1;
+    if ((token & 1) == 0) {
+      if (input.size() < len) {
+        return Status::Corruption("delta: truncated ADD data");
+      }
+      target->append(input.data(), len);
+      input.RemovePrefix(len);
+    } else {
+      uint64_t offset;
+      RSTORE_RETURN_IF_ERROR(GetVarint64(&input, &offset));
+      if (offset + len > base.size()) {
+        return Status::Corruption("delta: COPY out of base range");
+      }
+      target->append(base.data() + offset, len);
+    }
+  }
+  if (target->size() != expected) {
+    return Status::Corruption("delta: size mismatch after apply");
+  }
+  return Status::OK();
+}
+
+}  // namespace delta_codec
+}  // namespace rstore

@@ -1,0 +1,41 @@
+#ifndef RSTORE_CORE_BASELINE_PARTITIONER_H_
+#define RSTORE_CORE_BASELINE_PARTITIONER_H_
+
+#include "core/partitioner.h"
+
+namespace rstore {
+
+/// DELTA baseline (paper §2.2): each version's ∆⁺ records are stored as
+/// their own chunk(s), never packed across versions — the git-style layout.
+/// Reconstruction of V replays the entire root->V chain (LayoutKind::
+/// kDeltaChain), which is what makes key-centric and partial queries
+/// "abysmal" in the paper's analysis.
+class DeltaBaselinePartitioner : public Partitioner {
+ public:
+  const char* name() const override { return "DELTA"; }
+  Result<Partitioning> Partition(const PartitionInput& input) override;
+};
+
+/// SUBCHUNK baseline (paper §2.2): all records sharing a primary key are
+/// grouped into a single chunk keyed by that primary key, regardless of
+/// chunk capacity. Best storage cost and record-evolution performance, but
+/// full-version retrieval must fetch every chunk (LayoutKind::
+/// kSubChunkPerKey).
+class SubChunkBaselinePartitioner : public Partitioner {
+ public:
+  const char* name() const override { return "SUBCHUNK"; }
+  Result<Partitioning> Partition(const PartitionInput& input) override;
+};
+
+/// Single-address-space baseline (paper §2.2): every record is stored
+/// individually under its composite key — i.e. a chunked layout where every
+/// chunk holds exactly one item.
+class SingleAddressPartitioner : public Partitioner {
+ public:
+  const char* name() const override { return "SINGLE-ADDRESS"; }
+  Result<Partitioning> Partition(const PartitionInput& input) override;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_BASELINE_PARTITIONER_H_

@@ -1,0 +1,39 @@
+#ifndef RSTORE_CORE_BOTTOM_UP_PARTITIONER_H_
+#define RSTORE_CORE_BOTTOM_UP_PARTITIONER_H_
+
+#include "core/partitioner.h"
+
+namespace rstore {
+
+/// BOTTOM-UP partitioning, paper §3.2 / Algorithm 3 — the paper's best
+/// performer.
+///
+/// The version tree is processed in post-order. Every version v hands its
+/// parent a collection π_v = [S¹_v, S²_v, ...] where Sʲ_v holds the items
+/// present in v and in j-1 further consecutive descendant versions. The
+/// collection is computed from the child collections with the delta
+/// algebra of §3.2:
+///
+///   Sʲ⁺¹_v = Sʲ_c \ ∆⁺(c)          (items of the child also present in v)
+///   S¹_v   = ∪_c ∆⁻(c)             (items of v absent from every child;
+///                                   union approximation for general trees)
+///
+/// Items of a child collection that are NOT present in v (i.e. in ∆⁺(c))
+/// are *exclusive to the subtree below v*: no version at or above v can
+/// reference them, so they are chunked immediately — longest consecutive
+/// runs first, starting a fresh chunk per version, with partial chunks
+/// merged at the very end (§3.2). A hash-set guards against the duplicate
+/// memberships the union approximation can produce on branched trees.
+///
+/// Options::subtree_limit implements β (§3.2.1): collections longer than β
+/// sets are shrunk by merging the smallest set into its shorter-chain
+/// neighbour, trading partitioning quality for per-version processing.
+class BottomUpPartitioner : public Partitioner {
+ public:
+  const char* name() const override { return "BOTTOM-UP"; }
+  Result<Partitioning> Partition(const PartitionInput& input) override;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_BOTTOM_UP_PARTITIONER_H_

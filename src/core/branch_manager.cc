@@ -1,0 +1,131 @@
+#include "core/branch_manager.h"
+
+#include "common/coding.h"
+
+namespace rstore {
+
+Result<BranchManager> BranchManager::Load(RStore* store, KVStore* backend) {
+  BranchManager manager(store);
+  Status parse_status = Status::OK();
+  Status s = backend->Scan(
+      store->options().index_table, [&](Slice key, Slice value) {
+        if (!parse_status.ok() || key.size() < 2) return;
+        char tag = key[0];
+        if (tag != 'b' && tag != 't') return;
+        Slice v(value);
+        uint32_t version;
+        Status cs = GetVarint32(&v, &version);
+        if (!cs.ok()) {
+          parse_status = cs;
+          return;
+        }
+        std::string name(key.data() + 1, key.size() - 1);
+        if (tag == 'b') {
+          manager.branches_[name] = version;
+        } else {
+          manager.tags_[name] = version;
+        }
+      });
+  RSTORE_RETURN_IF_ERROR(s);
+  RSTORE_RETURN_IF_ERROR(parse_status);
+  return manager;
+}
+
+Status BranchManager::CreateBranch(const std::string& name, VersionId from) {
+  if (name.empty()) return Status::InvalidArgument("empty branch name");
+  if (from >= store_->num_versions()) {
+    return Status::InvalidArgument("unknown version " + std::to_string(from));
+  }
+  auto [it, inserted] = branches_.emplace(name, from);
+  if (!inserted) return Status::AlreadyExists("branch " + name);
+  return Status::OK();
+}
+
+Status BranchManager::DeleteBranch(const std::string& name) {
+  if (branches_.erase(name) == 0) {
+    return Status::NotFound("branch " + name);
+  }
+  return Status::OK();
+}
+
+Result<VersionId> BranchManager::Tip(const std::string& name) const {
+  auto it = branches_.find(name);
+  if (it == branches_.end()) return Status::NotFound("branch " + name);
+  return it->second;
+}
+
+std::vector<std::string> BranchManager::Branches() const {
+  std::vector<std::string> out;
+  out.reserve(branches_.size());
+  for (const auto& [name, tip] : branches_) out.push_back(name);
+  return out;
+}
+
+Result<VersionId> BranchManager::Commit(const std::string& branch,
+                                        CommitDelta delta) {
+  auto it = branches_.find(branch);
+  VersionId parent;
+  if (it == branches_.end()) {
+    // Bootstrapping: the first commit into an empty store creates master.
+    if (branch != kMaster || store_->num_versions() != 0) {
+      return Status::NotFound("branch " + branch +
+                              " (CreateBranch it first)");
+    }
+    parent = kInvalidVersion;
+  } else {
+    parent = it->second;
+  }
+  auto version = store_->Commit(parent, std::move(delta));
+  if (!version.ok()) return version.status();
+  branches_[branch] = *version;
+  return version;
+}
+
+Result<std::vector<Record>> BranchManager::Checkout(const std::string& branch,
+                                                    QueryStats* stats) {
+  auto tip = Tip(branch);
+  if (!tip.ok()) return tip.status();
+  return store_->GetVersion(*tip, stats);
+}
+
+Status BranchManager::Tag(const std::string& name, VersionId version) {
+  if (name.empty()) return Status::InvalidArgument("empty tag name");
+  if (version >= store_->num_versions()) {
+    return Status::InvalidArgument("unknown version " +
+                                   std::to_string(version));
+  }
+  auto [it, inserted] = tags_.emplace(name, version);
+  if (!inserted) return Status::AlreadyExists("tag " + name);
+  return Status::OK();
+}
+
+Result<VersionId> BranchManager::ResolveTag(const std::string& name) const {
+  auto it = tags_.find(name);
+  if (it == tags_.end()) return Status::NotFound("tag " + name);
+  return it->second;
+}
+
+std::vector<std::string> BranchManager::Tags() const {
+  std::vector<std::string> out;
+  out.reserve(tags_.size());
+  for (const auto& [name, version] : tags_) out.push_back(name);
+  return out;
+}
+
+Status BranchManager::Persist(KVStore* backend) const {
+  const std::string& table = store_->options().index_table;
+  RSTORE_RETURN_IF_ERROR(backend->CreateTable(table));
+  for (const auto& [name, tip] : branches_) {
+    std::string value;
+    PutVarint32(&value, tip);
+    RSTORE_RETURN_IF_ERROR(backend->Put(table, "b" + name, value));
+  }
+  for (const auto& [name, version] : tags_) {
+    std::string value;
+    PutVarint32(&value, version);
+    RSTORE_RETURN_IF_ERROR(backend->Put(table, "t" + name, value));
+  }
+  return Status::OK();
+}
+
+}  // namespace rstore

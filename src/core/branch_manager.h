@@ -1,0 +1,68 @@
+#ifndef RSTORE_CORE_BRANCH_MANAGER_H_
+#define RSTORE_CORE_BRANCH_MANAGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rstore.h"
+
+namespace rstore {
+
+/// Named branches and tags over an RStore — the paper's application-server
+/// VCS surface: "A user can pull any specific version by specifying its ID,
+/// or may pull the latest version in a branch (including the main master
+/// branch). Any changes made by the user can be committed as a new version"
+/// (§2.4).
+///
+/// A branch is a mutable name -> tip-version binding that advances on
+/// Commit; a tag is an immutable binding. Both are persisted to the store's
+/// index table ("b<name>" / "t<name>") so Load() recovers them after a
+/// restart. Branching is cheap: it never copies data, only adds a name.
+class BranchManager {
+ public:
+  /// Default branch name used by the first commit into an empty store.
+  static constexpr const char* kMaster = "master";
+
+  /// Manages branches of `store` (borrowed; must outlive the manager).
+  explicit BranchManager(RStore* store) : store_(store) {}
+
+  /// Recovers the persisted branch/tag bindings from the store's backend.
+  static Result<BranchManager> Load(RStore* store, KVStore* backend);
+
+  /// Creates `name` pointing at `from`. kAlreadyExists if taken.
+  Status CreateBranch(const std::string& name, VersionId from);
+  /// Removes a branch binding (data and versions are never deleted).
+  Status DeleteBranch(const std::string& name);
+
+  /// The branch's current tip. kNotFound for unknown branches.
+  Result<VersionId> Tip(const std::string& name) const;
+  /// All branch names, sorted.
+  std::vector<std::string> Branches() const;
+
+  /// Commits `delta` on top of the branch tip and advances the branch.
+  /// Committing to kMaster on an empty store bootstraps both the root
+  /// version and the master branch.
+  Result<VersionId> Commit(const std::string& branch, CommitDelta delta);
+
+  /// Full checkout of a branch tip.
+  Result<std::vector<Record>> Checkout(const std::string& branch,
+                                       QueryStats* stats = nullptr);
+
+  /// Immutable tag. kAlreadyExists if the tag name is taken.
+  Status Tag(const std::string& name, VersionId version);
+  Result<VersionId> ResolveTag(const std::string& name) const;
+  std::vector<std::string> Tags() const;
+
+  /// Writes all bindings to the backend's index table.
+  Status Persist(KVStore* backend) const;
+
+ private:
+  RStore* store_;
+  std::map<std::string, VersionId> branches_;
+  std::map<std::string, VersionId> tags_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_BRANCH_MANAGER_H_

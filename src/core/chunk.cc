@@ -1,0 +1,100 @@
+#include "core/chunk.h"
+
+#include <map>
+
+#include "common/coding.h"
+
+namespace rstore {
+
+std::string ChunkKey(ChunkId id) {
+  std::string key = "c";
+  PutVarint64(&key, id);
+  return key;
+}
+
+uint32_t Chunk::AddSubChunk(SubChunk sub_chunk) {
+  uint32_t first_index = record_count();
+  uint32_t sub_index = static_cast<uint32_t>(sub_chunks_.size());
+  payload_bytes_ += sub_chunk.serialized_size();
+  for (const CompositeKey& ck : sub_chunk.keys()) {
+    records_.push_back(ck);
+    sub_chunk_of_record_.push_back(sub_index);
+  }
+  sub_chunks_.push_back(std::move(sub_chunk));
+  return first_index;
+}
+
+Result<std::string> Chunk::ExtractPayload(
+    const CompositeKey& ck, const SubChunk::PayloadResolver& resolver) const {
+  for (uint32_t i = 0; i < records_.size(); ++i) {
+    if (records_[i] == ck) {
+      return sub_chunks_[sub_chunk_of_record_[i]].ExtractPayload(ck,
+                                                                 resolver);
+    }
+  }
+  return Status::NotFound("record " + ck.ToString() + " not in chunk");
+}
+
+Result<std::vector<std::pair<CompositeKey, std::string>>>
+Chunk::ExtractRecords(const std::vector<uint32_t>& record_indices,
+                      const SubChunk::PayloadResolver& resolver) const {
+  // Group requested records by owning sub-chunk so each sub-chunk is
+  // decompressed exactly once.
+  std::map<uint32_t, std::vector<uint32_t>> by_sub_chunk;
+  for (uint32_t idx : record_indices) {
+    if (idx >= records_.size()) {
+      return Status::InvalidArgument("record index out of range");
+    }
+    by_sub_chunk[sub_chunk_of_record_[idx]].push_back(idx);
+  }
+  std::vector<std::pair<CompositeKey, std::string>> out;
+  out.reserve(record_indices.size());
+  for (const auto& [sub_index, indices] : by_sub_chunk) {
+    const SubChunk& sc = sub_chunks_[sub_index];
+    auto payloads = sc.ExtractAllPayloads(resolver);
+    if (!payloads.ok()) return payloads.status();
+    // First record index of this sub-chunk in the flattened list.
+    uint32_t base = indices[0];
+    while (base > 0 && sub_chunk_of_record_[base - 1] == sub_index) --base;
+    for (uint32_t idx : indices) {
+      out.emplace_back(records_[idx],
+                       std::move(payloads.value()[idx - base]));
+    }
+  }
+  return out;
+}
+
+uint64_t Chunk::uncompressed_bytes() const {
+  uint64_t total = 0;
+  for (const SubChunk& sc : sub_chunks_) total += sc.uncompressed_bytes();
+  return total;
+}
+
+void Chunk::EncodeTo(std::string* out) const {
+  PutVarint64(out, id_);
+  PutVarint64(out, sub_chunks_.size());
+  for (const SubChunk& sc : sub_chunks_) sc.EncodeTo(out);
+}
+
+Status Chunk::DecodeFrom(Slice* input, Chunk* out) {
+  *out = Chunk();
+  RSTORE_RETURN_IF_ERROR(GetVarint64(input, &out->id_));
+  uint64_t count;
+  RSTORE_RETURN_IF_ERROR(GetVarint64(input, &count));
+  for (uint64_t i = 0; i < count; ++i) {
+    SubChunk sc;
+    RSTORE_RETURN_IF_ERROR(SubChunk::DecodeFrom(input, &sc));
+    out->AddSubChunk(std::move(sc));
+  }
+  return Status::OK();
+}
+
+Status Chunk::SetChunkMap(ChunkMap map) {
+  if (map.record_count() != record_count()) {
+    return Status::Corruption("chunk map does not cover chunk records");
+  }
+  map_ = std::move(map);
+  return Status::OK();
+}
+
+}  // namespace rstore

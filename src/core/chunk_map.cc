@@ -1,0 +1,52 @@
+#include "core/chunk_map.h"
+
+#include "common/coding.h"
+
+namespace rstore {
+
+void ChunkMap::Add(VersionId version, uint32_t record_index) {
+  auto [it, inserted] = bitmaps_.try_emplace(version, record_count_);
+  it->second.Set(record_index);
+}
+
+std::vector<VersionId> ChunkMap::Versions() const {
+  std::vector<VersionId> out;
+  out.reserve(bitmaps_.size());
+  for (const auto& [version, bitmap] : bitmaps_) out.push_back(version);
+  return out;
+}
+
+std::vector<uint32_t> ChunkMap::RecordsOf(VersionId version) const {
+  auto it = bitmaps_.find(version);
+  if (it == bitmaps_.end()) return {};
+  return it->second.ToVector();
+}
+
+void ChunkMap::EncodeTo(std::string* out) const {
+  PutVarint32(out, record_count_);
+  PutVarint64(out, bitmaps_.size());
+  for (const auto& [version, bitmap] : bitmaps_) {
+    PutVarint32(out, version);
+    bitmap.SerializeTo(out);
+  }
+}
+
+Status ChunkMap::DecodeFrom(Slice* input, ChunkMap* out) {
+  RSTORE_RETURN_IF_ERROR(GetVarint32(input, &out->record_count_));
+  uint64_t count;
+  RSTORE_RETURN_IF_ERROR(GetVarint64(input, &count));
+  out->bitmaps_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    VersionId version;
+    RSTORE_RETURN_IF_ERROR(GetVarint32(input, &version));
+    Bitmap bitmap;
+    RSTORE_RETURN_IF_ERROR(Bitmap::DeserializeFrom(input, &bitmap));
+    if (bitmap.size() != out->record_count_) {
+      return Status::Corruption("chunk map bitmap size mismatch");
+    }
+    out->bitmaps_.emplace(version, std::move(bitmap));
+  }
+  return Status::OK();
+}
+
+}  // namespace rstore

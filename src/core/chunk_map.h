@@ -1,0 +1,57 @@
+#ifndef RSTORE_CORE_CHUNK_MAP_H_
+#define RSTORE_CORE_CHUNK_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compress/bitmap.h"
+#include "version/types.h"
+
+namespace rstore {
+
+/// The per-chunk slice M_Ci of the 3-D key/version/chunk mapping (paper
+/// §2.4, Fig. 3): for every version that has records in this chunk, which of
+/// the chunk's records belong to it.
+///
+/// Records are addressed by their index in the chunk's flattened record list
+/// (all sub-chunk members in order); per-version membership is a compressed
+/// bitmap over those indices ("the adjacency list in each chunk map file is
+/// then converted to a bitmap, compressed and stored in the KVS", §3.1).
+class ChunkMap {
+ public:
+  ChunkMap() = default;
+  explicit ChunkMap(uint32_t record_count) : record_count_(record_count) {}
+
+  uint32_t record_count() const { return record_count_; }
+
+  /// Marks record `record_index` as belonging to `version`.
+  void Add(VersionId version, uint32_t record_index);
+
+  /// Versions with at least one record in this chunk.
+  std::vector<VersionId> Versions() const;
+
+  bool HasVersion(VersionId version) const {
+    return bitmaps_.count(version) > 0;
+  }
+
+  /// Indices of this chunk's records that belong to `version` (empty if the
+  /// version has none).
+  std::vector<uint32_t> RecordsOf(VersionId version) const;
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(Slice* input, ChunkMap* out);
+
+  bool operator==(const ChunkMap& other) const {
+    return record_count_ == other.record_count_ && bitmaps_ == other.bitmaps_;
+  }
+
+ private:
+  uint32_t record_count_ = 0;
+  std::map<VersionId, Bitmap> bitmaps_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_CHUNK_MAP_H_

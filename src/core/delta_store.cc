@@ -1,0 +1,19 @@
+#include "core/delta_store.h"
+
+namespace rstore {
+
+void DeltaStore::Stage(PendingCommit commit, std::vector<Record> payloads) {
+  pending_.push_back(std::move(commit));
+  for (Record& record : payloads) {
+    payload_bytes_ += record.payload.size();
+    payloads_.emplace(record.key, std::move(record.payload));
+  }
+}
+
+void DeltaStore::Clear() {
+  pending_.clear();
+  payloads_.clear();
+  payload_bytes_ = 0;
+}
+
+}  // namespace rstore

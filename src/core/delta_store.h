@@ -1,0 +1,56 @@
+#ifndef RSTORE_CORE_DELTA_STORE_H_
+#define RSTORE_CORE_DELTA_STORE_H_
+
+#include <vector>
+
+#include "core/record.h"
+#include "version/delta.h"
+
+namespace rstore {
+
+/// A commit as received from a client: "the delta includes those records
+/// which have changed w.r.t. the previous version, records that are newly
+/// added and records that are deleted" (paper §2.4).
+struct CommitDelta {
+  /// New or updated records: primary key + full payload.
+  std::vector<Record> upserts;  // Record::key.version is ignored on input
+  /// Primary keys deleted relative to the parent version.
+  std::vector<std::string> deletes;
+};
+
+/// A commit staged for batch processing: its resolved membership delta plus
+/// the new record payloads.
+struct PendingCommit {
+  VersionId version = kInvalidVersion;
+  VersionDelta delta;
+};
+
+/// The write store of paper §4: "the received deltas are kept in a separate
+/// storage area, that are processed in a batch fashion by the data placement
+/// module." Holds the staged commits and their payloads until the online
+/// partitioner drains them.
+class DeltaStore {
+ public:
+  void Stage(PendingCommit commit, std::vector<Record> payloads);
+
+  size_t pending_versions() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+
+  const std::vector<PendingCommit>& pending() const { return pending_; }
+  const RecordPayloadMap& payloads() const { return payloads_; }
+
+  /// Number of staged payload bytes (write-store footprint).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+
+  /// Empties the store after a batch has been incorporated.
+  void Clear();
+
+ private:
+  std::vector<PendingCommit> pending_;
+  RecordPayloadMap payloads_;
+  uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_DELTA_STORE_H_

@@ -1,0 +1,32 @@
+#include "core/item_index.h"
+
+#include <algorithm>
+
+namespace rstore {
+
+ItemIndex ItemIndex::Build(const VersionGraph& graph,
+                           const std::vector<PlacementItem>& items) {
+  ItemIndex index;
+  index.added.resize(graph.size());
+  index.removed.resize(graph.size());
+  index.leaf_items.resize(graph.size());
+  for (uint32_t i = 0; i < items.size(); ++i) {
+    const std::vector<VersionId>& versions = items[i].versions;
+    auto present = [&](VersionId v) {
+      return std::binary_search(versions.begin(), versions.end(), v);
+    };
+    for (VersionId v : versions) {
+      VersionId parent = graph.PrimaryParent(v);
+      if (parent == kInvalidVersion || !present(parent)) {
+        index.added[v].push_back(i);
+      }
+      for (VersionId child : graph.children(v)) {
+        if (!present(child)) index.removed[child].push_back(i);
+      }
+      if (graph.IsLeaf(v)) index.leaf_items[v].push_back(i);
+    }
+  }
+  return index;
+}
+
+}  // namespace rstore

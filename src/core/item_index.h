@@ -1,0 +1,29 @@
+#ifndef RSTORE_CORE_ITEM_INDEX_H_
+#define RSTORE_CORE_ITEM_INDEX_H_
+
+#include <vector>
+
+#include "core/placement.h"
+#include "version/version_graph.h"
+
+namespace rstore {
+
+/// Per-version transitions of placement items, derived from each item's
+/// version set against the version tree. This is the delta view the
+/// traversal and bottom-up partitioners consume: `added[v]` are the items
+/// present in v but not in v's parent (they "originate" or re-appear at v),
+/// `removed[v]` are items present in the parent but not in v.
+struct ItemIndex {
+  std::vector<std::vector<uint32_t>> added;
+  std::vector<std::vector<uint32_t>> removed;
+  /// For each leaf version, every item present in it (empty for non-leaves).
+  /// Seeds the bottom-up traversal.
+  std::vector<std::vector<uint32_t>> leaf_items;
+
+  static ItemIndex Build(const VersionGraph& graph,
+                         const std::vector<PlacementItem>& items);
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_ITEM_INDEX_H_

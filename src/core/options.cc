@@ -1,0 +1,25 @@
+#include "core/options.h"
+
+namespace rstore {
+
+const char* PartitionAlgorithmName(PartitionAlgorithm algorithm) {
+  switch (algorithm) {
+    case PartitionAlgorithm::kBottomUp:
+      return "BOTTOM-UP";
+    case PartitionAlgorithm::kShingle:
+      return "SHINGLE";
+    case PartitionAlgorithm::kDepthFirst:
+      return "DEPTHFIRST";
+    case PartitionAlgorithm::kBreadthFirst:
+      return "BREADTHFIRST";
+    case PartitionAlgorithm::kDeltaBaseline:
+      return "DELTA";
+    case PartitionAlgorithm::kSubChunkBaseline:
+      return "SUBCHUNK";
+    case PartitionAlgorithm::kSingleAddressSpace:
+      return "SINGLE-ADDRESS";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace rstore

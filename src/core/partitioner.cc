@@ -1,0 +1,32 @@
+#include "core/partitioner.h"
+
+#include "core/baseline_partitioner.h"
+#include "core/bottom_up_partitioner.h"
+#include "core/shingle_partitioner.h"
+#include "core/traversal_partitioner.h"
+
+namespace rstore {
+
+std::unique_ptr<Partitioner> CreatePartitioner(PartitionAlgorithm algorithm) {
+  switch (algorithm) {
+    case PartitionAlgorithm::kBottomUp:
+      return std::make_unique<BottomUpPartitioner>();
+    case PartitionAlgorithm::kShingle:
+      return std::make_unique<ShinglePartitioner>();
+    case PartitionAlgorithm::kDepthFirst:
+      return std::make_unique<TraversalPartitioner>(
+          TraversalPartitioner::Order::kDepthFirst);
+    case PartitionAlgorithm::kBreadthFirst:
+      return std::make_unique<TraversalPartitioner>(
+          TraversalPartitioner::Order::kBreadthFirst);
+    case PartitionAlgorithm::kDeltaBaseline:
+      return std::make_unique<DeltaBaselinePartitioner>();
+    case PartitionAlgorithm::kSubChunkBaseline:
+      return std::make_unique<SubChunkBaselinePartitioner>();
+    case PartitionAlgorithm::kSingleAddressSpace:
+      return std::make_unique<SingleAddressPartitioner>();
+  }
+  return nullptr;
+}
+
+}  // namespace rstore

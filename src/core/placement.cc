@@ -1,0 +1,126 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rstore {
+
+ChunkPacker::ChunkPacker(uint64_t capacity, double overflow_fraction)
+    : capacity_(capacity),
+      hard_limit_(static_cast<uint64_t>(
+          std::llround(static_cast<double>(capacity) *
+                       (1.0 + overflow_fraction)))) {
+  assert(capacity > 0);
+}
+
+void ChunkPacker::Add(uint32_t item_index, uint64_t bytes) {
+  bool need_new = force_new_ || bins_.empty();
+  if (!need_new) {
+    const Bin& current = bins_.back();
+    // Closed once at capacity; an item may spill into the overflow band but
+    // never start beyond it.
+    if (current.bytes >= capacity_ ||
+        current.bytes + bytes > hard_limit_) {
+      need_new = true;
+    }
+  }
+  if (need_new) {
+    bins_.emplace_back();
+    force_new_ = false;
+  }
+  bins_.back().items.push_back(item_index);
+  bins_.back().bytes += bytes;
+}
+
+void ChunkPacker::StartNewChunk() { force_new_ = true; }
+
+Partitioning ChunkPacker::Finish(bool merge_partials) {
+  if (merge_partials) {
+    // Merge under-filled bins with their *neighbours in emission order*:
+    // adjacent bins come from the same or nearby versions (and similar chain
+    // lengths), so order-preserving merging reduces fragmentation without
+    // destroying the interval affinity the traversal built up. Full bins act
+    // as barriers and pass through unchanged.
+    std::vector<Bin> merged;
+    for (Bin& bin : bins_) {
+      if (!merged.empty() && merged.back().bytes < capacity_ &&
+          merged.back().bytes + bin.bytes <= capacity_) {
+        Bin& target = merged.back();
+        target.items.insert(target.items.end(), bin.items.begin(),
+                            bin.items.end());
+        target.bytes += bin.bytes;
+      } else {
+        merged.push_back(std::move(bin));
+      }
+    }
+    bins_ = std::move(merged);
+  }
+  Partitioning out;
+  out.chunks.reserve(bins_.size());
+  for (Bin& bin : bins_) {
+    if (!bin.items.empty()) out.chunks.push_back(std::move(bin.items));
+  }
+  bins_.clear();
+  force_new_ = true;
+  return out;
+}
+
+std::vector<uint64_t> PerVersionSpans(const Partitioning& partitioning,
+                                      const std::vector<PlacementItem>& items,
+                                      const VersionGraph& graph) {
+  std::vector<uint64_t> spans(graph.size(), 0);
+  switch (partitioning.layout) {
+    case LayoutKind::kChunked: {
+      // Chunk c touches version v if any contained item lists v.
+      for (const auto& chunk : partitioning.chunks) {
+        std::vector<bool> touches(graph.size(), false);
+        for (uint32_t item_index : chunk) {
+          for (VersionId v : items[item_index].versions) touches[v] = true;
+        }
+        for (VersionId v = 0; v < graph.size(); ++v) {
+          if (touches[v]) ++spans[v];
+        }
+      }
+      break;
+    }
+    case LayoutKind::kDeltaChain: {
+      // Chunks are per-version delta pieces: reconstructing v retrieves all
+      // chunks of all versions on root->v. Count chunks per origin version.
+      std::vector<uint64_t> chunks_of_version(graph.size(), 0);
+      for (const auto& chunk : partitioning.chunks) {
+        if (!chunk.empty()) {
+          ++chunks_of_version[items[chunk[0]].origin_version];
+        }
+      }
+      for (VersionId v = 0; v < graph.size(); ++v) {
+        uint64_t total = 0;
+        for (VersionId step : graph.PathFromRoot(v)) {
+          total += chunks_of_version[step];
+        }
+        spans[v] = total;
+      }
+      break;
+    }
+    case LayoutKind::kSubChunkPerKey: {
+      // No version index: every full-version retrieval scans all chunks.
+      for (VersionId v = 0; v < graph.size(); ++v) {
+        spans[v] = partitioning.chunks.size();
+      }
+      break;
+    }
+  }
+  return spans;
+}
+
+uint64_t TotalVersionSpan(const Partitioning& partitioning,
+                          const std::vector<PlacementItem>& items,
+                          const VersionGraph& graph) {
+  uint64_t total = 0;
+  for (uint64_t span : PerVersionSpans(partitioning, items, graph)) {
+    total += span;
+  }
+  return total;
+}
+
+}  // namespace rstore

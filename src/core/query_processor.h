@@ -1,0 +1,102 @@
+#ifndef RSTORE_CORE_QUERY_PROCESSOR_H_
+#define RSTORE_CORE_QUERY_PROCESSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "core/placement.h"
+#include "core/record.h"
+#include "core/store_catalog.h"
+#include "kvstore/kv_store.h"
+#include "version/dataset.h"
+
+namespace rstore {
+
+/// Per-query cost accounting: the number of chunks retrieved is the span
+/// (paper §2.5, "the key performance metric"); simulated_micros is the
+/// modeled backend latency the query incurred.
+struct QueryStats {
+  uint64_t chunks_fetched = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t simulated_micros = 0;
+
+  QueryStats& operator+=(const QueryStats& other) {
+    chunks_fetched += other.chunks_fetched;
+    bytes_fetched += other.bytes_fetched;
+    simulated_micros += other.simulated_micros;
+    return *this;
+  }
+};
+
+/// Executes the four retrieval query classes of paper §2.1 against the
+/// chunked store (paper §2.4, "Indexes and Query Processing Module").
+///
+/// - Version retrieval: version->chunks projection, parallel chunk fetch,
+///   chunk maps extract the members.
+/// - Record evolution: same flow with the key->chunks projection.
+/// - Range / record retrieval: "index-ANDing" of both projections; because
+///   the projections are lossy, a fetched chunk may turn out to hold no
+///   record of interest.
+///
+/// The DELTA and SUBCHUNK baseline layouts use their own retrieval rules
+/// (chain replay / full scan) selected by the layout kind.
+class QueryProcessor {
+ public:
+  /// All pointers are borrowed and must outlive the processor. `dataset` is
+  /// the tree-transformed dataset whose composite keys match the stored
+  /// chunks.
+  QueryProcessor(KVStore* kvs, const StoreCatalog* catalog,
+                 const VersionedDataset* dataset, LayoutKind layout,
+                 const Options& options);
+
+  /// Q1 — full version retrieval: every record of `version`.
+  Result<std::vector<Record>> GetVersion(VersionId version,
+                                         QueryStats* stats = nullptr);
+
+  /// Q2 — range retrieval: records of `version` with key in
+  /// [key_lo, key_hi] (inclusive).
+  Result<std::vector<Record>> GetRange(VersionId version,
+                                       const std::string& key_lo,
+                                       const std::string& key_hi,
+                                       QueryStats* stats = nullptr);
+
+  /// Q3 — record evolution: every record (across all versions) with the
+  /// given primary key, sorted by origin version.
+  Result<std::vector<Record>> GetHistory(const std::string& key,
+                                         QueryStats* stats = nullptr);
+
+  /// Point query: the record with `key` as visible in `version`.
+  /// kNotFound if the version has no such key.
+  Result<Record> GetRecord(const std::string& key, VersionId version,
+                           QueryStats* stats = nullptr);
+
+ private:
+  /// Fetches and decodes chunks (bodies + their maps) by id, accounting
+  /// stats.
+  Result<std::vector<Chunk>> FetchChunks(const std::vector<ChunkId>& ids,
+                                         QueryStats* stats);
+
+  /// Extracts the records of `version` from fetched chunks via chunk maps,
+  /// optionally restricted to [key_lo, key_hi].
+  Result<std::vector<Record>> ExtractVersionRecords(
+      const std::vector<Chunk>& chunks, VersionId version, bool use_range,
+      const std::string& key_lo, const std::string& key_hi) const;
+
+  Result<std::vector<Record>> GetVersionDeltaChain(VersionId version,
+                                                   bool use_range,
+                                                   const std::string& key_lo,
+                                                   const std::string& key_hi,
+                                                   QueryStats* stats);
+
+  KVStore* kvs_;
+  const StoreCatalog* catalog_;
+  const VersionedDataset* dataset_;
+  LayoutKind layout_;
+  Options options_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_QUERY_PROCESSOR_H_

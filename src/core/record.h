@@ -1,0 +1,27 @@
+#ifndef RSTORE_CORE_RECORD_H_
+#define RSTORE_CORE_RECORD_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "version/types.h"
+
+namespace rstore {
+
+/// A record: an immutable payload addressed by its composite key. Payloads
+/// are opaque bytes — JSON documents in the paper's experiments, but RStore
+/// "makes no assumptions about the structure, type or the size of a record"
+/// (§2.1).
+struct Record {
+  CompositeKey key;
+  std::string payload;
+};
+
+/// Staging map from composite key to payload, used on the ingest/bulk-load
+/// path before records are folded into sub-chunks.
+using RecordPayloadMap =
+    std::unordered_map<CompositeKey, std::string, CompositeKeyHash>;
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_RECORD_H_

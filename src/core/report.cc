@@ -1,0 +1,97 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace rstore {
+
+namespace {
+
+size_t SpanBucket(uint64_t span) {
+  if (span == 0) return 0;
+  if (span <= 2) return 1;
+  if (span <= 5) return 2;
+  if (span <= 10) return 3;
+  if (span <= 25) return 4;
+  if (span <= 100) return 5;
+  return 6;
+}
+
+const char* kBucketLabels[] = {"0", "1-2", "3-5", "6-10", "11-25", "26-100",
+                               "101+"};
+
+}  // namespace
+
+Result<StoreReport> BuildStoreReport(const RStore& store, KVStore* backend) {
+  StoreReport report;
+  report.num_versions = store.num_versions();
+  report.num_chunks = store.catalog().num_chunks();
+  report.compression_ratio = store.CompressionRatio();
+  report.projection_memory_bytes = store.catalog().ProjectionMemoryBytes();
+
+  const Options& options = store.options();
+  Status s = backend->Scan(options.chunk_table, [&](Slice, Slice value) {
+    report.chunk_bytes += value.size();
+    if (value.size() >
+        options.chunk_capacity_bytes +
+            static_cast<uint64_t>(options.chunk_capacity_bytes *
+                                  options.chunk_overflow_fraction)) {
+      ++report.overfull_chunks;
+    }
+  });
+  RSTORE_RETURN_IF_ERROR(s);
+  s = backend->Scan(options.index_table, [&](Slice, Slice value) {
+    report.index_table_bytes += value.size();
+  });
+  RSTORE_RETURN_IF_ERROR(s);
+
+  report.uncompressed_record_bytes = static_cast<uint64_t>(
+      report.compression_ratio * static_cast<double>(report.chunk_bytes));
+
+  report.span_histogram.assign(7, 0);
+  for (VersionId v = 0; v < report.num_versions; ++v) {
+    uint64_t span = store.catalog().VersionSpan(v);
+    report.total_span += span;
+    report.max_span = std::max(report.max_span, span);
+    ++report.span_histogram[SpanBucket(span)];
+  }
+  report.avg_span = report.num_versions == 0
+                        ? 0
+                        : static_cast<double>(report.total_span) /
+                              report.num_versions;
+  report.avg_chunk_fill =
+      report.num_chunks == 0
+          ? 0
+          : static_cast<double>(report.chunk_bytes) /
+                (static_cast<double>(report.num_chunks) *
+                 static_cast<double>(options.chunk_capacity_bytes));
+  return report;
+}
+
+std::string StoreReport::ToString() const {
+  std::string out;
+  out += StringPrintf("versions:          %u\n", num_versions);
+  out += StringPrintf("chunks:            %llu (%s stored, %.2fx compression, "
+                      "avg fill %.0f%%, %llu overfull)\n",
+                      (unsigned long long)num_chunks,
+                      HumanBytes(chunk_bytes).c_str(), compression_ratio,
+                      avg_chunk_fill * 100.0,
+                      (unsigned long long)overfull_chunks);
+  out += StringPrintf("index table:       %s on backend, %s in memory\n",
+                      HumanBytes(index_table_bytes).c_str(),
+                      HumanBytes(projection_memory_bytes).c_str());
+  out += StringPrintf("version span:      total %llu, avg %.1f, max %llu\n",
+                      (unsigned long long)total_span, avg_span,
+                      (unsigned long long)max_span);
+  out += "span histogram:    ";
+  for (size_t i = 0; i < span_histogram.size(); ++i) {
+    if (span_histogram[i] == 0) continue;
+    out += StringPrintf("[%s]=%llu ", kBucketLabels[i],
+                        (unsigned long long)span_histogram[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace rstore

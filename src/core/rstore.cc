@@ -1,0 +1,614 @@
+#include "core/rstore.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/coding.h"
+#include "core/partitioner.h"
+#include "core/sub_chunk_builder.h"
+
+namespace rstore {
+
+namespace {
+
+std::string MapKey(ChunkId id) {
+  std::string key = "m";
+  PutVarint64(&key, id);
+  return key;
+}
+
+}  // namespace
+
+RStore::RStore(KVStore* backend, const Options& options)
+    : backend_(backend), options_(options) {}
+
+Result<std::unique_ptr<RStore>> RStore::Open(KVStore* backend,
+                                             const Options& options) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("backend must not be null");
+  }
+  if (options.chunk_capacity_bytes == 0) {
+    return Status::InvalidArgument("chunk capacity must be positive");
+  }
+  RSTORE_RETURN_IF_ERROR(backend->CreateTable(options.chunk_table));
+  RSTORE_RETURN_IF_ERROR(backend->CreateTable(options.index_table));
+  return std::unique_ptr<RStore>(new RStore(backend, options));
+}
+
+Status RStore::WriteChunk(Chunk* chunk) {
+  std::string body;
+  chunk->EncodeTo(&body);
+  std::string map;
+  chunk->chunk_map()->EncodeTo(&map);
+  RSTORE_RETURN_IF_ERROR(
+      backend_->Put(options_.chunk_table, ChunkKey(chunk->id()), body));
+  RSTORE_RETURN_IF_ERROR(
+      backend_->Put(options_.index_table, MapKey(chunk->id()), map));
+  stored_chunk_bytes_ += body.size();
+  stored_record_bytes_ += chunk->uncompressed_bytes();
+  return Status::OK();
+}
+
+Status RStore::PartitionAndWrite(const VersionedDataset& placement_view,
+                                 const RecordPayloadMap& payloads) {
+  auto built = BuildSubChunks(placement_view, payloads,
+                              *catalog_.record_versions(), options_);
+  if (!built.ok()) return built.status();
+  SubChunkBuildResult& result = built.value();
+
+  std::unique_ptr<Partitioner> partitioner =
+      CreatePartitioner(options_.algorithm);
+  if (partitioner == nullptr) {
+    return Status::InvalidArgument("unknown partitioning algorithm");
+  }
+  PartitionInput input;
+  input.dataset = &placement_view;
+  input.items = &result.items;
+  input.options = options_;
+  auto partitioned = partitioner->Partition(input);
+  if (!partitioned.ok()) return partitioned.status();
+  layout_ = partitioned->layout;
+
+  for (const std::vector<uint32_t>& item_indices : partitioned->chunks) {
+    Chunk chunk(next_chunk_id_++);
+    VersionId origin = kInvalidVersion;
+    for (uint32_t item : item_indices) {
+      origin = std::min(origin, result.items[item].origin_version);
+      chunk.AddSubChunk(std::move(result.sub_chunks[item]));
+    }
+    catalog_.RegisterChunk(chunk.id(), chunk.records());
+    if (origin != kInvalidVersion) {
+      catalog_.SetChunkOrigin(chunk.id(), origin);
+    }
+    auto map = catalog_.BuildChunkMap(chunk.id());
+    if (!map.ok()) return map.status();
+    for (VersionId v : map->Versions()) {
+      catalog_.AddVersionChunk(v, chunk.id());
+    }
+    RSTORE_RETURN_IF_ERROR(chunk.SetChunkMap(std::move(map).value()));
+    RSTORE_RETURN_IF_ERROR(WriteChunk(&chunk));
+  }
+  return Status::OK();
+}
+
+Status RStore::BulkLoad(const VersionedDataset& dataset,
+                        const RecordPayloadMap& payloads) {
+  if (loaded_ || !tree_.graph.empty()) {
+    return Status::InvalidArgument("store already loaded");
+  }
+  RSTORE_RETURN_IF_ERROR(dataset.Validate());
+  original_graph_ = dataset.graph;
+  TreeTransformResult transform = ConvertToTree(dataset);
+  tree_ = std::move(transform.tree);
+
+  // Renamed merge-arrivals are stored as fresh records carrying the original
+  // payload (paper §2.5: "renamed to make them appear as newly inserted
+  // records").
+  const RecordPayloadMap* effective = &payloads;
+  RecordPayloadMap augmented;
+  if (!transform.renames.empty()) {
+    augmented = payloads;
+    for (const auto& [renamed, original] : transform.renames) {
+      auto it = payloads.find(original);
+      if (it == payloads.end()) {
+        return Status::InvalidArgument("missing payload for merge record " +
+                                       original.ToString());
+      }
+      augmented.emplace(renamed, it->second);
+    }
+    effective = &augmented;
+  }
+
+  *catalog_.record_versions() = tree_.BuildRecordVersionMap();
+  RSTORE_RETURN_IF_ERROR(PartitionAndWrite(tree_, *effective));
+  loaded_ = true;
+  return Status::OK();
+}
+
+Result<VersionId> RStore::Commit(VersionId parent, CommitDelta delta) {
+  // Resolve the membership delta against the parent version.
+  VersionMembership parent_members;
+  if (tree_.graph.empty()) {
+    if (parent != kInvalidVersion) {
+      return Status::InvalidArgument(
+          "first commit must use parent == kInvalidVersion");
+    }
+  } else {
+    if (parent >= tree_.graph.size()) {
+      return Status::InvalidArgument("unknown parent version");
+    }
+    parent_members = tree_.MaterializeVersion(parent);
+  }
+  std::unordered_map<std::string, CompositeKey> parent_by_key;
+  parent_by_key.reserve(parent_members.size());
+  for (const CompositeKey& ck : parent_members) {
+    parent_by_key.emplace(ck.key, ck);
+  }
+
+  VersionId version = tree_.graph.empty()
+                          ? 0
+                          : static_cast<VersionId>(tree_.graph.size());
+  VersionDelta membership_delta;
+  std::vector<Record> payload_records;
+  std::unordered_set<std::string> touched;
+  for (Record& record : delta.upserts) {
+    if (!touched.insert(record.key.key).second) {
+      return Status::InvalidArgument("key " + record.key.key +
+                                     " appears twice in commit");
+    }
+    CompositeKey ck(record.key.key, version);
+    membership_delta.added.push_back(ck);
+    auto it = parent_by_key.find(record.key.key);
+    if (it != parent_by_key.end()) {
+      membership_delta.removed.push_back(it->second);
+    }
+    payload_records.push_back(Record{ck, std::move(record.payload)});
+  }
+  for (const std::string& key : delta.deletes) {
+    if (!touched.insert(key).second) {
+      return Status::InvalidArgument("key " + key +
+                                     " appears twice in commit");
+    }
+    auto it = parent_by_key.find(key);
+    if (it == parent_by_key.end()) {
+      return Status::InvalidArgument("cannot delete absent key " + key);
+    }
+    membership_delta.removed.push_back(it->second);
+  }
+
+  // Record the version in the graphs and stage the commit.
+  if (tree_.graph.empty()) {
+    original_graph_.AddRoot();
+    tree_.graph.AddRoot();
+  } else {
+    auto r1 = original_graph_.AddVersion({parent});
+    if (!r1.ok()) return r1.status();
+    auto r2 = tree_.graph.AddVersion({parent});
+    if (!r2.ok()) return r2.status();
+  }
+  tree_.deltas.push_back(membership_delta);
+  loaded_ = true;
+
+  PendingCommit pending;
+  pending.version = version;
+  pending.delta = std::move(membership_delta);
+  delta_store_.Stage(std::move(pending), std::move(payload_records));
+
+  if (delta_store_.pending_versions() >= options_.online_batch_size) {
+    RSTORE_RETURN_IF_ERROR(ProcessBatch());
+  }
+  return version;
+}
+
+Result<VersionId> RStore::CommitSnapshot(
+    VersionId parent, const std::map<std::string, std::string>& snapshot) {
+  CommitDelta delta;
+  if (tree_.graph.empty()) {
+    // No parent to diff against: everything is an insert.
+    for (const auto& [key, payload] : snapshot) {
+      delta.upserts.push_back(Record{CompositeKey(key, 0), payload});
+    }
+    return Commit(parent, std::move(delta));
+  }
+  if (parent >= tree_.graph.size()) {
+    return Status::InvalidArgument("unknown parent version");
+  }
+  // Retrieve the prior version and diff record contents.
+  auto prior = GetVersion(parent);
+  if (!prior.ok()) return prior.status();
+  std::unordered_map<std::string, const Record*> prior_by_key;
+  prior_by_key.reserve(prior->size());
+  for (const Record& r : *prior) prior_by_key.emplace(r.key.key, &r);
+  for (const auto& [key, payload] : snapshot) {
+    auto it = prior_by_key.find(key);
+    if (it == prior_by_key.end() || it->second->payload != payload) {
+      delta.upserts.push_back(Record{CompositeKey(key, 0), payload});
+    }
+  }
+  for (const Record& r : *prior) {
+    if (!snapshot.count(r.key.key)) delta.deletes.push_back(r.key.key);
+  }
+  return Commit(parent, std::move(delta));
+}
+
+Status RStore::ProcessBatch() {
+  if (delta_store_.empty()) return Status::OK();
+  RecordVersionMap& record_versions = *catalog_.record_versions();
+
+  // Phase 1 (§4): extend the membership indexes with each staged version,
+  // collecting the pre-existing chunks whose maps will need one rebuild.
+  std::unordered_set<ChunkId> affected_chunks;
+  for (const PendingCommit& commit : delta_store_.pending()) {
+    VersionMembership members = tree_.MaterializeVersion(commit.version);
+    for (const CompositeKey& ck : members) {
+      // Staged versions are processed in id order, so appending keeps the
+      // per-record version lists sorted.
+      record_versions[ck].push_back(commit.version);
+      ChunkId chunk = catalog_.ChunkOfRecord(ck);
+      if (chunk != StoreCatalog::kInvalidChunk) {
+        affected_chunks.insert(chunk);
+        catalog_.AddVersionChunk(commit.version, chunk);
+      }
+    }
+  }
+
+  // Phase 2: partition the batch's new records. The placement view shares
+  // the full tree but exposes only the staged deltas, so the partitioning
+  // algorithm sees exactly the batch sub-graph.
+  VersionedDataset view;
+  view.graph = tree_.graph;
+  view.deltas.resize(tree_.graph.size());
+  for (const PendingCommit& commit : delta_store_.pending()) {
+    view.deltas[commit.version] = commit.delta;
+  }
+  RSTORE_RETURN_IF_ERROR(PartitionAndWrite(view, delta_store_.payloads()));
+
+  // Phase 3: rewrite each affected old chunk map exactly once, rebuilt from
+  // the in-memory indexes — no chunk fetches (§4).
+  for (ChunkId id : affected_chunks) {
+    auto map = catalog_.BuildChunkMap(id);
+    if (!map.ok()) return map.status();
+    std::string encoded;
+    map->EncodeTo(&encoded);
+    RSTORE_RETURN_IF_ERROR(
+        backend_->Put(options_.index_table, MapKey(id), encoded));
+  }
+  delta_store_.Clear();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RStore>> RStore::Reopen(KVStore* backend,
+                                               const Options& options) {
+  auto opened = Open(backend, options);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<RStore> store = std::move(opened).value();
+
+  // 1. Version graph + deltas + original (merge-bearing) graph.
+  auto graph_blob = backend->Get(options.index_table, "g");
+  if (!graph_blob.ok()) {
+    if (graph_blob.status().IsNotFound()) {
+      return Status::InvalidArgument(
+          "backend holds no flushed RStore state (missing graph)");
+    }
+    return graph_blob.status();
+  }
+  Slice input(*graph_blob);
+  RSTORE_RETURN_IF_ERROR(VersionGraph::DecodeFrom(&input, &store->tree_.graph));
+  store->tree_.deltas.resize(store->tree_.graph.size());
+  for (VersionDelta& delta : store->tree_.deltas) {
+    RSTORE_RETURN_IF_ERROR(VersionDelta::DecodeFrom(&input, &delta));
+  }
+  RSTORE_RETURN_IF_ERROR(
+      VersionGraph::DecodeFrom(&input, &store->original_graph_));
+  store->loaded_ = !store->tree_.graph.empty();
+
+  // 2. Membership indexes from the recovered deltas.
+  *store->catalog_.record_versions() = store->tree_.BuildRecordVersionMap();
+
+  // 3. Chunk bookkeeping from the chunk table.
+  Status decode_status = Status::OK();
+  RSTORE_RETURN_IF_ERROR(backend->Scan(
+      options.chunk_table, [&](Slice, Slice value) {
+        if (!decode_status.ok()) return;
+        Slice body(value);
+        Chunk chunk;
+        Status s = Chunk::DecodeFrom(&body, &chunk);
+        if (!s.ok()) {
+          decode_status = s;
+          return;
+        }
+        VersionId origin = kInvalidVersion;
+        for (const CompositeKey& ck : chunk.records()) {
+          origin = std::min(origin, ck.version);
+        }
+        store->catalog_.RegisterChunk(chunk.id(), chunk.records());
+        if (origin != kInvalidVersion) {
+          store->catalog_.SetChunkOrigin(chunk.id(), origin);
+        }
+        store->next_chunk_id_ =
+            std::max(store->next_chunk_id_, chunk.id() + 1);
+        store->stored_chunk_bytes_ += value.size();
+        store->stored_record_bytes_ += chunk.uncompressed_bytes();
+      }));
+  RSTORE_RETURN_IF_ERROR(decode_status);
+
+  // 4. The persisted lossy projections.
+  RSTORE_RETURN_IF_ERROR(
+      store->catalog_.LoadProjections(backend, options.index_table));
+
+  // 5. Retrieval rules follow the configured algorithm.
+  switch (options.algorithm) {
+    case PartitionAlgorithm::kDeltaBaseline:
+      store->layout_ = LayoutKind::kDeltaChain;
+      break;
+    case PartitionAlgorithm::kSubChunkBaseline:
+      store->layout_ = LayoutKind::kSubChunkPerKey;
+      break;
+    default:
+      store->layout_ = LayoutKind::kChunked;
+  }
+  return store;
+}
+
+Status RStore::Repartition() {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+  if (tree_.graph.empty()) return Status::OK();
+
+  // Read every record payload back from the backend (the authoritative
+  // copy; the application server keeps no payloads in memory).
+  RecordPayloadMap payloads;
+  std::vector<std::pair<std::string, std::string>> old_entries;  // table,key
+  Status extract_status = Status::OK();
+  Status s = backend_->Scan(
+      options_.chunk_table, [&](Slice key, Slice value) {
+        if (!extract_status.ok()) return;
+        old_entries.emplace_back(options_.chunk_table, key.ToString());
+        Slice body(value);
+        Chunk chunk;
+        Status cs = Chunk::DecodeFrom(&body, &chunk);
+        if (!cs.ok()) {
+          extract_status = cs;
+          return;
+        }
+        for (const SubChunk& sc : chunk.sub_chunks()) {
+          auto extracted = sc.ExtractAllPayloads();
+          if (!extracted.ok()) {
+            extract_status = extracted.status();
+            return;
+          }
+          for (size_t i = 0; i < sc.keys().size(); ++i) {
+            payloads[sc.keys()[i]] = std::move(extracted.value()[i]);
+          }
+        }
+        old_entries.emplace_back(options_.index_table,
+                                 MapKey(chunk.id()));
+      });
+  RSTORE_RETURN_IF_ERROR(s);
+  RSTORE_RETURN_IF_ERROR(extract_status);
+
+  // Rebuild from scratch: fresh catalog, fresh chunk ids, offline pass over
+  // the full tree.
+  for (const auto& [table, key] : old_entries) {
+    RSTORE_RETURN_IF_ERROR(backend_->Delete(table, key));
+  }
+  catalog_ = StoreCatalog();
+  stored_chunk_bytes_ = 0;
+  stored_record_bytes_ = 0;
+  *catalog_.record_versions() = tree_.BuildRecordVersionMap();
+  RSTORE_RETURN_IF_ERROR(PartitionAndWrite(tree_, payloads));
+  return Status::OK();
+}
+
+Status RStore::VerifyIntegrity() {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+  // Per-version record sets reconstructed from chunk maps.
+  std::vector<std::unordered_set<CompositeKey, CompositeKeyHash>>
+      from_chunks(tree_.graph.size());
+  for (ChunkId id : catalog_.AllChunks()) {
+    auto body = backend_->Get(options_.chunk_table, ChunkKey(id));
+    if (!body.ok()) {
+      return Status::Corruption("chunk " + std::to_string(id) +
+                                " unreadable: " + body.status().ToString());
+    }
+    Slice input(*body);
+    Chunk chunk;
+    RSTORE_RETURN_IF_ERROR(Chunk::DecodeFrom(&input, &chunk));
+    if (chunk.id() != id) {
+      return Status::Corruption("chunk id mismatch under key " +
+                                std::to_string(id));
+    }
+    const std::vector<CompositeKey>* records = catalog_.RecordsOfChunk(id);
+    if (records == nullptr || *records != chunk.records()) {
+      return Status::Corruption("catalog record list diverges for chunk " +
+                                std::to_string(id));
+    }
+    auto map_blob = backend_->Get(options_.index_table, MapKey(id));
+    if (!map_blob.ok()) {
+      return Status::Corruption("chunk map " + std::to_string(id) +
+                                " unreadable");
+    }
+    Slice map_input(*map_blob);
+    ChunkMap map;
+    RSTORE_RETURN_IF_ERROR(ChunkMap::DecodeFrom(&map_input, &map));
+    if (map.record_count() != chunk.record_count()) {
+      return Status::Corruption("chunk map size mismatch for chunk " +
+                                std::to_string(id));
+    }
+    for (VersionId v : map.Versions()) {
+      if (v >= tree_.graph.size()) {
+        return Status::Corruption("chunk map references unknown version");
+      }
+      // The lossy projection must cover every (version, chunk) pair.
+      std::vector<ChunkId> projected = catalog_.ChunksOfVersion(v);
+      if (layout_ == LayoutKind::kChunked &&
+          !std::binary_search(projected.begin(), projected.end(), id)) {
+        return Status::Corruption(
+            "version->chunk projection misses chunk " + std::to_string(id) +
+            " for version " + std::to_string(v));
+      }
+      for (uint32_t index : map.RecordsOf(v)) {
+        from_chunks[v].insert(chunk.records()[index]);
+      }
+    }
+    // Payloads decode. Records delta-encoded against external bases (DELTA
+    // layout) are exercised by the chain-replay queries instead; decoding
+    // them here would require replaying every chain.
+    for (const SubChunk& sc : chunk.sub_chunks()) {
+      if (sc.HasExternalParents()) continue;
+      auto payloads = sc.ExtractAllPayloads();
+      if (!payloads.ok()) {
+        return Status::Corruption("sub-chunk payloads corrupt in chunk " +
+                                  std::to_string(id) + ": " +
+                                  payloads.status().ToString());
+      }
+    }
+  }
+  // Cross-check against delta-derived membership.
+  for (VersionId v = 0; v < tree_.graph.size(); ++v) {
+    VersionMembership expected = tree_.MaterializeVersion(v);
+    if (expected.size() != from_chunks[v].size()) {
+      return Status::Corruption(
+          "version " + std::to_string(v) + " holds " +
+          std::to_string(from_chunks[v].size()) + " records in chunks but " +
+          std::to_string(expected.size()) + " per deltas");
+    }
+    for (const CompositeKey& ck : expected) {
+      if (!from_chunks[v].count(ck)) {
+        return Status::Corruption("record " + ck.ToString() +
+                                  " missing from chunk maps of version " +
+                                  std::to_string(v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RStore::Flush() {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+  // Persist the projections and the version graph alongside the data.
+  RSTORE_RETURN_IF_ERROR(
+      catalog_.PersistProjections(backend_, options_.index_table));
+  std::string graph_blob;
+  tree_.graph.EncodeTo(&graph_blob);
+  for (const VersionDelta& delta : tree_.deltas) delta.EncodeTo(&graph_blob);
+  original_graph_.EncodeTo(&graph_blob);
+  return backend_->Put(options_.index_table, "g", graph_blob);
+}
+
+Result<std::vector<Record>> RStore::GetVersion(VersionId version,
+                                               QueryStats* stats) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_);
+  return qp.GetVersion(version, stats);
+}
+
+Result<std::vector<Record>> RStore::GetRange(VersionId version,
+                                             const std::string& key_lo,
+                                             const std::string& key_hi,
+                                             QueryStats* stats) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_);
+  return qp.GetRange(version, key_lo, key_hi, stats);
+}
+
+Result<std::vector<Record>> RStore::GetHistory(const std::string& key,
+                                               QueryStats* stats) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_);
+  return qp.GetHistory(key, stats);
+}
+
+Result<Record> RStore::GetRecord(const std::string& key, VersionId version,
+                                 QueryStats* stats) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_);
+  return qp.GetRecord(key, version, stats);
+}
+
+Result<VersionDelta> RStore::Diff(VersionId from, VersionId to) const {
+  if (from >= tree_.graph.size() || to >= tree_.graph.size()) {
+    return Status::InvalidArgument("unknown version in diff");
+  }
+  // Walk both paths from the merge base only — membership above it is
+  // shared and cancels out.
+  auto base = MergeBase(from, to);
+  if (!base.ok()) return base.status();
+  auto apply_path = [&](VersionId tip, VersionMembership* members) {
+    std::vector<VersionId> path;
+    for (VersionId v = tip; v != *base;
+         v = tree_.graph.PrimaryParent(v)) {
+      path.push_back(v);
+    }
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      const VersionDelta& delta = tree_.deltas[*it];
+      for (const CompositeKey& ck : delta.removed) members->erase(ck);
+      for (const CompositeKey& ck : delta.added) members->insert(ck);
+    }
+  };
+  VersionMembership base_members = tree_.MaterializeVersion(*base);
+  VersionMembership from_members = base_members;
+  VersionMembership to_members = std::move(base_members);
+  apply_path(from, &from_members);
+  apply_path(to, &to_members);
+
+  VersionDelta out;
+  for (const CompositeKey& ck : to_members) {
+    if (!from_members.count(ck)) out.added.push_back(ck);
+  }
+  for (const CompositeKey& ck : from_members) {
+    if (!to_members.count(ck)) out.removed.push_back(ck);
+  }
+  std::sort(out.added.begin(), out.added.end());
+  std::sort(out.removed.begin(), out.removed.end());
+  return out;
+}
+
+Result<VersionId> RStore::MergeBase(VersionId a, VersionId b) const {
+  if (a >= tree_.graph.size() || b >= tree_.graph.size()) {
+    return Status::InvalidArgument("unknown version");
+  }
+  // Walk the deeper version up until both paths meet (ids are topological,
+  // so the shallower of the two can never be below the other).
+  while (a != b) {
+    if (a > b) {
+      a = tree_.graph.PrimaryParent(a);
+    } else {
+      b = tree_.graph.PrimaryParent(b);
+    }
+    if (a == kInvalidVersion || b == kInvalidVersion) {
+      return Status::Corruption("disconnected version graph");
+    }
+  }
+  return a;
+}
+
+uint64_t RStore::TotalVersionSpan() const {
+  switch (layout_) {
+    case LayoutKind::kChunked:
+      return catalog_.TotalVersionSpan();
+    case LayoutKind::kDeltaChain: {
+      // span(v) = span(parent) + |chunks originated at v|.
+      std::vector<uint64_t> span(tree_.graph.size(), 0);
+      uint64_t total = 0;
+      for (VersionId v = 0; v < tree_.graph.size(); ++v) {
+        VersionId parent = tree_.graph.PrimaryParent(v);
+        span[v] = (parent == kInvalidVersion ? 0 : span[parent]) +
+                  catalog_.ChunksOriginatedAt(v).size();
+        total += span[v];
+      }
+      return total;
+    }
+    case LayoutKind::kSubChunkPerKey:
+      return static_cast<uint64_t>(tree_.graph.size()) *
+             catalog_.num_chunks();
+  }
+  return 0;
+}
+
+double RStore::CompressionRatio() const {
+  if (stored_chunk_bytes_ == 0) return 1.0;
+  return static_cast<double>(stored_record_bytes_) /
+         static_cast<double>(stored_chunk_bytes_);
+}
+
+}  // namespace rstore

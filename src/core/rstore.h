@@ -1,0 +1,173 @@
+#ifndef RSTORE_CORE_RSTORE_H_
+#define RSTORE_CORE_RSTORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/delta_store.h"
+#include "core/options.h"
+#include "core/placement.h"
+#include "core/query_processor.h"
+#include "core/record.h"
+#include "core/store_catalog.h"
+#include "kvstore/kv_store.h"
+#include "version/dataset.h"
+#include "version/tree_transform.h"
+
+namespace rstore {
+
+/// The RStore application server (paper Fig. 2): a versioning and branching
+/// layer over a distributed key-value store.
+///
+/// Typical use:
+///
+///   Cluster backend(cluster_options);
+///   auto store = RStore::Open(&backend, options);
+///   // Either bulk-load an existing versioned dataset ...
+///   store->BulkLoad(dataset, payloads);
+///   // ... or build history commit by commit:
+///   VersionId v1 = *store->Commit(v0, {.upserts = {...}, .deletes = {...}});
+///   // Queries:
+///   auto all = store->GetVersion(v1);                  // full checkout
+///   auto some = store->GetRange(v1, "k10", "k19");     // partial checkout
+///   auto history = store->GetHistory("k10");           // record evolution
+///   auto one = store->GetRecord("k10", v1);            // point lookup
+///
+/// Commits accumulate in the delta store and are partitioned in batches
+/// (Options::online_batch_size, paper §4); Flush() forces the pending batch
+/// through. All methods are single-threaded; wrap externally if sharing.
+class RStore {
+ public:
+  /// Creates the layer on `backend` (borrowed; must outlive the store) and
+  /// creates the chunk/index tables.
+  static Result<std::unique_ptr<RStore>> Open(KVStore* backend,
+                                              const Options& options);
+
+  /// Recovers an application server from a backend previously populated by
+  /// another RStore instance that called Flush(): reloads the version graph
+  /// and deltas, the persisted projections, and rebuilds the chunk/record
+  /// bookkeeping by scanning the chunk table. The paper's AS "uses the KVS
+  /// for persisting any of its data structures" — this is the restart path.
+  static Result<std::unique_ptr<RStore>> Reopen(KVStore* backend,
+                                                const Options& options);
+
+  /// Loads a complete versioned dataset at once, running the configured
+  /// offline partitioning algorithm over the whole version graph. `dataset`
+  /// may contain merges (it is tree-transformed internally, paper §2.5);
+  /// `payloads` must hold a payload for every added composite key. Callable
+  /// once, on an empty store.
+  Status BulkLoad(const VersionedDataset& dataset,
+                  const RecordPayloadMap& payloads);
+
+  /// Commits a new version derived from `parent`. The commit is staged in
+  /// the delta store and physically partitioned when the batch fills
+  /// (§4). Returns the new version id immediately.
+  Result<VersionId> Commit(VersionId parent, CommitDelta delta);
+
+  /// Commits a FULL snapshot: the server diffs `snapshot` (key -> payload,
+  /// the complete desired contents of the new version) against the parent
+  /// and commits only the changes — the paper's fallback for clients that
+  /// cannot produce a delta themselves: "the server needs to retrieve the
+  /// prior version and perform a diff operation to check which records have
+  /// been modified" (§2.4). Unchanged records cost nothing.
+  Result<VersionId> CommitSnapshot(
+      VersionId parent, const std::map<std::string, std::string>& snapshot);
+
+  /// Forces the pending batch through the online partitioner and persists
+  /// the projections.
+  Status Flush();
+
+  /// Full offline repartitioning of the entire store: every record payload
+  /// is read back from the backend, the configured algorithm is re-run over
+  /// the complete version tree, and all chunks, chunk maps and projections
+  /// are rewritten. Restores offline-quality layout after a long sequence of
+  /// online batches — "online partitioning without repartitioning, combined
+  /// with a full repartitioning periodically, presents a pragmatic approach
+  /// to handling updates" (paper §4).
+  Status Repartition();
+
+  /// Offline integrity check (fsck): every chunk body and chunk map in the
+  /// backend decodes, agrees with the in-memory catalog, and the per-version
+  /// record sets reconstructed from the chunk maps exactly equal the
+  /// membership derived from the deltas. O(total membership); returns
+  /// kCorruption naming the first inconsistency.
+  Status VerifyIntegrity();
+
+  // -- Queries (see QueryProcessor). Staged-but-unflushed versions are
+  //    flushed on demand before being queried.
+  Result<std::vector<Record>> GetVersion(VersionId version,
+                                         QueryStats* stats = nullptr);
+  Result<std::vector<Record>> GetRange(VersionId version,
+                                       const std::string& key_lo,
+                                       const std::string& key_hi,
+                                       QueryStats* stats = nullptr);
+  Result<std::vector<Record>> GetHistory(const std::string& key,
+                                         QueryStats* stats = nullptr);
+  Result<Record> GetRecord(const std::string& key, VersionId version,
+                           QueryStats* stats = nullptr);
+
+  /// Membership difference between two arbitrary versions — the general
+  /// form of the paper's ∆ (symmetric: Diff(a,b) is the inverse of
+  /// Diff(b,a)). `added` holds records in `to` but not `from`, `removed` the
+  /// reverse. Computed from the in-memory deltas; no backend traffic.
+  Result<VersionDelta> Diff(VersionId from, VersionId to) const;
+
+  /// Nearest common ancestor of two versions along primary-parent paths
+  /// (the git merge-base); useful for three-way merge tooling.
+  Result<VersionId> MergeBase(VersionId a, VersionId b) const;
+
+  /// The original (possibly merged) version graph, for provenance.
+  const VersionGraph& graph() const { return original_graph_; }
+  /// The tree-transformed dataset whose composite keys match storage.
+  const VersionedDataset& dataset() const { return tree_; }
+  uint32_t num_versions() const { return tree_.graph.size(); }
+
+  const StoreCatalog& catalog() const { return catalog_; }
+  LayoutKind layout() const { return layout_; }
+  const Options& options() const { return options_; }
+
+  /// Σ_v |chunks(v)| under the live projections — the paper's total version
+  /// span metric, adjusted for the baseline layouts' retrieval rules.
+  uint64_t TotalVersionSpan() const;
+  /// Number of chunks written so far (the §2.5 storage-cost proxy).
+  uint64_t NumChunks() const { return catalog_.num_chunks(); }
+  /// uncompressed-record-bytes / stored-chunk-bytes across all chunks.
+  double CompressionRatio() const;
+
+ private:
+  RStore(KVStore* backend, const Options& options);
+
+  /// Runs sub-chunking + partitioning over `dataset` restricted to
+  /// `delta_source` and writes the resulting chunks; shared by BulkLoad
+  /// (whole graph) and ProcessBatch (batch subgraph).
+  Status PartitionAndWrite(const VersionedDataset& placement_view,
+                           const RecordPayloadMap& payloads);
+
+  /// Drains the delta store: updates membership indexes, partitions the
+  /// batch's new records, writes new chunks, and rewrites the chunk maps of
+  /// every affected pre-existing chunk once (§4).
+  Status ProcessBatch();
+
+  Status WriteChunk(Chunk* chunk);
+
+  KVStore* backend_;
+  Options options_;
+  LayoutKind layout_ = LayoutKind::kChunked;
+  bool loaded_ = false;
+
+  VersionGraph original_graph_;  // with merge edges
+  VersionedDataset tree_;        // transformed, matches storage keys
+
+  StoreCatalog catalog_;
+  DeltaStore delta_store_;
+  ChunkId next_chunk_id_ = 0;
+  uint64_t stored_chunk_bytes_ = 0;
+  uint64_t stored_record_bytes_ = 0;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_RSTORE_H_

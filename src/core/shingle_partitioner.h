@@ -1,0 +1,22 @@
+#ifndef RSTORE_CORE_SHINGLE_PARTITIONER_H_
+#define RSTORE_CORE_SHINGLE_PARTITIONER_H_
+
+#include "core/partitioner.h"
+
+namespace rstore {
+
+/// Shingle (min-hash) based partitioning, paper §3.1 / Algorithms 1-2.
+///
+/// For every item, l min-hashes of its version set are computed with a
+/// pairwise-independent hash family; items are sorted lexicographically by
+/// their shingle vectors, placing items whose version sets overlap heavily
+/// next to each other, and packed into chunks in that order.
+class ShinglePartitioner : public Partitioner {
+ public:
+  const char* name() const override { return "SHINGLE"; }
+  Result<Partitioning> Partition(const PartitionInput& input) override;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_SHINGLE_PARTITIONER_H_

@@ -1,0 +1,100 @@
+#ifndef RSTORE_CORE_STORE_CATALOG_H_
+#define RSTORE_CORE_STORE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/chunk.h"
+#include "core/chunk_map.h"
+#include "kvstore/kv_store.h"
+#include "version/dataset.h"
+
+namespace rstore {
+
+/// The application server's in-memory state (paper §2.4): the two lossy
+/// projections of the key/version/chunk matrix — version->chunks and
+/// key->chunks — plus the bookkeeping the online partitioner needs to
+/// rebuild chunk maps from memory (chunk->records and record->versions).
+///
+/// "We use in-memory hashmaps to store these mappings"; both projections can
+/// also be persisted to / recovered from the index table in the KVS.
+class StoreCatalog {
+ public:
+  StoreCatalog() = default;
+
+  /// Registers a freshly written chunk and indexes its records. The record
+  /// list must be the chunk's flattened member keys in order.
+  void RegisterChunk(ChunkId id, std::vector<CompositeKey> records);
+
+  /// Marks `version` as containing records of chunk `id` (drives the
+  /// version->chunks projection).
+  void AddVersionChunk(VersionId version, ChunkId id);
+
+  /// Records the version a chunk's contents originated at (the version whose
+  /// ∆⁺ produced its earliest record). The DELTA baseline's chain-replay
+  /// retrieval fetches chunks by origin rather than membership.
+  void SetChunkOrigin(ChunkId id, VersionId origin);
+  std::vector<ChunkId> ChunksOriginatedAt(VersionId version) const;
+
+  /// Authoritative record -> sorted versions map (the source from which all
+  /// chunk maps are rebuilt). Callers mutate it directly during loads and
+  /// commits.
+  RecordVersionMap* record_versions() { return &record_versions_; }
+  const RecordVersionMap& record_versions() const { return record_versions_; }
+
+  size_t num_chunks() const { return chunk_records_.size(); }
+
+  /// Lossy projection 1: chunks holding records of `version` (sorted).
+  std::vector<ChunkId> ChunksOfVersion(VersionId version) const;
+  /// Lossy projection 2: chunks holding records of primary key `key`
+  /// (sorted).
+  std::vector<ChunkId> ChunksOfKey(const std::string& key) const;
+  /// All chunk ids (for the layouts that must scan everything).
+  std::vector<ChunkId> AllChunks() const;
+
+  /// The flattened record list of one chunk.
+  const std::vector<CompositeKey>* RecordsOfChunk(ChunkId id) const;
+  /// The chunk holding a specific record, or kInvalidChunk.
+  static constexpr ChunkId kInvalidChunk = UINT64_MAX;
+  ChunkId ChunkOfRecord(const CompositeKey& ck) const;
+
+  /// Rebuilds chunk `id`'s map from record_versions (paper §4: "we recreate
+  /// the chunk index from scratch ... possible by maintaining the required
+  /// indexes around due to its small memory footprint").
+  Result<ChunkMap> BuildChunkMap(ChunkId id) const;
+
+  /// Per-version span: |ChunksOfVersion(v)|, the §2.5 retrieval-cost metric,
+  /// as maintained by the live projections.
+  uint64_t VersionSpan(VersionId version) const;
+  uint64_t TotalVersionSpan() const;
+  /// Span of a key-evolution query: |ChunksOfKey(key)|.
+  uint64_t KeySpan(const std::string& key) const;
+
+  /// Approximate heap footprint of the two projections, reported like the
+  /// paper's index-size discussion (§2.4).
+  uint64_t ProjectionMemoryBytes() const;
+
+  /// Persists both projections into `table` (keys "v<id>" / "k<key>"), e.g.
+  /// at flush/close.
+  Status PersistProjections(KVStore* kvs, const std::string& table) const;
+  /// Restores projections written by PersistProjections.
+  Status LoadProjections(KVStore* kvs, const std::string& table);
+
+ private:
+  std::unordered_map<ChunkId, std::vector<CompositeKey>> chunk_records_;
+  std::unordered_map<CompositeKey, ChunkId, CompositeKeyHash>
+      chunk_of_record_;
+  RecordVersionMap record_versions_;
+  // Projections: sorted chunk-id lists ("adjacency lists" in the paper).
+  std::unordered_map<VersionId, std::vector<ChunkId>> version_chunks_;
+  std::unordered_map<std::string, std::vector<ChunkId>> key_chunks_;
+  std::unordered_map<VersionId, std::vector<ChunkId>> origin_chunks_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_STORE_CATALOG_H_

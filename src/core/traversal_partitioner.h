@@ -1,0 +1,32 @@
+#ifndef RSTORE_CORE_TRAVERSAL_PARTITIONER_H_
+#define RSTORE_CORE_TRAVERSAL_PARTITIONER_H_
+
+#include "core/partitioner.h"
+
+namespace rstore {
+
+/// Greedy traversal partitioning, paper §3.3 / Algorithm 4: walk the version
+/// tree from the root, and as each version is visited, append the records
+/// that originate there to the current chunk. Depth-first keeps a branch's
+/// records together (better: descendants reuse the ancestor's chunks);
+/// breadth-first interleaves sibling branches (the paper's negative
+/// ablation — "BREADTHFIRST is always worse than DEPTHFIRST except for
+/// linear chains when they reduce to the same technique").
+class TraversalPartitioner : public Partitioner {
+ public:
+  enum class Order { kDepthFirst, kBreadthFirst };
+
+  explicit TraversalPartitioner(Order order) : order_(order) {}
+
+  const char* name() const override {
+    return order_ == Order::kDepthFirst ? "DEPTHFIRST" : "BREADTHFIRST";
+  }
+  Result<Partitioning> Partition(const PartitionInput& input) override;
+
+ private:
+  Order order_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_TRAVERSAL_PARTITIONER_H_

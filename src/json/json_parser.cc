@@ -1,0 +1,312 @@
+#include "json/json_parser.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace rstore {
+namespace json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text), pos_(0) {}
+
+  Result<Value> ParseDocument() {
+    SkipWhitespace();
+    Value v;
+    Status s = ParseValue(&v, 0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status Fail(const std::string& why) const {
+    return Status::Corruption("JSON parse error at offset " +
+                              std::to_string(pos_) + ": " + why);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char Take() { return text_[pos_++]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (AtEnd()) return Fail("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case 'n':
+        if (!Consume("null")) return Fail("invalid literal");
+        *out = Value(nullptr);
+        return Status::OK();
+      case 't':
+        if (!Consume("true")) return Fail("invalid literal");
+        *out = Value(true);
+        return Status::OK();
+      case 'f':
+        if (!Consume("false")) return Fail("invalid literal");
+        *out = Value(false);
+        return Status::OK();
+      case '"': {
+        std::string s;
+        RSTORE_RETURN_IF_ERROR(ParseString(&s));
+        *out = Value(std::move(s));
+        return Status::OK();
+      }
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    Take();  // '['
+    Value::Array items;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      Take();
+      *out = Value(std::move(items));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      Value item;
+      RSTORE_RETURN_IF_ERROR(ParseValue(&item, depth + 1));
+      items.push_back(std::move(item));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated array");
+      char c = Take();
+      if (c == ']') break;
+      if (c != ',') return Fail("expected ',' or ']' in array");
+    }
+    *out = Value(std::move(items));
+    return Status::OK();
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    Take();  // '{'
+    Value::Object members;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      Take();
+      *out = Value(std::move(members));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      std::string key;
+      RSTORE_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (AtEnd() || Take() != ':') return Fail("expected ':' after key");
+      SkipWhitespace();
+      Value member;
+      RSTORE_RETURN_IF_ERROR(ParseValue(&member, depth + 1));
+      members[std::move(key)] = std::move(member);
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated object");
+      char c = Take();
+      if (c == '}') break;
+      if (c != ',') return Fail("expected ',' or '}' in object");
+    }
+    *out = Value(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseHex4(uint32_t* cp) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = Take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid hex digit in \\u escape");
+      }
+    }
+    *cp = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* s, uint32_t cp) {
+    if (cp < 0x80) {
+      s->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      s->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      s->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    Take();  // '"'
+    out->clear();
+    for (;;) {
+      if (AtEnd()) return Fail("unterminated string");
+      char c = Take();
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (AtEnd()) return Fail("truncated escape");
+        char e = Take();
+        switch (e) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u': {
+            uint32_t cp;
+            RSTORE_RETURN_IF_ERROR(ParseHex4(&cp));
+            if (cp >= 0xd800 && cp <= 0xdbff) {
+              // High surrogate: must be followed by \uDCxx low surrogate.
+              if (pos_ + 1 >= text_.size() || Take() != '\\' || Take() != 'u') {
+                return Fail("unpaired surrogate");
+              }
+              uint32_t low;
+              RSTORE_RETURN_IF_ERROR(ParseHex4(&low));
+              if (low < 0xdc00 || low > 0xdfff) {
+                return Fail("invalid low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+            } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+              return Fail("unpaired low surrogate");
+            }
+            AppendUtf8(out, cp);
+            break;
+          }
+          default:
+            return Fail("invalid escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      } else {
+        out->push_back(c);
+      }
+    }
+  }
+
+  Status ParseNumber(Value* out) {
+    size_t start = pos_;
+    bool is_double = false;
+    if (!AtEnd() && Peek() == '-') Take();
+    if (AtEnd() || !isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("invalid number");
+    }
+    if (Peek() == '0') {
+      Take();
+      // JSON forbids leading zeros: "01" is invalid.
+      if (!AtEnd() && isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("leading zero in number");
+      }
+    } else {
+      while (!AtEnd() && isdigit(static_cast<unsigned char>(Peek()))) Take();
+    }
+    if (!AtEnd() && Peek() == '.') {
+      is_double = true;
+      Take();
+      if (AtEnd() || !isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit expected after decimal point");
+      }
+      while (!AtEnd() && isdigit(static_cast<unsigned char>(Peek()))) Take();
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      is_double = true;
+      Take();
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) Take();
+      if (AtEnd() || !isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit expected in exponent");
+      }
+      while (!AtEnd() && isdigit(static_cast<unsigned char>(Peek()))) Take();
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        *out = Value(static_cast<int64_t>(v));
+        return Status::OK();
+      }
+      // Integer overflow: fall through to double.
+    }
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
+      return Fail("unparseable number");
+    }
+    *out = Value(d);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace json
+}  // namespace rstore

@@ -1,0 +1,21 @@
+#ifndef RSTORE_JSON_JSON_PARSER_H_
+#define RSTORE_JSON_JSON_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "json/json_value.h"
+
+namespace rstore {
+namespace json {
+
+/// Parses a complete JSON text into a Value. Strict: trailing garbage after
+/// the top-level value, unterminated strings, bad escapes, and malformed
+/// numbers all yield kCorruption. Supports the full JSON grammar including
+/// \uXXXX escapes (encoded to UTF-8; surrogate pairs handled).
+Result<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace rstore
+
+#endif  // RSTORE_JSON_JSON_PARSER_H_

@@ -1,0 +1,48 @@
+#include "json/json_value.h"
+
+namespace rstore {
+namespace json {
+
+Value::Type Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return Type::kNull;
+    case 1:
+      return Type::kBool;
+    case 2:
+      return Type::kInt;
+    case 3:
+      return Type::kDouble;
+    case 4:
+      return Type::kString;
+    case 5:
+      return Type::kArray;
+    default:
+      return Type::kObject;
+  }
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(data_));
+  return std::get<double>(data_);
+}
+
+Value& Value::operator[](const std::string& key) {
+  return std::get<Object>(data_)[key];
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Object& obj = std::get<Object>(data_);
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+size_t Value::size() const {
+  if (is_array()) return std::get<Array>(data_).size();
+  if (is_object()) return std::get<Object>(data_).size();
+  return 0;
+}
+
+}  // namespace json
+}  // namespace rstore

@@ -1,0 +1,84 @@
+#ifndef RSTORE_JSON_JSON_VALUE_H_
+#define RSTORE_JSON_JSON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rstore {
+namespace json {
+
+/// A JSON document node: null, bool, number (stored as double, with an
+/// integer fast path), string, array, or object. Records in RStore are JSON
+/// documents (paper §5.1: "each record is created as a JSON document"), and
+/// the dataset generator mutates these values to produce bounded-difference
+/// record versions.
+///
+/// Objects preserve key order lexicographically (std::map) so that two
+/// semantically equal documents serialize identically — a property the
+/// delta codec and the dedup fingerprints rely on.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}            // NOLINT
+  Value(bool b) : data_(b) {}                          // NOLINT
+  Value(int64_t i) : data_(i) {}                       // NOLINT
+  Value(int i) : data_(static_cast<int64_t>(i)) {}     // NOLINT
+  Value(double d) : data_(d) {}                        // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}        // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}      // NOLINT
+  Value(Array a) : data_(std::move(a)) {}              // NOLINT
+  Value(Object o) : data_(std::move(o)) {}             // NOLINT
+
+  static Value MakeArray() { return Value(Array{}); }
+  static Value MakeObject() { return Value(Object{}); }
+
+  Type type() const;
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; pre-condition: the value holds that type.
+  bool as_bool() const { return std::get<bool>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  /// Numeric value as double regardless of int/double representation.
+  double as_double() const;
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  /// Object field access; inserts a null member if absent (object only).
+  Value& operator[](const std::string& key);
+  /// Returns nullptr if `key` is absent or this is not an object.
+  const Value* Find(const std::string& key) const;
+
+  size_t size() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+}  // namespace json
+}  // namespace rstore
+
+#endif  // RSTORE_JSON_JSON_VALUE_H_

@@ -1,0 +1,22 @@
+#ifndef RSTORE_JSON_JSON_WRITER_H_
+#define RSTORE_JSON_JSON_WRITER_H_
+
+#include <string>
+
+#include "json/json_value.h"
+
+namespace rstore {
+namespace json {
+
+/// Serializes a Value to compact JSON (no insignificant whitespace). Object
+/// members are emitted in map order, so equal Values produce byte-identical
+/// output — a property record fingerprinting depends on.
+std::string WriteCompact(const Value& value);
+
+/// Serializes with 2-space indentation for human consumption.
+std::string WritePretty(const Value& value);
+
+}  // namespace json
+}  // namespace rstore
+
+#endif  // RSTORE_JSON_JSON_WRITER_H_

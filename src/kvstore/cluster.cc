@@ -1,0 +1,182 @@
+#include "kvstore/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rstore {
+
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options),
+      ring_(options.num_nodes, options.virtual_nodes_per_node,
+            options.ring_seed) {
+  assert(options.num_nodes >= 1);
+  assert(options.replication_factor >= 1);
+  nodes_.reserve(options.num_nodes);
+  for (uint32_t i = 0; i < options.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<MemoryStore>());
+  }
+  alive_.assign(options.num_nodes, true);
+}
+
+Status Cluster::CreateTable(const std::string& table) {
+  for (auto& node : nodes_) {
+    RSTORE_RETURN_IF_ERROR(node->CreateTable(table));
+  }
+  return Status::OK();
+}
+
+int Cluster::FirstAlive(const std::vector<uint32_t>& replicas) const {
+  for (uint32_t node : replicas) {
+    if (alive_[node]) return static_cast<int>(node);
+  }
+  return -1;
+}
+
+void Cluster::ChargeMicros(uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.simulated_micros += micros;
+}
+
+Status Cluster::Put(const std::string& table, Slice key, Slice value) {
+  auto replicas = ring_.Replicas(key, options_.replication_factor);
+  int wrote = 0;
+  for (uint32_t node : replicas) {
+    if (!alive_[node]) continue;  // no hinted handoff
+    RSTORE_RETURN_IF_ERROR(nodes_[node]->Put(table, key, value));
+    ++wrote;
+  }
+  if (wrote == 0) return Status::IOError("all replicas down");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.puts;
+    stats_.bytes_written += key.size() + value.size();
+  }
+  // Replica writes proceed in parallel; charge one request's latency.
+  ChargeMicros(options_.latency.coordinator_overhead_us +
+               options_.latency.NodeServiceMicros(1, value.size()));
+  return Status::OK();
+}
+
+Result<std::string> Cluster::Get(const std::string& table, Slice key) {
+  auto replicas = ring_.Replicas(key, options_.replication_factor);
+  int node = FirstAlive(replicas);
+  if (node < 0) return Status::IOError("all replicas down");
+  Result<std::string> r = nodes_[node]->Get(table, key);
+  uint64_t bytes = r.ok() ? r.value().size() : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.gets;
+    ++stats_.keys_requested;
+    stats_.bytes_read += bytes;
+  }
+  ChargeMicros(options_.latency.coordinator_overhead_us +
+               options_.latency.NodeServiceMicros(1, bytes));
+  return r;
+}
+
+Status Cluster::MultiGet(const std::string& table,
+                         const std::vector<std::string>& keys,
+                         std::map<std::string, std::string>* out) {
+  // Route each key to its serving node.
+  std::vector<std::vector<std::string>> per_node(nodes_.size());
+  for (const std::string& key : keys) {
+    auto replicas = ring_.Replicas(key, options_.replication_factor);
+    int node = FirstAlive(replicas);
+    if (node < 0) return Status::IOError("all replicas down for a key");
+    per_node[static_cast<size_t>(node)].push_back(key);
+  }
+  // Nodes serve their shares in parallel; the batch completes when the
+  // slowest node does.
+  uint64_t slowest_us = 0;
+  uint64_t total_bytes = 0;
+  for (size_t node = 0; node < nodes_.size(); ++node) {
+    if (per_node[node].empty()) continue;
+    std::map<std::string, std::string> node_result;
+    RSTORE_RETURN_IF_ERROR(
+        nodes_[node]->MultiGet(table, per_node[node], &node_result));
+    uint64_t node_bytes = 0;
+    for (auto& [key, value] : node_result) {
+      node_bytes += value.size();
+      (*out)[key] = std::move(value);
+    }
+    total_bytes += node_bytes;
+    slowest_us = std::max(
+        slowest_us, options_.latency.NodeServiceMicros(per_node[node].size(),
+                                                       node_bytes));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.multiget_batches;
+    stats_.keys_requested += keys.size();
+    stats_.bytes_read += total_bytes;
+  }
+  ChargeMicros(options_.latency.coordinator_overhead_us + slowest_us);
+  return Status::OK();
+}
+
+Status Cluster::Delete(const std::string& table, Slice key) {
+  auto replicas = ring_.Replicas(key, options_.replication_factor);
+  int deleted = 0;
+  for (uint32_t node : replicas) {
+    if (!alive_[node]) continue;
+    RSTORE_RETURN_IF_ERROR(nodes_[node]->Delete(table, key));
+    ++deleted;
+  }
+  if (deleted == 0) return Status::IOError("all replicas down");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deletes;
+  }
+  ChargeMicros(options_.latency.coordinator_overhead_us +
+               options_.latency.NodeServiceMicros(1, 0));
+  return Status::OK();
+}
+
+Status Cluster::Scan(const std::string& table,
+                     const std::function<void(Slice key, Slice value)>& fn) {
+  // With replication a key lives on several nodes; dedupe by only emitting
+  // keys whose first alive replica is the node being scanned.
+  for (uint32_t node = 0; node < nodes_.size(); ++node) {
+    if (!alive_[node]) continue;
+    Status s = nodes_[node]->Scan(table, [&](Slice key, Slice value) {
+      auto replicas = ring_.Replicas(key, options_.replication_factor);
+      if (FirstAlive(replicas) == static_cast<int>(node)) fn(key, value);
+    });
+    RSTORE_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Cluster::TableSize(const std::string& table) {
+  uint64_t count = 0;
+  Status s = Scan(table, [&](Slice, Slice) { ++count; });
+  if (!s.ok()) return s;
+  return count;
+}
+
+KVStats Cluster::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Cluster::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = KVStats{};
+}
+
+void Cluster::SetNodeAlive(uint32_t node, bool alive) {
+  assert(node < alive_.size());
+  alive_[node] = alive;
+}
+
+bool Cluster::IsNodeAlive(uint32_t node) const {
+  assert(node < alive_.size());
+  return alive_[node];
+}
+
+uint64_t Cluster::NodeBytes(uint32_t node) const {
+  assert(node < nodes_.size());
+  return nodes_[node]->TotalBytes();
+}
+
+}  // namespace rstore

@@ -1,0 +1,86 @@
+#ifndef RSTORE_KVSTORE_CLUSTER_H_
+#define RSTORE_KVSTORE_CLUSTER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kvstore/hash_ring.h"
+#include "kvstore/kv_store.h"
+#include "kvstore/latency_model.h"
+#include "kvstore/memory_store.h"
+
+namespace rstore {
+
+/// Configuration for a simulated cluster.
+struct ClusterOptions {
+  uint32_t num_nodes = 4;
+  /// Copies of every key, Cassandra-style; writes go to all replicas, reads
+  /// are served by the first alive replica.
+  uint32_t replication_factor = 1;
+  uint32_t virtual_nodes_per_node = 64;
+  LatencyModel latency = DefaultLatencyModel();
+  uint64_t ring_seed = 0x5274537265ull;  // "RtSre"
+};
+
+/// An in-process distributed key-value store: the Cassandra stand-in.
+///
+/// N MemoryStore nodes behind a consistent-hash ring, a coordinator that
+/// routes requests, and a LatencyModel that charges simulated time for every
+/// round trip and byte. Data placement, replication, routing, and failover
+/// are executed for real; only the wall-clock is simulated (accumulated in
+/// stats().simulated_micros so callers can report "how long this would have
+/// taken" on the modeled hardware).
+///
+/// MultiGet is the workhorse: RStore retrieves the chunks for a version "by
+/// issuing queries in parallel to the backend store" (paper §2.4), so the
+/// batch's simulated latency is the *max* over nodes of each node's serial
+/// service time, plus one coordinator overhead.
+class Cluster : public KVStore {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+
+  Status CreateTable(const std::string& table) override;
+  Status Put(const std::string& table, Slice key, Slice value) override;
+  Result<std::string> Get(const std::string& table, Slice key) override;
+  Status MultiGet(const std::string& table,
+                  const std::vector<std::string>& keys,
+                  std::map<std::string, std::string>* out) override;
+  Status Delete(const std::string& table, Slice key) override;
+  Status Scan(const std::string& table,
+              const std::function<void(Slice key, Slice value)>& fn) override;
+  Result<uint64_t> TableSize(const std::string& table) override;
+
+  KVStats stats() const override;
+  void ResetStats() override;
+
+  uint32_t num_nodes() const { return ring_.num_nodes(); }
+
+  /// Failure injection: a down node rejects requests; reads fail over to the
+  /// next alive replica, writes skip it (and are therefore lost on it, as in
+  /// an eventually-consistent store without hinted handoff).
+  void SetNodeAlive(uint32_t node, bool alive);
+  bool IsNodeAlive(uint32_t node) const;
+
+  /// Bytes resident on one node (for balance/skew inspection).
+  uint64_t NodeBytes(uint32_t node) const;
+
+ private:
+  /// First alive node in `replicas`, or -1 if all are down.
+  int FirstAlive(const std::vector<uint32_t>& replicas) const;
+
+  void ChargeMicros(uint64_t micros);
+
+  ClusterOptions options_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<MemoryStore>> nodes_;
+  std::vector<bool> alive_;
+
+  mutable std::mutex mu_;
+  KVStats stats_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_KVSTORE_CLUSTER_H_

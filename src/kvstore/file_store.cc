@@ -1,0 +1,306 @@
+#include "kvstore/file_store.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/coding.h"
+
+namespace rstore {
+
+namespace {
+
+// Log record: 'P' | key | value  or  'D' | key, each field length-prefixed,
+// the whole record preceded by its varint byte length so truncated tails are
+// detectable.
+constexpr char kOpPut = 'P';
+constexpr char kOpDelete = 'D';
+
+std::string HexEncode(const std::string& s) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (unsigned char c : s) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
+
+FileStore::FileStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+FileStore::~FileStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, table] : tables_) {
+    if (table.log != nullptr) std::fclose(table.log);
+  }
+}
+
+std::string FileStore::LogPath(const std::string& table) const {
+  return directory_ + "/" + HexEncode(table) + ".log";
+}
+
+Result<std::unique_ptr<FileStore>> FileStore::Open(
+    const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + directory + ": " +
+                           ec.message());
+  }
+  std::unique_ptr<FileStore> store(new FileStore(directory));
+  // Replay existing table logs.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file() || entry.path().extension() != ".log") {
+      continue;
+    }
+    std::string stem = entry.path().stem().string();
+    // Hex-decode the table name.
+    if (stem.size() % 2 != 0) continue;
+    std::string table;
+    bool valid = true;
+    for (size_t i = 0; i + 1 < stem.size() + 1 && i < stem.size(); i += 2) {
+      auto nibble = [&](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      int hi = nibble(stem[i]);
+      int lo = nibble(stem[i + 1]);
+      if (hi < 0 || lo < 0) {
+        valid = false;
+        break;
+      }
+      table.push_back(static_cast<char>(hi << 4 | lo));
+    }
+    if (!valid) continue;
+    RSTORE_RETURN_IF_ERROR(store->LoadTable(table, entry.path().string()));
+  }
+  return store;
+}
+
+Status FileStore::LoadTable(const std::string& table,
+                            const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Table& t = tables_[table];
+  FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(in);
+
+  Slice input(contents);
+  uint64_t replayed_bytes = 0;
+  while (!input.empty()) {
+    Slice record_slice;
+    Slice probe = input;
+    if (!GetLengthPrefixed(&probe, &record_slice).ok()) {
+      break;  // truncated tail from a crash: stop replay here
+    }
+    Slice record = record_slice;
+    if (record.empty()) break;
+    char op = record[0];
+    record.RemovePrefix(1);
+    Slice key, value;
+    if (!GetLengthPrefixed(&record, &key).ok()) break;
+    if (op == kOpPut) {
+      if (!GetLengthPrefixed(&record, &value).ok()) break;
+      t.entries[key.ToString()] = value.ToString();
+    } else if (op == kOpDelete) {
+      t.entries.erase(key.ToString());
+    } else {
+      break;  // unknown op: treat as corruption boundary
+    }
+    replayed_bytes += static_cast<uint64_t>(probe.data() - input.data());
+    input = probe;
+  }
+  t.log_bytes = replayed_bytes;
+  // Reopen for appending; truncate any detected garbage tail first.
+  if (replayed_bytes != contents.size()) {
+    FILE* rewrite = std::fopen(path.c_str(), "wb");
+    if (rewrite == nullptr) return Status::IOError("cannot rewrite " + path);
+    if (replayed_bytes > 0 &&
+        std::fwrite(contents.data(), 1, replayed_bytes, rewrite) !=
+            replayed_bytes) {
+      std::fclose(rewrite);
+      return Status::IOError("cannot truncate " + path);
+    }
+    std::fclose(rewrite);
+  }
+  t.log = std::fopen(path.c_str(), "ab");
+  if (t.log == nullptr) return Status::IOError("cannot append to " + path);
+  return Status::OK();
+}
+
+Status FileStore::CreateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it != tables_.end()) return Status::OK();
+  Table& t = tables_[table];
+  t.log = std::fopen(LogPath(table).c_str(), "ab");
+  if (t.log == nullptr) {
+    tables_.erase(table);
+    return Status::IOError("cannot create log for table " + table);
+  }
+  return Status::OK();
+}
+
+Status FileStore::AppendRecord(Table* table, char op, Slice key,
+                               Slice value) {
+  std::string record;
+  record.push_back(op);
+  PutLengthPrefixed(&record, key);
+  if (op == kOpPut) PutLengthPrefixed(&record, value);
+  std::string framed;
+  PutLengthPrefixed(&framed, Slice(record));
+  if (std::fwrite(framed.data(), 1, framed.size(), table->log) !=
+      framed.size()) {
+    return Status::IOError("log append failed");
+  }
+  if (std::fflush(table->log) != 0) {
+    return Status::IOError("log flush failed");
+  }
+  table->log_bytes += framed.size();
+  return Status::OK();
+}
+
+Status FileStore::Put(const std::string& table, Slice key, Slice value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  RSTORE_RETURN_IF_ERROR(AppendRecord(&it->second, kOpPut, key, value));
+  it->second.entries[key.ToString()] = value.ToString();
+  ++stats_.puts;
+  stats_.bytes_written += key.size() + value.size();
+  return Status::OK();
+}
+
+Result<std::string> FileStore::Get(const std::string& table, Slice key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  ++stats_.gets;
+  ++stats_.keys_requested;
+  auto kit = it->second.entries.find(key.ToString());
+  if (kit == it->second.entries.end()) {
+    return Status::NotFound("key: " + key.ToString());
+  }
+  stats_.bytes_read += kit->second.size();
+  return kit->second;
+}
+
+Status FileStore::MultiGet(const std::string& table,
+                           const std::vector<std::string>& keys,
+                           std::map<std::string, std::string>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  ++stats_.multiget_batches;
+  stats_.keys_requested += keys.size();
+  for (const std::string& key : keys) {
+    auto kit = it->second.entries.find(key);
+    if (kit != it->second.entries.end()) {
+      stats_.bytes_read += kit->second.size();
+      (*out)[key] = kit->second;
+    }
+  }
+  return Status::OK();
+}
+
+Status FileStore::Delete(const std::string& table, Slice key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  RSTORE_RETURN_IF_ERROR(AppendRecord(&it->second, kOpDelete, key, Slice()));
+  it->second.entries.erase(key.ToString());
+  ++stats_.deletes;
+  return Status::OK();
+}
+
+Status FileStore::Scan(
+    const std::string& table,
+    const std::function<void(Slice key, Slice value)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  for (const auto& [key, value] : it->second.entries) {
+    fn(Slice(key), Slice(value));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileStore::TableSize(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  return static_cast<uint64_t>(it->second.entries.size());
+}
+
+KVStats FileStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FileStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = KVStats{};
+}
+
+Result<uint64_t> FileStore::Compact(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  Table& t = it->second;
+  uint64_t before = t.log_bytes;
+  std::string path = LogPath(table);
+  std::string tmp_path = path + ".tmp";
+  FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (tmp == nullptr) return Status::IOError("cannot create " + tmp_path);
+  uint64_t written = 0;
+  for (const auto& [key, value] : t.entries) {
+    std::string record;
+    record.push_back(kOpPut);
+    PutLengthPrefixed(&record, Slice(key));
+    PutLengthPrefixed(&record, Slice(value));
+    std::string framed;
+    PutLengthPrefixed(&framed, Slice(record));
+    if (std::fwrite(framed.data(), 1, framed.size(), tmp) != framed.size()) {
+      std::fclose(tmp);
+      std::remove(tmp_path.c_str());
+      return Status::IOError("compaction write failed");
+    }
+    written += framed.size();
+  }
+  if (std::fflush(tmp) != 0) {
+    std::fclose(tmp);
+    std::remove(tmp_path.c_str());
+    return Status::IOError("compaction flush failed");
+  }
+  std::fclose(tmp);
+  std::fclose(t.log);
+  t.log = nullptr;
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IOError("compaction rename failed");
+  }
+  t.log = std::fopen(path.c_str(), "ab");
+  if (t.log == nullptr) return Status::IOError("cannot reopen " + path);
+  t.log_bytes = written;
+  return before > written ? before - written : 0;
+}
+
+}  // namespace rstore

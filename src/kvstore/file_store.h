@@ -1,0 +1,70 @@
+#ifndef RSTORE_KVSTORE_FILE_STORE_H_
+#define RSTORE_KVSTORE_FILE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "kvstore/kv_store.h"
+
+namespace rstore {
+
+/// A durable single-node KVStore backed by a directory of per-table
+/// append-only log files — the "local cluster" deployment mode the paper
+/// mentions (§1: RStore "can also be used in a local cluster").
+///
+/// Each table lives in `<dir>/<hex(table)>.log` as a sequence of
+/// length-prefixed PUT/DELETE records; Open replays the log into memory, so
+/// reads are served at memory speed while every write is appended (and
+/// flushed) before being acknowledged. Compact() rewrites a table's log to
+/// drop superseded entries. Crash-truncated tails are detected and
+/// tolerated: replay stops at the first incomplete record.
+class FileStore : public KVStore {
+ public:
+  /// Opens (creating if needed) a store rooted at `directory`.
+  static Result<std::unique_ptr<FileStore>> Open(const std::string& directory);
+
+  ~FileStore() override;
+
+  Status CreateTable(const std::string& table) override;
+  Status Put(const std::string& table, Slice key, Slice value) override;
+  Result<std::string> Get(const std::string& table, Slice key) override;
+  Status MultiGet(const std::string& table,
+                  const std::vector<std::string>& keys,
+                  std::map<std::string, std::string>* out) override;
+  Status Delete(const std::string& table, Slice key) override;
+  Status Scan(const std::string& table,
+              const std::function<void(Slice key, Slice value)>& fn) override;
+  Result<uint64_t> TableSize(const std::string& table) override;
+
+  KVStats stats() const override;
+  void ResetStats() override;
+
+  /// Rewrites `table`'s log keeping only live entries; returns bytes saved.
+  Result<uint64_t> Compact(const std::string& table);
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  explicit FileStore(std::string directory);
+
+  struct Table {
+    std::map<std::string, std::string> entries;
+    FILE* log = nullptr;
+    uint64_t log_bytes = 0;
+  };
+
+  std::string LogPath(const std::string& table) const;
+  Status LoadTable(const std::string& table, const std::string& path);
+  Status AppendRecord(Table* table, char op, Slice key, Slice value);
+
+  std::string directory_;
+  mutable std::mutex mu_;
+  std::map<std::string, Table> tables_;
+  KVStats stats_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_KVSTORE_FILE_STORE_H_

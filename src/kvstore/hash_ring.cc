@@ -1,0 +1,51 @@
+#include "kvstore/hash_ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace rstore {
+
+HashRing::HashRing(uint32_t num_nodes, uint32_t virtual_nodes, uint64_t seed)
+    : num_nodes_(num_nodes) {
+  assert(num_nodes >= 1);
+  assert(virtual_nodes >= 1);
+  ring_.reserve(static_cast<size_t>(num_nodes) * virtual_nodes);
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    for (uint32_t v = 0; v < virtual_nodes; ++v) {
+      // Pre-mix the seed: XOR-ing a raw small seed into the low bits would
+      // only permute v within the same input set, yielding identical rings
+      // for every seed < virtual_nodes.
+      uint64_t position =
+          Mix64(Mix64(seed) ^ (static_cast<uint64_t>(node) << 32 | v));
+      ring_.push_back({position, node});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint32_t HashRing::Owner(Slice key) const {
+  uint64_t h = Mix64(Fnv1a64(key));
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), Entry{h, 0});
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->node;
+}
+
+std::vector<uint32_t> HashRing::Replicas(Slice key, uint32_t count) const {
+  count = std::min(count, num_nodes_);
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  uint64_t h = Mix64(Fnv1a64(key));
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), Entry{h, 0});
+  for (size_t steps = 0; steps < ring_.size() && out.size() < count; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->node) == out.end()) {
+      out.push_back(it->node);
+    }
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace rstore

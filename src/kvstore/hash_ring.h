@@ -1,0 +1,49 @@
+#ifndef RSTORE_KVSTORE_HASH_RING_H_
+#define RSTORE_KVSTORE_HASH_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace rstore {
+
+/// Consistent-hash ring with virtual nodes, Cassandra/Dynamo style.
+///
+/// Each physical node owns `virtual_nodes` pseudo-random positions on a
+/// 64-bit ring; a key is owned by the node whose position is the first at or
+/// clockwise-after the key's hash. Replicas are the next distinct physical
+/// nodes walking clockwise. Virtual nodes smooth the load imbalance to a few
+/// percent, which the cluster simulator's per-node serial service model then
+/// translates into realistic tail behaviour.
+class HashRing {
+ public:
+  /// `num_nodes` >= 1 physical nodes, each with `virtual_nodes` ring entries.
+  HashRing(uint32_t num_nodes, uint32_t virtual_nodes, uint64_t seed);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  /// The physical node owning `key`.
+  uint32_t Owner(Slice key) const;
+
+  /// The first `count` distinct physical nodes clockwise from `key`'s
+  /// position: the primary followed by its replicas. `count` is clamped to
+  /// the number of physical nodes.
+  std::vector<uint32_t> Replicas(Slice key, uint32_t count) const;
+
+ private:
+  struct Entry {
+    uint64_t position;
+    uint32_t node;
+    bool operator<(const Entry& other) const {
+      return position < other.position;
+    }
+  };
+
+  uint32_t num_nodes_;
+  std::vector<Entry> ring_;  // sorted by position
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_KVSTORE_HASH_RING_H_

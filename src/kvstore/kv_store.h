@@ -1,0 +1,94 @@
+#ifndef RSTORE_KVSTORE_KV_STORE_H_
+#define RSTORE_KVSTORE_KV_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace rstore {
+
+/// Aggregate counters for traffic against a KV store. RStore's evaluation
+/// metrics (number of queries issued to the backend, bytes moved, simulated
+/// latency) are read from here.
+struct KVStats {
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t multiget_batches = 0;
+  /// Individual key lookups, including those inside MultiGet batches.
+  uint64_t keys_requested = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  /// Simulated wall-clock cost accumulated by the latency model (zero for
+  /// plain in-memory stores).
+  uint64_t simulated_micros = 0;
+
+  KVStats& operator+=(const KVStats& other) {
+    gets += other.gets;
+    puts += other.puts;
+    deletes += other.deletes;
+    multiget_batches += other.multiget_batches;
+    keys_requested += other.keys_requested;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    simulated_micros += other.simulated_micros;
+    return *this;
+  }
+};
+
+/// Abstract distributed key-value store interface.
+///
+/// RStore is "intended to act as a layer on top of a distributed key-value
+/// store ... we only assume basic get/put functionality from it" (paper
+/// §2.4). This interface is that assumption made explicit: named tables
+/// (chunks and indexes are stored "in two distinct tables"), binary keys and
+/// values, point get/put/delete, a batched MultiGet (issued as parallel
+/// queries, matching how RStore retrieves chunks), and a full-table scan used
+/// only by administrative tooling.
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  /// Creates `table` if absent; OK if it already exists.
+  virtual Status CreateTable(const std::string& table) = 0;
+
+  /// Stores `value` under `key`, overwriting any previous value.
+  virtual Status Put(const std::string& table, Slice key, Slice value) = 0;
+
+  /// Point lookup. kNotFound if the key is absent.
+  virtual Result<std::string> Get(const std::string& table, Slice key) = 0;
+
+  /// Batched lookup. Returns one entry per found key in `*out` (missing keys
+  /// are simply absent, not errors). Implementations issue the per-key reads
+  /// in parallel across the nodes that own them.
+  virtual Status MultiGet(const std::string& table,
+                          const std::vector<std::string>& keys,
+                          std::map<std::string, std::string>* out) = 0;
+
+  virtual Status Delete(const std::string& table, Slice key) = 0;
+
+  /// Invokes `fn` for every key/value in `table`, in unspecified order.
+  /// Administrative/testing use only: real deployments never scan. `fn`
+  /// must not call back into the same store (implementations may hold
+  /// internal locks across the scan).
+  virtual Status Scan(
+      const std::string& table,
+      const std::function<void(Slice key, Slice value)>& fn) = 0;
+
+  /// Number of keys in `table` (kNotFound if the table does not exist).
+  virtual Result<uint64_t> TableSize(const std::string& table) = 0;
+
+  /// Cumulative traffic counters since construction (or ResetStats).
+  virtual KVStats stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_KVSTORE_KV_STORE_H_

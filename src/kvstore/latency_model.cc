@@ -1,0 +1,29 @@
+#include "kvstore/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rstore {
+
+uint64_t LatencyModel::NodeServiceMicros(uint64_t keys, uint64_t bytes) const {
+  if (keys == 0) return 0;
+  double total_us = static_cast<double>(keys) *
+                        static_cast<double>(request_overhead_us) +
+                    static_cast<double>(bytes) * per_byte_ns / 1000.0;
+  uint32_t conc = std::max<uint32_t>(1, node_concurrency);
+  // Pipelined service: the node overlaps up to `conc` requests, so elapsed
+  // time is total work divided by the concurrency it can sustain.
+  return static_cast<uint64_t>(std::ceil(total_us / conc));
+}
+
+LatencyModel DefaultLatencyModel() { return LatencyModel{}; }
+
+LatencyModel ZeroLatencyModel() {
+  LatencyModel m;
+  m.request_overhead_us = 0;
+  m.per_byte_ns = 0.0;
+  m.coordinator_overhead_us = 0;
+  return m;
+}
+
+}  // namespace rstore

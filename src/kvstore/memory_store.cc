@@ -1,0 +1,102 @@
+#include "kvstore/memory_store.h"
+
+namespace rstore {
+
+Status MemoryStore::CreateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.try_emplace(table);
+  return Status::OK();
+}
+
+Status MemoryStore::Put(const std::string& table, Slice key, Slice value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  it->second[key.ToString()] = value.ToString();
+  ++stats_.puts;
+  stats_.bytes_written += key.size() + value.size();
+  return Status::OK();
+}
+
+Result<std::string> MemoryStore::Get(const std::string& table, Slice key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  ++stats_.gets;
+  ++stats_.keys_requested;
+  auto kit = it->second.find(key.ToString());
+  if (kit == it->second.end()) {
+    return Status::NotFound("key: " + key.ToString());
+  }
+  stats_.bytes_read += kit->second.size();
+  return kit->second;
+}
+
+Status MemoryStore::MultiGet(const std::string& table,
+                             const std::vector<std::string>& keys,
+                             std::map<std::string, std::string>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  ++stats_.multiget_batches;
+  stats_.keys_requested += keys.size();
+  for (const std::string& key : keys) {
+    auto kit = it->second.find(key);
+    if (kit != it->second.end()) {
+      stats_.bytes_read += kit->second.size();
+      (*out)[key] = kit->second;
+    }
+  }
+  return Status::OK();
+}
+
+Status MemoryStore::Delete(const std::string& table, Slice key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  ++stats_.deletes;
+  it->second.erase(key.ToString());
+  return Status::OK();
+}
+
+Status MemoryStore::Scan(
+    const std::string& table,
+    const std::function<void(Slice key, Slice value)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  for (const auto& [key, value] : it->second) {
+    fn(Slice(key), Slice(value));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> MemoryStore::TableSize(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+KVStats MemoryStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MemoryStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = KVStats{};
+}
+
+uint64_t MemoryStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    for (const auto& [key, value] : table) {
+      total += key.size() + value.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace rstore

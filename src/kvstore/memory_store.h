@@ -1,0 +1,47 @@
+#ifndef RSTORE_KVSTORE_MEMORY_STORE_H_
+#define RSTORE_KVSTORE_MEMORY_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "kvstore/kv_store.h"
+
+namespace rstore {
+
+/// A single-node in-memory KVStore. Serves two roles: the storage engine
+/// inside each simulated cluster node, and a fast zero-latency backend for
+/// unit tests. Thread-safe via a single mutex (contention is irrelevant at
+/// the scales tests use it directly).
+class MemoryStore : public KVStore {
+ public:
+  MemoryStore() = default;
+
+  Status CreateTable(const std::string& table) override;
+  Status Put(const std::string& table, Slice key, Slice value) override;
+  Result<std::string> Get(const std::string& table, Slice key) override;
+  Status MultiGet(const std::string& table,
+                  const std::vector<std::string>& keys,
+                  std::map<std::string, std::string>* out) override;
+  Status Delete(const std::string& table, Slice key) override;
+  Status Scan(const std::string& table,
+              const std::function<void(Slice key, Slice value)>& fn) override;
+  Result<uint64_t> TableSize(const std::string& table) override;
+
+  KVStats stats() const override;
+  void ResetStats() override;
+
+  /// Total bytes of keys+values held, across all tables.
+  uint64_t TotalBytes() const;
+
+ private:
+  using Table = std::map<std::string, std::string>;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Table> tables_;
+  KVStats stats_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_KVSTORE_MEMORY_STORE_H_

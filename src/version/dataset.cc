@@ -1,0 +1,170 @@
+#include "version/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rstore {
+
+Status VersionedDataset::Validate() const {
+  if (graph.size() != deltas.size()) {
+    return Status::InvalidArgument("graph/delta count mismatch");
+  }
+  if (graph.empty()) return Status::OK();
+  if (!deltas[0].removed.empty()) {
+    return Status::InvalidArgument("root delta cannot remove records");
+  }
+
+  // DFS over the primary tree with a running membership set: checks every
+  // delta against the actual parent membership in O(total membership).
+  VersionMembership current;
+  Status failure = Status::OK();
+
+  // Iterative DFS with explicit apply/undo framing.
+  struct Frame {
+    VersionId v;
+    size_t next_child = 0;
+    bool entered = false;
+  };
+  std::vector<Frame> stack{{0, 0, false}};
+  while (!stack.empty() && failure.ok()) {
+    Frame& frame = stack.back();
+    VersionId v = frame.v;
+    if (!frame.entered) {
+      frame.entered = true;
+      const VersionDelta& delta = deltas[v];
+      Status s = delta.CheckConsistent();
+      if (!s.ok()) return s;
+      for (const CompositeKey& ck : delta.removed) {
+        if (!current.count(ck)) {
+          return Status::InvalidArgument(
+              "delta of V" + std::to_string(v) + " removes absent record " +
+              ck.ToString());
+        }
+        current.erase(ck);
+      }
+      for (const CompositeKey& ck : delta.added) {
+        // Native adds originate here; foreign (merge-arrival) adds must come
+        // from an ancestor in the DAG.
+        if (ck.version != v && !graph.IsAncestor(ck.version, v)) {
+          return Status::InvalidArgument(
+              "delta of V" + std::to_string(v) + " adds record " +
+              ck.ToString() + " from a non-ancestor version");
+        }
+        if (!current.insert(ck).second) {
+          return Status::InvalidArgument(
+              "delta of V" + std::to_string(v) + " re-adds present record " +
+              ck.ToString());
+        }
+      }
+      // A version holds at most one record per primary key.
+      std::unordered_map<std::string, int> keys;
+      for (const CompositeKey& ck : delta.added) {
+        if (++keys[ck.key] > 1) {
+          return Status::InvalidArgument(
+              "delta of V" + std::to_string(v) + " adds key " + ck.key +
+              " twice");
+        }
+      }
+    }
+    // Descend into primary children only (the membership tree).
+    const auto& children = graph.children(v);
+    bool descended = false;
+    while (frame.next_child < children.size()) {
+      VersionId child = children[frame.next_child++];
+      if (graph.PrimaryParent(child) == v) {
+        stack.push_back({child, 0, false});
+        descended = true;
+        break;
+      }
+    }
+    if (descended) continue;
+    // Exit: undo the delta.
+    const VersionDelta& delta = deltas[v];
+    for (const CompositeKey& ck : delta.added) current.erase(ck);
+    for (const CompositeKey& ck : delta.removed) current.insert(ck);
+    stack.pop_back();
+  }
+  return failure;
+}
+
+VersionMembership VersionedDataset::MaterializeVersion(VersionId v) const {
+  assert(v < graph.size());
+  VersionMembership members;
+  for (VersionId step : graph.PathFromRoot(v)) {
+    const VersionDelta& delta = deltas[step];
+    for (const CompositeKey& ck : delta.removed) members.erase(ck);
+    for (const CompositeKey& ck : delta.added) members.insert(ck);
+  }
+  return members;
+}
+
+RecordVersionMap VersionedDataset::BuildRecordVersionMap() const {
+  RecordVersionMap map;
+  if (graph.empty()) return map;
+  // DFS over the primary tree with a running set; on entering v, every
+  // member of the running set belongs to v.
+  VersionMembership current;
+  struct Frame {
+    VersionId v;
+    size_t next_child = 0;
+    bool entered = false;
+  };
+  std::vector<Frame> stack{{0, 0, false}};
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    VersionId v = frame.v;
+    if (!frame.entered) {
+      frame.entered = true;
+      const VersionDelta& delta = deltas[v];
+      for (const CompositeKey& ck : delta.removed) current.erase(ck);
+      for (const CompositeKey& ck : delta.added) current.insert(ck);
+      for (const CompositeKey& ck : current) map[ck].push_back(v);
+    }
+    const auto& children = graph.children(v);
+    bool descended = false;
+    while (frame.next_child < children.size()) {
+      VersionId child = children[frame.next_child++];
+      if (graph.PrimaryParent(child) == v) {
+        stack.push_back({child, 0, false});
+        descended = true;
+        break;
+      }
+    }
+    if (descended) continue;
+    const VersionDelta& delta = deltas[v];
+    for (const CompositeKey& ck : delta.added) current.erase(ck);
+    for (const CompositeKey& ck : delta.removed) current.insert(ck);
+    stack.pop_back();
+  }
+  // DFS visits children in increasing-id order from any node, but sibling
+  // subtrees can interleave id ranges; sort each list.
+  for (auto& [ck, versions] : map) {
+    std::sort(versions.begin(), versions.end());
+  }
+  return map;
+}
+
+uint64_t VersionedDataset::CountDistinctRecords() const {
+  uint64_t count = 0;
+  for (const VersionDelta& delta : deltas) count += delta.added.size();
+  return count;
+}
+
+uint64_t VersionedDataset::TotalMembership() const {
+  // Membership of v = membership of parent - removed + added; accumulate
+  // along the primary tree.
+  if (graph.empty()) return 0;
+  std::vector<uint64_t> size(graph.size(), 0);
+  uint64_t total = 0;
+  for (VersionId v = 0; v < graph.size(); ++v) {
+    uint64_t parent_size =
+        graph.PrimaryParent(v) == kInvalidVersion
+            ? 0
+            : size[graph.PrimaryParent(v)];
+    size[v] = parent_size + deltas[v].added.size() - deltas[v].removed.size();
+    total += size[v];
+  }
+  return total;
+}
+
+}  // namespace rstore

@@ -1,0 +1,62 @@
+#ifndef RSTORE_VERSION_DATASET_H_
+#define RSTORE_VERSION_DATASET_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "version/delta.h"
+#include "version/version_graph.h"
+
+namespace rstore {
+
+/// Membership set of one version: the composite keys of all records in it.
+using VersionMembership =
+    std::unordered_set<CompositeKey, CompositeKeyHash>;
+
+/// Map from each distinct record to the (sorted) list of versions containing
+/// it — the bipartite record/version graph of paper §2.5, and the input the
+/// shingle partitioner min-hashes.
+using RecordVersionMap =
+    std::unordered_map<CompositeKey, std::vector<VersionId>, CompositeKeyHash>;
+
+/// A version graph plus per-version membership deltas: the structural view
+/// of a versioned collection (record payloads live in the storage layer).
+///
+/// deltas[v] is expressed against v's *primary* parent; deltas[0].added
+/// holds the root version's full record set. Membership of any version is
+/// therefore determined by the primary-parent chain alone; merge edges add
+/// provenance, and records arriving from non-primary parents appear in the
+/// merge's ∆⁺ under their original composite keys (until the tree transform
+/// renames them, see tree_transform.h).
+struct VersionedDataset {
+  VersionGraph graph;
+  std::vector<VersionDelta> deltas;
+
+  /// Structural sanity: one delta per version; deltas consistent; every
+  /// native ∆⁺ key originates in its version or is a foreign (merge) key
+  /// from an ancestor branch; every ∆⁻ key is actually present in the
+  /// parent. O(total membership), intended for tests and ingest validation.
+  Status Validate() const;
+
+  /// The full record set of version `v`, by walking root -> v and applying
+  /// deltas. O(path length * delta size).
+  VersionMembership MaterializeVersion(VersionId v) const;
+
+  /// Record -> sorted list of versions that contain it, for all records.
+  /// Built with one DFS over the primary tree maintaining a running set,
+  /// O(total membership) overall.
+  RecordVersionMap BuildRecordVersionMap() const;
+
+  /// Number of distinct records across all versions.
+  uint64_t CountDistinctRecords() const;
+
+  /// Sum over versions of their record counts (the "total size" column of
+  /// paper Table 2, in records rather than bytes).
+  uint64_t TotalMembership() const;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_VERSION_DATASET_H_

@@ -1,0 +1,56 @@
+#include "version/delta.h"
+
+#include <unordered_set>
+
+namespace rstore {
+
+Status VersionDelta::CheckConsistent() const {
+  std::unordered_set<CompositeKey, CompositeKeyHash> plus(added.begin(),
+                                                          added.end());
+  for (const CompositeKey& ck : removed) {
+    if (plus.count(ck)) {
+      return Status::InvalidArgument("inconsistent delta: " + ck.ToString() +
+                                     " in both delta+ and delta-");
+    }
+  }
+  return Status::OK();
+}
+
+VersionDelta VersionDelta::Inverse() const {
+  VersionDelta inv;
+  inv.added = removed;
+  inv.removed = added;
+  return inv;
+}
+
+void VersionDelta::EncodeTo(std::string* out) const {
+  PutVarint64(out, added.size());
+  for (const CompositeKey& ck : added) ck.EncodeTo(out);
+  PutVarint64(out, removed.size());
+  for (const CompositeKey& ck : removed) ck.EncodeTo(out);
+}
+
+Status VersionDelta::DecodeFrom(Slice* input, VersionDelta* out) {
+  out->added.clear();
+  out->removed.clear();
+  // Decode incrementally: the count is untrusted input, so never allocate
+  // `count` elements up front (every element costs >= 2 encoded bytes).
+  auto decode_list = [&](std::vector<CompositeKey>* list) -> Status {
+    uint64_t count;
+    RSTORE_RETURN_IF_ERROR(GetVarint64(input, &count));
+    if (count > input->size()) {
+      return Status::Corruption("delta element count exceeds input");
+    }
+    list->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      CompositeKey ck;
+      RSTORE_RETURN_IF_ERROR(CompositeKey::DecodeFrom(input, &ck));
+      list->push_back(std::move(ck));
+    }
+    return Status::OK();
+  };
+  RSTORE_RETURN_IF_ERROR(decode_list(&out->added));
+  return decode_list(&out->removed);
+}
+
+}  // namespace rstore

@@ -1,0 +1,46 @@
+#ifndef RSTORE_VERSION_DELTA_H_
+#define RSTORE_VERSION_DELTA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "version/types.h"
+
+namespace rstore {
+
+/// The membership change from a version to its (primary) parent.
+///
+/// Following paper §3.2: a delta ∆ between versions Vp and Vc splits into a
+/// positive set ∆⁺ (records present in Vc but not Vp — freshly inserted
+/// records and the new versions of updated records) and a negative set ∆⁻
+/// (records present in Vp but not Vc — deleted records and the superseded
+/// versions of updated records). The delta is *symmetric*: it derives Vc
+/// from Vp and Vp from Vc. A consistent delta has ∆⁺ ∩ ∆⁻ = ∅.
+///
+/// Deltas carry membership only; record payloads travel separately (they are
+/// needed once at ingest, not during partitioning).
+struct VersionDelta {
+  /// ∆⁺: composite keys added relative to the parent. Their version
+  /// component equals the child version (records originate here).
+  std::vector<CompositeKey> added;
+  /// ∆⁻: composite keys removed relative to the parent. Their version
+  /// component is wherever those records originated.
+  std::vector<CompositeKey> removed;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+
+  /// Verifies ∆⁺ ∩ ∆⁻ = ∅ ("we require the deltas to be consistent",
+  /// paper §3.2, citing Heraclitus [20]).
+  Status CheckConsistent() const;
+
+  /// The symmetric inverse: swaps ∆⁺ and ∆⁻.
+  VersionDelta Inverse() const;
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(Slice* input, VersionDelta* out);
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_VERSION_DELTA_H_

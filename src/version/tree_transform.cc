@@ -1,0 +1,97 @@
+#include "version/tree_transform.h"
+
+#include <cassert>
+#include <vector>
+
+namespace rstore {
+
+TreeTransformResult ConvertToTree(const VersionedDataset& dataset) {
+  TreeTransformResult result;
+  const VersionGraph& graph = dataset.graph;
+  if (graph.empty()) return result;
+
+  // Rebuild the graph keeping only primary edges.
+  result.tree.graph.AddRoot();
+  for (VersionId v = 1; v < graph.size(); ++v) {
+    auto r = result.tree.graph.AddVersion({graph.PrimaryParent(v)});
+    assert(r.ok() && *r == v);
+    (void)r;
+  }
+  result.tree.deltas.resize(graph.size());
+
+  // DFS over the primary tree carrying the renames active on the current
+  // root-to-node path. A foreign key renamed at a merge must be referenced
+  // by its new name in the merge's subtree, and by its original name
+  // elsewhere, so renames are scoped with undo entries.
+  std::unordered_map<CompositeKey, CompositeKey, CompositeKeyHash> active;
+  struct Undo {
+    CompositeKey original;
+    bool had_previous;
+    CompositeKey previous;
+  };
+  struct Frame {
+    VersionId v;
+    size_t next_child = 0;
+    bool entered = false;
+    std::vector<Undo> undos;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, 0, false, {}});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    VersionId v = frame.v;
+    if (!frame.entered) {
+      frame.entered = true;
+      const VersionDelta& delta = dataset.deltas[v];
+      VersionDelta& out = result.tree.deltas[v];
+      out.added.reserve(delta.added.size());
+      out.removed.reserve(delta.removed.size());
+      // Removed keys may have been renamed by a merge higher on this path.
+      for (const CompositeKey& ck : delta.removed) {
+        auto it = active.find(ck);
+        out.removed.push_back(it == active.end() ? ck : it->second);
+      }
+      for (const CompositeKey& ck : delta.added) {
+        if (ck.version == v) {
+          out.added.push_back(ck);
+          continue;
+        }
+        // Foreign record from a non-primary branch: rename.
+        CompositeKey renamed(ck.key, v);
+        out.added.push_back(renamed);
+        ++result.renamed_count;
+        result.renames.emplace(renamed, ck);
+        auto it = active.find(ck);
+        if (it == active.end()) {
+          frame.undos.push_back({ck, false, {}});
+          active.emplace(ck, renamed);
+        } else {
+          frame.undos.push_back({ck, true, it->second});
+          it->second = renamed;
+        }
+      }
+    }
+    const auto& children = graph.children(v);
+    bool descended = false;
+    while (frame.next_child < children.size()) {
+      VersionId child = children[frame.next_child++];
+      if (graph.PrimaryParent(child) == v) {
+        stack.push_back({child, 0, false, {}});
+        descended = true;
+        break;
+      }
+    }
+    if (descended) continue;
+    for (auto it = frame.undos.rbegin(); it != frame.undos.rend(); ++it) {
+      if (it->had_previous) {
+        active[it->original] = it->previous;
+      } else {
+        active.erase(it->original);
+      }
+    }
+    stack.pop_back();
+  }
+  return result;
+}
+
+}  // namespace rstore

@@ -1,0 +1,38 @@
+#ifndef RSTORE_VERSION_TREE_TRANSFORM_H_
+#define RSTORE_VERSION_TREE_TRANSFORM_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "version/dataset.h"
+
+namespace rstore {
+
+/// Result of converting a version DAG into a version tree (paper §2.5,
+/// Fig. 4): the partitioning algorithms require merge-free trees.
+struct TreeTransformResult {
+  /// The tree-shaped dataset: every version keeps only its primary-parent
+  /// edge, and every ∆⁺ key originates in its own version.
+  VersionedDataset tree;
+  /// Renamed composite key -> the original key it aliases. "There are
+  /// records in V8 that arrived exclusively from V5 and V7 which are renamed
+  /// to make them appear as newly inserted records." Empty if the input was
+  /// already a tree.
+  std::unordered_map<CompositeKey, CompositeKey, CompositeKeyHash> renames;
+  uint64_t renamed_count = 0;
+};
+
+/// Converts `dataset` (possibly a DAG) to a version tree.
+///
+/// The retained parent is the primary (first) parent of each merge. A record
+/// that a merge receives from a non-primary branch appears in the merge's
+/// ∆⁺ under its original composite key; the transform renames it to
+/// 〈key, merge-version〉 so it reads as a fresh insert, and rewrites any
+/// later ∆⁻ references to it within the merge's subtree. The conversion is
+/// used only for partitioning; callers keep the original graph for
+/// provenance queries.
+TreeTransformResult ConvertToTree(const VersionedDataset& dataset);
+
+}  // namespace rstore
+
+#endif  // RSTORE_VERSION_TREE_TRANSFORM_H_

@@ -1,0 +1,185 @@
+#include "version/version_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rstore {
+
+VersionId VersionGraph::AddRoot() {
+  assert(nodes_.empty());
+  nodes_.emplace_back();
+  return 0;
+}
+
+Result<VersionId> VersionGraph::AddVersion(
+    const std::vector<VersionId>& parents) {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("add the root version first");
+  }
+  if (parents.empty()) {
+    return Status::InvalidArgument("non-root version needs a parent");
+  }
+  for (VersionId p : parents) {
+    if (p >= nodes_.size()) {
+      return Status::InvalidArgument("unknown parent version " +
+                                     std::to_string(p));
+    }
+  }
+  // Reject duplicate parents.
+  std::vector<VersionId> sorted = parents;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument("duplicate parent in merge");
+  }
+  VersionId id = static_cast<VersionId>(nodes_.size());
+  Node node;
+  node.parents = parents;
+  node.depth = nodes_[parents[0]].depth + 1;
+  nodes_.push_back(std::move(node));
+  for (VersionId p : parents) nodes_[p].children.push_back(id);
+  return id;
+}
+
+VersionId VersionGraph::PrimaryParent(VersionId v) const {
+  assert(v < nodes_.size());
+  if (nodes_[v].parents.empty()) return kInvalidVersion;
+  return nodes_[v].parents[0];
+}
+
+bool VersionGraph::IsTree() const {
+  for (const Node& node : nodes_) {
+    if (node.parents.size() > 1) return false;
+  }
+  return true;
+}
+
+uint32_t VersionGraph::Depth(VersionId v) const {
+  assert(v < nodes_.size());
+  return nodes_[v].depth;
+}
+
+double VersionGraph::AverageLeafDepth() const {
+  uint64_t total = 0;
+  uint64_t leaves = 0;
+  for (VersionId v = 0; v < nodes_.size(); ++v) {
+    if (nodes_[v].children.empty()) {
+      total += nodes_[v].depth;
+      ++leaves;
+    }
+  }
+  return leaves == 0 ? 0.0 : static_cast<double>(total) / leaves;
+}
+
+uint32_t VersionGraph::MaxDepth() const {
+  uint32_t max_depth = 0;
+  for (const Node& node : nodes_) max_depth = std::max(max_depth, node.depth);
+  return max_depth;
+}
+
+std::vector<VersionId> VersionGraph::Leaves() const {
+  std::vector<VersionId> out;
+  for (VersionId v = 0; v < nodes_.size(); ++v) {
+    if (nodes_[v].children.empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VersionId> VersionGraph::TopologicalOrder() const {
+  std::vector<VersionId> order(nodes_.size());
+  for (VersionId v = 0; v < nodes_.size(); ++v) order[v] = v;
+  return order;
+}
+
+std::vector<VersionId> VersionGraph::PathFromRoot(VersionId v) const {
+  assert(v < nodes_.size());
+  std::vector<VersionId> path;
+  for (VersionId cur = v;; cur = nodes_[cur].parents[0]) {
+    path.push_back(cur);
+    if (nodes_[cur].parents.empty()) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool VersionGraph::IsAncestor(VersionId ancestor, VersionId v) const {
+  assert(ancestor < nodes_.size() && v < nodes_.size());
+  if (ancestor > v) return false;  // ids are topological
+  if (ancestor == v) return true;
+  // DFS upward through all parents.
+  std::vector<VersionId> stack{v};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    VersionId cur = stack.back();
+    stack.pop_back();
+    for (VersionId p : nodes_[cur].parents) {
+      if (p == ancestor) return true;
+      if (p > ancestor && !seen[p]) {
+        seen[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  return false;
+}
+
+void VersionGraph::EncodeTo(std::string* out) const {
+  PutVarint64(out, nodes_.size());
+  for (const Node& node : nodes_) {
+    PutVarint64(out, node.parents.size());
+    for (VersionId p : node.parents) PutVarint32(out, p);
+  }
+}
+
+std::string VersionGraph::ToDot() const {
+  std::string out = "digraph versions {\n  rankdir=TB;\n";
+  for (VersionId v = 0; v < nodes_.size(); ++v) {
+    out += "  V" + std::to_string(v);
+    if (nodes_[v].children.empty()) {
+      out += " [shape=doublecircle]";  // branch tips
+    }
+    out += ";\n";
+  }
+  for (VersionId v = 0; v < nodes_.size(); ++v) {
+    const auto& parents = nodes_[v].parents;
+    for (size_t p = 0; p < parents.size(); ++p) {
+      out += "  V" + std::to_string(parents[p]) + " -> V" +
+             std::to_string(v);
+      if (p > 0) out += " [style=dashed]";  // non-primary merge edge
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+Status VersionGraph::DecodeFrom(Slice* input, VersionGraph* out) {
+  uint64_t count;
+  RSTORE_RETURN_IF_ERROR(GetVarint64(input, &count));
+  if (count > input->size() + 1) {
+    return Status::Corruption("graph version count exceeds input");
+  }
+  VersionGraph graph;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t parent_count;
+    RSTORE_RETURN_IF_ERROR(GetVarint64(input, &parent_count));
+    if (parent_count > input->size()) {
+      return Status::Corruption("graph parent count exceeds input");
+    }
+    std::vector<VersionId> parents(parent_count);
+    for (uint64_t j = 0; j < parent_count; ++j) {
+      RSTORE_RETURN_IF_ERROR(GetVarint32(input, &parents[j]));
+    }
+    if (i == 0) {
+      if (!parents.empty()) return Status::Corruption("root has parents");
+      graph.AddRoot();
+    } else {
+      auto r = graph.AddVersion(parents);
+      if (!r.ok()) return Status::Corruption("bad graph: " +
+                                             r.status().message());
+    }
+  }
+  *out = std::move(graph);
+  return Status::OK();
+}
+
+}  // namespace rstore

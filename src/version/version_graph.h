@@ -1,0 +1,90 @@
+#ifndef RSTORE_VERSION_VERSION_GRAPH_H_
+#define RSTORE_VERSION_VERSION_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "version/types.h"
+
+namespace rstore {
+
+/// The directed graph of version derivations (paper §2.1, Fig. 1).
+///
+/// Versions are dense ids 0..size()-1 assigned in commit order; version 0 is
+/// the single root, and every parent id is smaller than its child's — commit
+/// order is a topological order by construction. A version with multiple
+/// parents is a merge (the graph is a DAG); a graph with no merges is a
+/// *version tree*, which is what the partitioning algorithms operate on
+/// (paper §2.5 converts DAGs to trees first; see tree_transform.h).
+class VersionGraph {
+ public:
+  VersionGraph() = default;
+
+  /// Creates the root version 0. Must be called on an empty graph.
+  VersionId AddRoot();
+
+  /// Adds a version derived from `parents` (first parent is the *primary*
+  /// parent, against which the version's delta is expressed). All parents
+  /// must already exist. Returns the new id.
+  Result<VersionId> AddVersion(const std::vector<VersionId>& parents);
+
+  uint32_t size() const { return static_cast<uint32_t>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+
+  const std::vector<VersionId>& parents(VersionId v) const {
+    return nodes_[v].parents;
+  }
+  const std::vector<VersionId>& children(VersionId v) const {
+    return nodes_[v].children;
+  }
+  /// The primary parent, or kInvalidVersion for the root.
+  VersionId PrimaryParent(VersionId v) const;
+
+  bool IsRoot(VersionId v) const { return v == 0 && !nodes_.empty(); }
+  bool IsLeaf(VersionId v) const { return nodes_[v].children.empty(); }
+  bool IsMerge(VersionId v) const { return nodes_[v].parents.size() > 1; }
+
+  /// True if no version has more than one parent.
+  bool IsTree() const;
+
+  /// Distance from the root along primary parents.
+  uint32_t Depth(VersionId v) const;
+  /// Depth statistics over leaves, as reported in the dataset tables
+  /// (paper Table 2, "Avg. depth").
+  double AverageLeafDepth() const;
+  uint32_t MaxDepth() const;
+
+  std::vector<VersionId> Leaves() const;
+
+  /// Versions in topological (== id) order.
+  std::vector<VersionId> TopologicalOrder() const;
+
+  /// The path root -> v following primary parents, inclusive.
+  std::vector<VersionId> PathFromRoot(VersionId v) const;
+
+  /// True if `ancestor` is on some parent path of `v` (DAG reachability;
+  /// a version is its own ancestor).
+  bool IsAncestor(VersionId ancestor, VersionId v) const;
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(Slice* input, VersionGraph* out);
+
+  /// Graphviz DOT rendering of the graph (merge edges dashed), for
+  /// visualizing branch structure: `dot -Tpng <(program) > graph.png`.
+  std::string ToDot() const;
+
+ private:
+  struct Node {
+    std::vector<VersionId> parents;
+    std::vector<VersionId> children;
+    uint32_t depth = 0;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_VERSION_VERSION_GRAPH_H_

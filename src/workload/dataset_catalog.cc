@@ -1,0 +1,56 @@
+#include "workload/dataset_catalog.h"
+
+namespace rstore {
+namespace workload {
+
+namespace {
+
+DatasetConfig Make(const char* name, uint32_t versions, uint32_t records,
+                   double update_fraction, bool zipf, double branch_prob,
+                   uint32_t record_bytes, uint64_t seed) {
+  DatasetConfig config;
+  config.name = name;
+  config.num_versions = versions;
+  config.records_per_version = records;
+  config.update_fraction = update_fraction;
+  config.zipf_updates = zipf;
+  config.branch_probability = branch_prob;
+  config.record_size_bytes = record_bytes;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+std::vector<CatalogEntry> DatasetCatalog() {
+  // Scaled counterparts of paper Table 2 (see header): A* are linear chains,
+  // B* lightly branched deep trees, C*/D* heavily branched shallow trees,
+  // E/F the large variants. The defining knobs — update %, random/skewed
+  // selection, and relative depth ordering A > B > C > D — match the paper.
+  std::vector<CatalogEntry> catalog;
+  catalog.push_back({"A0", Make("A0", 150, 1500, 0.50, false, 0.00, 200, 11)});
+  catalog.push_back({"A1", Make("A1", 150, 1500, 0.05, true, 0.00, 200, 12)});
+  catalog.push_back({"A2", Make("A2", 150, 1500, 0.05, false, 0.00, 200, 13)});
+  catalog.push_back({"B0", Make("B0", 300, 1500, 0.05, true, 0.02, 200, 21)});
+  catalog.push_back({"B1", Make("B1", 300, 1500, 0.05, false, 0.02, 200, 22)});
+  catalog.push_back({"B2", Make("B2", 300, 1500, 0.10, false, 0.02, 200, 23)});
+  catalog.push_back({"C0", Make("C0", 800, 500, 0.10, false, 0.25, 200, 31)});
+  catalog.push_back({"C1", Make("C1", 800, 500, 0.01, false, 0.25, 200, 32)});
+  catalog.push_back({"C2", Make("C2", 800, 500, 0.05, true, 0.25, 200, 33)});
+  catalog.push_back({"D0", Make("D0", 800, 500, 0.10, false, 0.45, 200, 41)});
+  catalog.push_back({"D1", Make("D1", 800, 500, 0.01, false, 0.45, 200, 42)});
+  catalog.push_back({"D2", Make("D2", 800, 500, 0.05, true, 0.45, 200, 43)});
+  catalog.push_back({"E", Make("E", 1000, 500, 0.10, false, 0.25, 400, 51)});
+  catalog.push_back({"F", Make("F", 400, 1500, 0.20, false, 0.05, 400, 61)});
+  return catalog;
+}
+
+Result<DatasetConfig> CatalogConfig(const std::string& name) {
+  for (const CatalogEntry& entry : DatasetCatalog()) {
+    if (name == entry.name) return entry.config;
+  }
+  return Status::NotFound("no catalog dataset named " + name);
+}
+
+}  // namespace workload
+}  // namespace rstore

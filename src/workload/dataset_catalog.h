@@ -1,0 +1,40 @@
+#ifndef RSTORE_WORKLOAD_DATASET_CATALOG_H_
+#define RSTORE_WORKLOAD_DATASET_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/dataset_generator.h"
+
+namespace rstore {
+namespace workload {
+
+/// The named datasets of paper Table 2, scaled down for an in-process
+/// simulator (see DESIGN.md "Substitutions"): the structural parameters —
+/// linear vs. branched shape, depth ratios, update percentage, skew — match
+/// the paper; version counts, records per version, and record sizes are
+/// divided by a common factor so every experiment runs in seconds. Scale
+/// mapping (paper -> here):
+///
+///   A*: 300 versions, depth 300 (chains),   100K recs -> 150 versions, 1.5K recs
+///   B*: 1001 versions, avg depth ~294,      100K recs -> 300 versions, 1.5K recs
+///   C*: 10001 versions, avg depth ~143,      20K recs -> 800 versions, 500 recs
+///   D*: 10002 versions, avg depth ~94,       20K recs -> 800 versions, 500 recs
+///   E/F: the TB-scale variants               -> 1000 versions, 1K recs
+///   G/H: the weak-scaling datasets of Fig.12 -> parameterized per cluster size
+struct CatalogEntry {
+  const char* name;
+  DatasetConfig config;
+};
+
+/// Every catalog entry (A0..F).
+std::vector<CatalogEntry> DatasetCatalog();
+
+/// Looks up one entry by name ("A0", "C1", ...).
+Result<DatasetConfig> CatalogConfig(const std::string& name);
+
+}  // namespace workload
+}  // namespace rstore
+
+#endif  // RSTORE_WORKLOAD_DATASET_CATALOG_H_

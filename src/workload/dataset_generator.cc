@@ -1,0 +1,193 @@
+#include "workload/dataset_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "workload/record_generator.h"
+
+namespace rstore {
+namespace workload {
+
+namespace {
+
+/// Per-version live record table used while growing the graph: primary-key
+/// index -> current composite key (or absent). Copied on branch, mutated on
+/// chain extension — branches are rare enough that copying is fine.
+struct LiveSet {
+  // key index -> current composite key version (kInvalidVersion = deleted).
+  std::vector<VersionId> origin;
+
+  size_t live_count = 0;
+};
+
+std::string KeyName(uint32_t index) {
+  // Zero-padded so lexicographic key order matches numeric order, making
+  // range queries intuitive.
+  return StringPrintf("key%08u", index);
+}
+
+}  // namespace
+
+GeneratedDataset GenerateDataset(const DatasetConfig& config) {
+  assert(config.num_versions >= 1);
+  GeneratedDataset out;
+  Random rng(config.seed);
+  RecordGenerator records(config.record_size_bytes, config.seed ^ 0x9e37);
+
+  VersionedDataset& ds = out.dataset;
+  ds.graph.AddRoot();
+  ds.deltas.resize(1);
+
+  // Root version: records_per_version fresh records.
+  uint32_t next_key_index = 0;
+  LiveSet root_live;
+  for (uint32_t i = 0; i < config.records_per_version; ++i) {
+    uint32_t key_index = next_key_index++;
+    CompositeKey ck(KeyName(key_index), 0);
+    ds.deltas[0].added.push_back(ck);
+    out.payloads.emplace(ck, records.Generate(ck.key));
+    root_live.origin.push_back(0);
+  }
+  root_live.live_count = config.records_per_version;
+
+  // live[v] kept for the versions that may still be branched from. To bound
+  // memory we keep every version's LiveSet (origin vector of ~#keys u32);
+  // at catalog scale this is tens of MB at most.
+  std::vector<LiveSet> live;
+  live.reserve(config.num_versions);
+  live.push_back(std::move(root_live));
+
+  ZipfGenerator zipf(std::max<uint32_t>(config.records_per_version, 2),
+                     config.zipf_theta);
+
+  VersionId tip = 0;
+  for (VersionId v = 1; v < config.num_versions; ++v) {
+    VersionId parent = tip;
+    if (config.branch_probability > 0 &&
+        rng.NextDouble() < config.branch_probability) {
+      parent = static_cast<VersionId>(rng.Uniform(v));
+    }
+    (void)*ds.graph.AddVersion({parent});
+    VersionDelta delta;
+    LiveSet current = live[parent];  // copy-on-branch
+
+    const size_t key_space = current.origin.size();
+    auto pick_live_key = [&]() -> int64_t {
+      // Try a few times to hit a live key; fall back to linear scan.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        uint64_t index = config.zipf_updates
+                             ? zipf.Sample(&rng) % key_space
+                             : rng.Uniform(key_space);
+        if (current.origin[index] != kInvalidVersion) {
+          return static_cast<int64_t>(index);
+        }
+      }
+      for (size_t i = 0; i < key_space; ++i) {
+        if (current.origin[i] != kInvalidVersion) {
+          return static_cast<int64_t>(i);
+        }
+      }
+      return -1;
+    };
+
+    // Updates: mutate Pd-bounded copies of the parent records.
+    uint64_t updates = static_cast<uint64_t>(config.update_fraction *
+                                             current.live_count);
+    std::unordered_map<uint32_t, bool> touched;
+    for (uint64_t u = 0; u < updates; ++u) {
+      int64_t key_index = pick_live_key();
+      if (key_index < 0) break;
+      if (touched.count(static_cast<uint32_t>(key_index))) continue;
+      touched[static_cast<uint32_t>(key_index)] = true;
+      CompositeKey old_ck(KeyName(static_cast<uint32_t>(key_index)),
+                          current.origin[key_index]);
+      CompositeKey new_ck(old_ck.key, v);
+      delta.removed.push_back(old_ck);
+      delta.added.push_back(new_ck);
+      out.payloads.emplace(new_ck,
+                           records.Mutate(out.payloads.at(old_ck), config.pd));
+      current.origin[key_index] = v;
+    }
+
+    // Deletes.
+    uint64_t deletes = static_cast<uint64_t>(config.delete_fraction *
+                                             current.live_count);
+    for (uint64_t d = 0; d < deletes; ++d) {
+      int64_t key_index = pick_live_key();
+      if (key_index < 0) break;
+      if (touched.count(static_cast<uint32_t>(key_index))) continue;
+      touched[static_cast<uint32_t>(key_index)] = true;
+      delta.removed.push_back(CompositeKey(
+          KeyName(static_cast<uint32_t>(key_index)),
+          current.origin[key_index]));
+      current.origin[key_index] = kInvalidVersion;
+      --current.live_count;
+    }
+
+    // Inserts: brand-new primary keys (the paper's evolving-schema EHRs).
+    uint64_t inserts = static_cast<uint64_t>(config.insert_fraction *
+                                             current.live_count);
+    for (uint64_t i = 0; i < inserts; ++i) {
+      uint32_t key_index = next_key_index++;
+      CompositeKey ck(KeyName(key_index), v);
+      delta.added.push_back(ck);
+      out.payloads.emplace(ck, records.Generate(ck.key));
+      // The origin vector is indexed by GLOBAL key index; branches may have
+      // gaps for keys inserted on other branches (marked dead here).
+      current.origin.resize(key_index + 1, kInvalidVersion);
+      current.origin[key_index] = v;
+      ++current.live_count;
+    }
+
+    ds.deltas.push_back(std::move(delta));
+    live.push_back(std::move(current));
+    tip = v;
+  }
+
+  // Stats (paper Table 2 columns).
+  out.stats.name = config.name;
+  out.stats.num_versions = config.num_versions;
+  out.stats.avg_depth = ds.graph.AverageLeafDepth();
+  out.stats.update_fraction = config.update_fraction;
+  out.stats.zipf_updates = config.zipf_updates;
+  out.stats.unique_records = ds.CountDistinctRecords();
+  for (const auto& [ck, payload] : out.payloads) {
+    out.stats.unique_record_bytes += payload.size();
+  }
+  uint64_t total_membership = ds.TotalMembership();
+  out.stats.avg_records_per_version =
+      total_membership / config.num_versions;
+  double avg_record_size =
+      out.stats.unique_records == 0
+          ? 0
+          : static_cast<double>(out.stats.unique_record_bytes) /
+                static_cast<double>(out.stats.unique_records);
+  out.stats.total_bytes =
+      static_cast<uint64_t>(avg_record_size * total_membership);
+  return out;
+}
+
+std::string StatsHeader() {
+  return StringPrintf(
+      "%-8s %9s %9s %12s %8s %7s %12s %14s %12s", "Dataset", "#versions",
+      "Avg.depth", "~#recs/ver", "%update", "Type", "#unique_recs",
+      "unique_bytes", "total_bytes");
+}
+
+std::string FormatStatsRow(const DatasetStats& stats) {
+  return StringPrintf(
+      "%-8s %9u %9.1f %12llu %8.0f %7s %12llu %14s %12s",
+      stats.name.c_str(), stats.num_versions, stats.avg_depth,
+      static_cast<unsigned long long>(stats.avg_records_per_version),
+      stats.update_fraction * 100.0,
+      stats.zipf_updates ? "Skewed" : "Random",
+      static_cast<unsigned long long>(stats.unique_records),
+      HumanBytes(stats.unique_record_bytes).c_str(),
+      HumanBytes(stats.total_bytes).c_str());
+}
+
+}  // namespace workload
+}  // namespace rstore

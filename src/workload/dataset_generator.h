@@ -1,0 +1,76 @@
+#ifndef RSTORE_WORKLOAD_DATASET_GENERATOR_H_
+#define RSTORE_WORKLOAD_DATASET_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/record.h"
+#include "version/dataset.h"
+
+namespace rstore {
+namespace workload {
+
+/// Parameters of a synthetic versioned dataset, following the generation
+/// method of the paper's §5.1 (which follows Bhattacherjee et al. [4]): a
+/// version graph grown from a single root, each new version derived from an
+/// existing one by updating/deleting/inserting records, with either uniform
+/// or Zipf-skewed record selection and Pd-bounded record mutation.
+struct DatasetConfig {
+  std::string name = "custom";
+  uint32_t num_versions = 100;
+  /// Records in the root version (versions stay near this size since
+  /// inserts and deletes are balanced).
+  uint32_t records_per_version = 1000;
+  /// Fraction of a version's records updated per derivation (paper Table 2
+  /// "%update": 0.01 - 0.5).
+  double update_fraction = 0.05;
+  /// Skewed (Zipf) vs uniform record selection for updates/deletes.
+  bool zipf_updates = false;
+  double zipf_theta = 0.99;
+  /// Fraction of records inserted / deleted per version (small).
+  double insert_fraction = 0.002;
+  double delete_fraction = 0.002;
+  /// Probability that a new version branches from a random earlier version
+  /// instead of continuing the current tip. 0 = linear chain; the paper's
+  /// datasets range from chains (A) to heavily branched trees (D).
+  double branch_probability = 0.0;
+  /// Approximate serialized record size in bytes.
+  uint32_t record_size_bytes = 200;
+  /// Bounded per-update record change (Fig. 10's Pd).
+  double pd = 0.10;
+  uint64_t seed = 1;
+};
+
+/// Summary statistics mirroring the columns of paper Table 2.
+struct DatasetStats {
+  std::string name;
+  uint32_t num_versions = 0;
+  double avg_depth = 0;
+  uint64_t avg_records_per_version = 0;
+  double update_fraction = 0;
+  bool zipf_updates = false;
+  uint64_t unique_records = 0;
+  uint64_t unique_record_bytes = 0;
+  uint64_t total_bytes = 0;  // sum over versions of version size
+};
+
+struct GeneratedDataset {
+  VersionedDataset dataset;
+  RecordPayloadMap payloads;
+  DatasetStats stats;
+};
+
+/// Generates a dataset (graph + deltas + payloads) from `config`.
+/// Deterministic given config.seed. The result always passes
+/// VersionedDataset::Validate().
+GeneratedDataset GenerateDataset(const DatasetConfig& config);
+
+/// Formats `stats` as one Table 2-style row.
+std::string FormatStatsRow(const DatasetStats& stats);
+/// The Table 2 header matching FormatStatsRow.
+std::string StatsHeader();
+
+}  // namespace workload
+}  // namespace rstore
+
+#endif  // RSTORE_WORKLOAD_DATASET_GENERATOR_H_

@@ -1,0 +1,71 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rstore {
+namespace workload {
+
+QueryWorkloadGenerator::QueryWorkloadGenerator(
+    const VersionedDataset* dataset, uint64_t seed)
+    : dataset_(dataset), rng_(seed) {}
+
+const std::vector<std::string>& QueryWorkloadGenerator::Keys() {
+  if (keys_.empty()) {
+    std::set<std::string> unique;
+    for (const VersionDelta& delta : dataset_->deltas) {
+      for (const CompositeKey& ck : delta.added) unique.insert(ck.key);
+    }
+    keys_.assign(unique.begin(), unique.end());
+  }
+  return keys_;
+}
+
+std::vector<Query> QueryWorkloadGenerator::FullVersionQueries(size_t count) {
+  std::vector<Query> out(count);
+  for (Query& q : out) {
+    q.kind = Query::Kind::kFullVersion;
+    q.version = static_cast<VersionId>(rng_.Uniform(dataset_->graph.size()));
+  }
+  return out;
+}
+
+std::vector<Query> QueryWorkloadGenerator::RangeQueries(size_t count,
+                                                        double selectivity) {
+  const auto& keys = Keys();
+  size_t span = std::max<size_t>(
+      1, static_cast<size_t>(selectivity * keys.size()));
+  std::vector<Query> out(count);
+  for (Query& q : out) {
+    q.kind = Query::Kind::kRange;
+    q.version = static_cast<VersionId>(rng_.Uniform(dataset_->graph.size()));
+    size_t start = rng_.Uniform(keys.size() - std::min(span, keys.size()) + 1);
+    q.key_lo = keys[start];
+    q.key_hi = keys[std::min(start + span, keys.size()) - 1];
+  }
+  return out;
+}
+
+std::vector<Query> QueryWorkloadGenerator::EvolutionQueries(size_t count) {
+  const auto& keys = Keys();
+  std::vector<Query> out(count);
+  for (Query& q : out) {
+    q.kind = Query::Kind::kEvolution;
+    q.key = keys[rng_.Uniform(keys.size())];
+  }
+  return out;
+}
+
+std::vector<Query> QueryWorkloadGenerator::PointQueries(size_t count) {
+  const auto& keys = Keys();
+  std::vector<Query> out(count);
+  for (Query& q : out) {
+    q.kind = Query::Kind::kPoint;
+    q.version = static_cast<VersionId>(rng_.Uniform(dataset_->graph.size()));
+    q.key = keys[rng_.Uniform(keys.size())];
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace rstore

@@ -1,0 +1,93 @@
+#include "workload/record_generator.h"
+
+#include <algorithm>
+
+#include "json/json_parser.h"
+#include "json/json_value.h"
+#include "json/json_writer.h"
+
+namespace rstore {
+namespace workload {
+
+namespace {
+constexpr size_t kFieldValueBytes = 16;
+constexpr char kAlphabet[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+}  // namespace
+
+RecordGenerator::RecordGenerator(uint32_t target_bytes, uint64_t seed)
+    : target_bytes_(std::max<uint32_t>(target_bytes, 64)), rng_(seed) {}
+
+std::string RecordGenerator::RandomToken(size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng_.Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+std::string RecordGenerator::Generate(const std::string& key) {
+  json::Value doc = json::Value::MakeObject();
+  doc["id"] = json::Value(key);
+  // Each field costs roughly kFieldValueBytes + ~12 bytes of framing.
+  size_t budget = target_bytes_;
+  size_t field = 0;
+  json::Value fields = json::Value::MakeObject();
+  while (budget > kFieldValueBytes + 12) {
+    std::string name =
+        "f" + std::to_string(field < 10 ? field : field);  // f0, f1, ...
+    fields[name] = json::Value(RandomToken(kFieldValueBytes));
+    budget -= kFieldValueBytes + 12;
+    ++field;
+  }
+  doc["fields"] = std::move(fields);
+  return json::WriteCompact(doc);
+}
+
+std::string RecordGenerator::Mutate(const std::string& payload, double pd) {
+  auto parsed = json::Parse(payload);
+  if (!parsed.ok() || !parsed->is_object()) {
+    // Non-JSON payload: mutate raw bytes instead.
+    std::string out = payload;
+    size_t flips =
+        std::max<size_t>(1, static_cast<size_t>(pd * out.size()));
+    for (size_t i = 0; i < flips; ++i) {
+      out[rng_.Uniform(out.size())] =
+          kAlphabet[rng_.Uniform(sizeof(kAlphabet) - 1)];
+    }
+    return out;
+  }
+  json::Value doc = *std::move(parsed);
+  json::Value* fields = nullptr;
+  if (auto* f = doc.Find("fields"); f != nullptr && f->is_object()) {
+    fields = &doc["fields"];
+  }
+  if (fields == nullptr || fields->as_object().empty()) {
+    doc["mutation"] = json::Value(RandomToken(8));
+    return json::WriteCompact(doc);
+  }
+  // Rewrite enough field values to change ~pd of the document bytes.
+  auto& members = fields->as_object();
+  size_t field_count = members.size();
+  size_t bytes_to_change =
+      std::max<size_t>(1, static_cast<size_t>(pd * payload.size()));
+  size_t fields_to_change = std::clamp<size_t>(
+      bytes_to_change / kFieldValueBytes, 1, field_count);
+  // Pick distinct fields.
+  auto picks = rng_.SampleWithoutReplacement(field_count, fields_to_change);
+  std::sort(picks.begin(), picks.end());
+  size_t index = 0;
+  size_t pick_pos = 0;
+  for (auto& [name, value] : members) {
+    if (pick_pos < picks.size() && index == picks[pick_pos]) {
+      value = json::Value(RandomToken(kFieldValueBytes));
+      ++pick_pos;
+    }
+    ++index;
+  }
+  return json::WriteCompact(doc);
+}
+
+}  // namespace workload
+}  // namespace rstore

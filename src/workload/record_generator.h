@@ -1,0 +1,43 @@
+#ifndef RSTORE_WORKLOAD_RECORD_GENERATOR_H_
+#define RSTORE_WORKLOAD_RECORD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace rstore {
+namespace workload {
+
+/// Generates and mutates JSON record payloads, mirroring the paper's data
+/// generator (§5.1): "every record in the base version is assigned an
+/// auto-incremented primary key and a randomly generated value of the
+/// requisite size", and updated records change by at most a bounded
+/// percentage Pd of their content (§5.3).
+class RecordGenerator {
+ public:
+  /// `target_bytes` is the approximate serialized record size.
+  RecordGenerator(uint32_t target_bytes, uint64_t seed);
+
+  /// A fresh record for `key`: a JSON document with an id field and enough
+  /// random string fields to reach the target size.
+  std::string Generate(const std::string& key);
+
+  /// A mutated copy of `payload` where roughly `pd` (0..1] of the content
+  /// bytes change — the paper's bounded-difference update used in the
+  /// compression experiments (Fig. 10). The result is again valid JSON.
+  std::string Mutate(const std::string& payload, double pd);
+
+  uint32_t target_bytes() const { return target_bytes_; }
+
+ private:
+  std::string RandomToken(size_t length);
+
+  uint32_t target_bytes_;
+  Random rng_;
+};
+
+}  // namespace workload
+}  // namespace rstore
+
+#endif  // RSTORE_WORKLOAD_RECORD_GENERATOR_H_

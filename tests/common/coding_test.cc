@@ -1,0 +1,160 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace rstore {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(buf.size(), 16u);
+  Slice in(buf);
+  uint32_t v;
+  ASSERT_TRUE(GetFixed32(&in, &v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&in, &v).ok());
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(GetFixed32(&in, &v).ok());
+  EXPECT_EQ(v, 0xdeadbeefu);
+  ASSERT_TRUE(GetFixed32(&in, &v).ok());
+  EXPECT_EQ(v, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  Slice in(buf);
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&in, &v).ok());
+  EXPECT_EQ(v, 0x0123456789abcdefull);
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  // Every power-of-two boundary where the encoded width changes.
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384, (1ull << 21) - 1,
+                                  1ull << 21, 1ull << 42,
+                                  std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Slice in(buf);
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(GetVarint64(&in, &v).ok());
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128}, uint64_t{300},
+                     uint64_t{1} << 35, std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), VarintLength(v)) << v;
+  }
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    Slice in(buf.data(), cut);
+    uint64_t v;
+    EXPECT_TRUE(GetVarint64(&in, &v).IsCorruption()) << cut;
+  }
+}
+
+TEST(CodingTest, TruncatedFixedFails) {
+  std::string buf = "abc";
+  Slice in(buf);
+  uint32_t v32;
+  EXPECT_TRUE(GetFixed32(&in, &v32).IsCorruption());
+  uint64_t v64;
+  Slice in2(buf);
+  EXPECT_TRUE(GetFixed64(&in2, &v64).IsCorruption());
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 33);
+  Slice in(buf);
+  uint32_t v;
+  EXPECT_TRUE(GetVarint32(&in, &v).IsCorruption());
+}
+
+TEST(CodingTest, ZigzagRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-64},
+                    int64_t{64}, std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+  // Small magnitudes encode small.
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+}
+
+TEST(CodingTest, SignedVarintRoundTrip) {
+  std::string buf;
+  PutVarsint64(&buf, -123456789);
+  PutVarsint64(&buf, 42);
+  Slice in(buf);
+  int64_t v;
+  ASSERT_TRUE(GetVarsint64(&in, &v).ok());
+  EXPECT_EQ(v, -123456789);
+  ASSERT_TRUE(GetVarsint64(&in, &v).ok());
+  EXPECT_EQ(v, 42);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello"));
+  PutLengthPrefixed(&buf, Slice(""));
+  PutLengthPrefixed(&buf, Slice(std::string(1000, 'x')));
+  Slice in(buf);
+  Slice v;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v).ok());
+  EXPECT_EQ(v.ToString(), "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v).ok());
+  EXPECT_TRUE(v.empty());
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v).ok());
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedPayloadFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello world"));
+  Slice in(buf.data(), buf.size() - 3);
+  Slice v;
+  EXPECT_TRUE(GetLengthPrefixed(&in, &v).IsCorruption());
+}
+
+TEST(SliceTest, CompareAndPrefix) {
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abcd").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+  EXPECT_TRUE(Slice("abc") == Slice("abc"));
+  EXPECT_TRUE(Slice("abc") != Slice("abd"));
+  EXPECT_TRUE(Slice("abc") < Slice("abd"));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("hello");
+  s.RemovePrefix(2);
+  EXPECT_EQ(s.ToString(), "llo");
+  EXPECT_EQ(s.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,74 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace rstore {
+namespace {
+
+TEST(HashTest, Fnv1a64Deterministic) {
+  EXPECT_EQ(Fnv1a64(Slice("hello")), Fnv1a64(Slice("hello")));
+  EXPECT_NE(Fnv1a64(Slice("hello")), Fnv1a64(Slice("hellp")));
+  EXPECT_NE(Fnv1a64(Slice("")), Fnv1a64(Slice("\0", 1)));
+}
+
+TEST(HashTest, Fnv1a64KnownVector) {
+  // FNV-1a 64 of empty string is the offset basis.
+  EXPECT_EQ(Fnv1a64(Slice("")), 14695981039346656037ull);
+}
+
+TEST(HashTest, Mix64Avalanche) {
+  // Flipping one input bit should change roughly half the output bits.
+  uint64_t base = Mix64(0x1234567890abcdefull);
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    uint64_t flipped = Mix64(0x1234567890abcdefull ^ (1ull << bit));
+    total_flips += __builtin_popcountll(base ^ flipped);
+  }
+  double avg = total_flips / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashFamilyTest, DeterministicGivenSeed) {
+  HashFamily f1(8, 42);
+  HashFamily f2(8, 42);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(f1.Apply(i, 12345), f2.Apply(i, 12345));
+  }
+}
+
+TEST(HashFamilyTest, FunctionsDiffer) {
+  HashFamily f(16, 7);
+  std::set<uint64_t> values;
+  for (size_t i = 0; i < 16; ++i) values.insert(f.Apply(i, 99));
+  // With a 61-bit range, 16 distinct functions should almost surely give 16
+  // distinct values.
+  EXPECT_EQ(values.size(), 16u);
+}
+
+TEST(HashFamilyTest, MinHashSimilarityTracksJaccard) {
+  // Min-hash property: P(minhash agree) == Jaccard similarity. Two sets with
+  // 50% overlap should agree on roughly half the hash functions.
+  const size_t kFunctions = 512;
+  HashFamily f(kFunctions, 123);
+  auto minhash = [&](const std::vector<uint64_t>& set, size_t i) {
+    uint64_t best = UINT64_MAX;
+    for (uint64_t x : set) best = std::min(best, f.Apply(i, x));
+    return best;
+  };
+  std::vector<uint64_t> a, b;
+  for (uint64_t v = 0; v < 200; ++v) a.push_back(v);
+  for (uint64_t v = 100; v < 300; ++v) b.push_back(v);  // Jaccard = 100/300
+  size_t agree = 0;
+  for (size_t i = 0; i < kFunctions; ++i) {
+    if (minhash(a, i) == minhash(b, i)) ++agree;
+  }
+  double sim = static_cast<double>(agree) / kFunctions;
+  EXPECT_NEAR(sim, 1.0 / 3.0, 0.08);
+}
+
+}  // namespace
+}  // namespace rstore

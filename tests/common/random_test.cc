@@ -1,0 +1,134 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace rstore {
+namespace {
+
+TEST(RandomTest, DeterministicGivenSeed) {
+  Random a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, UniformInBounds) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  // Bound 1 always yields 0.
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RandomTest, UniformIsRoughlyUniform) {
+  Random rng(11);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformRange(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, SampleWithoutReplacementDistinct) {
+  Random rng(13);
+  for (uint64_t n : {10ull, 100ull, 1000ull}) {
+    uint64_t count = n / 2;
+    auto sample = rng.SampleWithoutReplacement(n, count);
+    EXPECT_EQ(sample.size(), count);
+    std::set<uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), count);
+    for (uint64_t v : sample) EXPECT_LT(v, n);
+  }
+}
+
+TEST(RandomTest, SampleFullRange) {
+  Random rng(17);
+  auto sample = rng.SampleWithoutReplacement(20, 20);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(RandomTest, ShufflePermutes) {
+  Random rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Random rng(31);
+  ZipfGenerator zipf(100, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 100u);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Random rng(37);
+  ZipfGenerator zipf(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  // Rank 0 must dominate rank 99 by roughly (100/1)^theta.
+  EXPECT_GT(counts[0], counts[99] * 10);
+  // Top-10 ranks should hold a large share of the mass.
+  int top10 = 0;
+  for (uint64_t r = 0; r < 10; ++r) top10 += counts[r];
+  EXPECT_GT(top10, kDraws / 4);
+}
+
+TEST(ZipfTest, MatchesAnalyticalFrequencies) {
+  // Empirical frequency of rank k should approximate (1/k^theta) / H_n.
+  const uint64_t n = 50;
+  const double theta = 0.8;
+  Random rng(41);
+  ZipfGenerator zipf(n, theta);
+  std::vector<int> counts(n, 0);
+  const int kDraws = 500000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  double harmonic = 0;
+  for (uint64_t k = 1; k <= n; ++k) harmonic += 1.0 / std::pow(k, theta);
+  for (uint64_t k : {1ull, 5ull, 25ull}) {
+    double expected = (1.0 / std::pow(k, theta)) / harmonic;
+    double actual = static_cast<double>(counts[k - 1]) / kDraws;
+    EXPECT_NEAR(actual, expected, expected * 0.15) << "rank " << k;
+  }
+}
+
+}  // namespace
+}  // namespace rstore

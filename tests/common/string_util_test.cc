@@ -1,0 +1,51 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace rstore {
+namespace {
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+  // Long output beyond any small stack buffer.
+  std::string big(5000, 'q');
+  EXPECT_EQ(StringPrintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1024), "1.00 KB");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+  EXPECT_EQ(HumanBytes(1024ull * 1024), "1.00 MB");
+  EXPECT_EQ(HumanBytes(3ull << 30), "3.00 GB");
+}
+
+TEST(StringUtilTest, HumanDuration) {
+  EXPECT_EQ(HumanDuration(0.0000005), "0.5 us");
+  EXPECT_EQ(HumanDuration(0.012), "12.00 ms");
+  EXPECT_EQ(HumanDuration(1.5), "1.500 s");
+}
+
+TEST(StringUtilTest, SplitString) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  std::string s = "k0/v1/k3/v2";
+  EXPECT_EQ(JoinStrings(SplitString(s, '/'), "/"), s);
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,94 @@
+#ifndef RSTORE_TESTS_CORE_CORE_TEST_UTIL_H_
+#define RSTORE_TESTS_CORE_CORE_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+#include "version/dataset.h"
+
+namespace rstore {
+namespace testing {
+
+/// The paper's Example 2 dataset (Fig. 1): five versions, nine distinct
+/// records, with deterministic payloads.
+struct ExampleData {
+  VersionedDataset dataset;
+  RecordPayloadMap payloads;
+};
+
+inline std::string PayloadFor(const CompositeKey& ck) {
+  // JSON-ish payload, distinct per record, long enough to exercise
+  // compression paths.
+  std::string body = "{\"key\":\"" + ck.key + "\",\"origin\":" +
+                     std::to_string(ck.version) + ",\"data\":\"";
+  for (int i = 0; i < 8; ++i) body += ck.key + "-" + std::to_string(i) + " ";
+  body += "\"}";
+  return body;
+}
+
+inline ExampleData MakeExample2() {
+  ExampleData out;
+  VersionedDataset& ds = out.dataset;
+  ds.graph.AddRoot();
+  (void)*ds.graph.AddVersion({0});
+  (void)*ds.graph.AddVersion({0});
+  (void)*ds.graph.AddVersion({1});
+  (void)*ds.graph.AddVersion({2});
+  ds.deltas.resize(5);
+  for (int k = 0; k < 4; ++k) {
+    ds.deltas[0].added.emplace_back("K" + std::to_string(k), 0);
+  }
+  ds.deltas[1].added = {{"K3", 1}, {"K4", 1}};
+  ds.deltas[1].removed = {{"K3", 0}};
+  ds.deltas[2].added = {{"K3", 2}, {"K5", 2}};
+  ds.deltas[2].removed = {{"K3", 0}, {"K2", 0}};
+  ds.deltas[3].removed = {{"K2", 0}};
+  ds.deltas[4].added = {{"K3", 4}};
+  ds.deltas[4].removed = {{"K3", 2}};
+  for (const VersionDelta& delta : ds.deltas) {
+    for (const CompositeKey& ck : delta.added) {
+      out.payloads[ck] = PayloadFor(ck);
+    }
+  }
+  return out;
+}
+
+/// A linear chain: `versions` versions over `keys` primary keys, updating
+/// `updates_per_version` round-robin keys each step.
+inline ExampleData MakeChain(uint32_t versions, uint32_t keys,
+                             uint32_t updates_per_version) {
+  ExampleData out;
+  VersionedDataset& ds = out.dataset;
+  ds.graph.AddRoot();
+  ds.deltas.resize(1);
+  std::vector<CompositeKey> current;
+  for (uint32_t k = 0; k < keys; ++k) {
+    CompositeKey ck("key" + std::to_string(1000 + k), 0);
+    ds.deltas[0].added.push_back(ck);
+    current.push_back(ck);
+  }
+  for (VersionId v = 1; v < versions; ++v) {
+    (void)*ds.graph.AddVersion({v - 1});
+    VersionDelta delta;
+    for (uint32_t u = 0; u < updates_per_version; ++u) {
+      uint32_t key_index = (v * updates_per_version + u) % keys;
+      delta.removed.push_back(current[key_index]);
+      CompositeKey updated(current[key_index].key, v);
+      delta.added.push_back(updated);
+      current[key_index] = updated;
+    }
+    ds.deltas.push_back(std::move(delta));
+  }
+  for (const VersionDelta& delta : ds.deltas) {
+    for (const CompositeKey& ck : delta.added) {
+      out.payloads[ck] = PayloadFor(ck);
+    }
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace rstore
+
+#endif  // RSTORE_TESTS_CORE_CORE_TEST_UTIL_H_

@@ -1,0 +1,297 @@
+// Durability and operability features: Reopen (recovery from the KVS),
+// VerifyIntegrity (fsck), corruption detection, and the BranchManager VCS
+// surface.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/branch_manager.h"
+#include "core/rstore.h"
+#include "core_test_util.h"
+#include "kvstore/memory_store.h"
+
+namespace rstore {
+namespace {
+
+using testing::ExampleData;
+using testing::MakeChain;
+
+Options SmallOptions() {
+  Options options;
+  options.algorithm = PartitionAlgorithm::kBottomUp;
+  options.chunk_capacity_bytes = 600;
+  options.max_sub_chunk_records = 3;
+  return options;
+}
+
+std::map<std::string, std::string> ToMap(const std::vector<Record>& records) {
+  std::map<std::string, std::string> out;
+  for (const Record& r : records) out[r.key.key] = r.payload;
+  return out;
+}
+
+TEST(ReopenTest, RecoversFullStateAfterRestart) {
+  ExampleData data = MakeChain(25, 10, 3);
+  MemoryStore backend;
+  std::map<std::string, std::string> expected_v24, expected_v7;
+  uint64_t expected_span;
+  {
+    auto store = RStore::Open(&backend, SmallOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    expected_v24 = ToMap(*(*store)->GetVersion(24));
+    expected_v7 = ToMap(*(*store)->GetVersion(7));
+    expected_span = (*store)->TotalVersionSpan();
+  }  // original AS instance gone; only the backend survives
+
+  auto reopened = RStore::Reopen(&backend, SmallOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  RStore& db = **reopened;
+  EXPECT_EQ(db.num_versions(), 25u);
+  EXPECT_EQ(db.TotalVersionSpan(), expected_span);
+  EXPECT_EQ(ToMap(*db.GetVersion(24)), expected_v24);
+  EXPECT_EQ(ToMap(*db.GetVersion(7)), expected_v7);
+  auto history = db.GetHistory("key1004");
+  ASSERT_TRUE(history.ok());
+  EXPECT_GT(history->size(), 1u);
+  EXPECT_TRUE(db.VerifyIntegrity().ok());
+}
+
+TEST(ReopenTest, RecoveredStoreAcceptsNewCommits) {
+  ExampleData data = MakeChain(10, 5, 2);
+  MemoryStore backend;
+  {
+    auto store = RStore::Open(&backend, SmallOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto reopened = RStore::Reopen(&backend, SmallOptions());
+  ASSERT_TRUE(reopened.ok());
+  CommitDelta delta;
+  delta.upserts.push_back({{"key1000", 0}, "post-restart"});
+  auto v = (*reopened)->Commit(9, std::move(delta));
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, 10u);
+  ASSERT_TRUE((*reopened)->Flush().ok());
+  EXPECT_EQ((*reopened)->GetRecord("key1000", *v)->payload, "post-restart");
+  EXPECT_TRUE((*reopened)->VerifyIntegrity().ok());
+}
+
+TEST(ReopenTest, EmptyBackendIsInvalid) {
+  MemoryStore backend;
+  EXPECT_TRUE(
+      RStore::Reopen(&backend, SmallOptions()).status().IsInvalidArgument());
+}
+
+TEST(ReopenTest, MergeGraphSurvivesRestart) {
+  MemoryStore backend;
+  {
+    ExampleData data;
+    VersionedDataset& ds = data.dataset;
+    ds.graph.AddRoot();
+    (void)*ds.graph.AddVersion({0});
+    (void)*ds.graph.AddVersion({0});
+    (void)*ds.graph.AddVersion({1, 2});
+    ds.deltas.resize(4);
+    ds.deltas[0].added = {{"A", 0}};
+    ds.deltas[1].added = {{"B", 1}};
+    ds.deltas[2].added = {{"C", 2}};
+    ds.deltas[3].added = {{"C", 2}};
+    for (const auto& d : ds.deltas) {
+      for (const auto& ck : d.added) {
+        data.payloads[ck] = testing::PayloadFor(ck);
+      }
+    }
+    auto store = RStore::Open(&backend, SmallOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto reopened = RStore::Reopen(&backend, SmallOptions());
+  ASSERT_TRUE(reopened.ok());
+  // The ORIGINAL graph (with the merge edge) is restored alongside the tree.
+  EXPECT_TRUE((*reopened)->graph().IsMerge(3));
+  EXPECT_TRUE((*reopened)->dataset().graph.IsTree());
+  EXPECT_EQ((*reopened)->GetVersion(3)->size(), 3u);
+}
+
+TEST(VerifyIntegrityTest, CleanStorePasses) {
+  ExampleData data = MakeChain(15, 8, 2);
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+  EXPECT_TRUE((*store)->VerifyIntegrity().ok());
+}
+
+TEST(VerifyIntegrityTest, DetectsTamperedChunk) {
+  ExampleData data = MakeChain(15, 8, 2);
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+  // Flip bytes in one stored chunk.
+  std::string victim_key;
+  (void)backend.Scan((*store)->options().chunk_table,
+                     [&](Slice key, Slice) {
+                       if (victim_key.empty()) victim_key = key.ToString();
+                     });
+  ASSERT_FALSE(victim_key.empty());
+  ASSERT_TRUE(
+      backend.Put((*store)->options().chunk_table, victim_key, "garbage")
+          .ok());
+  EXPECT_TRUE((*store)->VerifyIntegrity().IsCorruption());
+}
+
+TEST(VerifyIntegrityTest, DetectsDeletedChunkMap) {
+  ExampleData data = MakeChain(15, 8, 2);
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+  // Remove one chunk map entry from the index table.
+  std::string victim_key;
+  (void)backend.Scan((*store)->options().index_table,
+                     [&](Slice key, Slice) {
+                       if (victim_key.empty() && !key.empty() &&
+                           key[0] == 'm') {
+                         victim_key = key.ToString();
+                       }
+                     });
+  ASSERT_FALSE(victim_key.empty());
+  ASSERT_TRUE(
+      backend.Delete((*store)->options().index_table, victim_key).ok());
+  EXPECT_FALSE((*store)->VerifyIntegrity().ok());
+}
+
+TEST(VerifyIntegrityTest, QueryAlsoDetectsTamperedChunk) {
+  ExampleData data = MakeChain(15, 8, 2);
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+  // Collect keys first: mutating a MemoryStore table from inside its own
+  // Scan callback would self-deadlock on the store mutex.
+  std::vector<std::string> keys;
+  (void)backend.Scan((*store)->options().chunk_table,
+                     [&](Slice key, Slice) { keys.push_back(key.ToString()); });
+  for (const std::string& key : keys) {
+    ASSERT_TRUE(backend.Put((*store)->options().chunk_table, key, "xx").ok());
+  }
+  // Every full checkout must now fail loudly, never return wrong data.
+  auto r = (*store)->GetVersion(14);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BranchManagerTest, MasterBootstrapAndAdvance) {
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  BranchManager vcs(store->get());
+
+  CommitDelta c1;
+  c1.upserts.push_back({{"doc", 0}, "v0"});
+  auto v0 = vcs.Commit(BranchManager::kMaster, std::move(c1));
+  ASSERT_TRUE(v0.ok());
+  EXPECT_EQ(*vcs.Tip("master"), *v0);
+
+  CommitDelta c2;
+  c2.upserts.push_back({{"doc", 0}, "v1"});
+  auto v1 = vcs.Commit("master", std::move(c2));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*vcs.Tip("master"), *v1);
+  EXPECT_NE(*v0, *v1);
+
+  auto checkout = vcs.Checkout("master");
+  ASSERT_TRUE(checkout.ok());
+  EXPECT_EQ(checkout->size(), 1u);
+  EXPECT_EQ((*checkout)[0].payload, "v1");
+}
+
+TEST(BranchManagerTest, FeatureBranchesDiverge) {
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  BranchManager vcs(store->get());
+  CommitDelta base;
+  base.upserts.push_back({{"doc", 0}, "base"});
+  VersionId root = *vcs.Commit("master", std::move(base));
+
+  ASSERT_TRUE(vcs.CreateBranch("feature", root).ok());
+  CommitDelta feature_edit;
+  feature_edit.upserts.push_back({{"doc", 0}, "feature-edit"});
+  ASSERT_TRUE(vcs.Commit("feature", std::move(feature_edit)).ok());
+  CommitDelta master_edit;
+  master_edit.upserts.push_back({{"doc", 0}, "master-edit"});
+  ASSERT_TRUE(vcs.Commit("master", std::move(master_edit)).ok());
+
+  EXPECT_EQ((*vcs.Checkout("feature"))[0].payload, "feature-edit");
+  EXPECT_EQ((*vcs.Checkout("master"))[0].payload, "master-edit");
+  EXPECT_EQ(vcs.Branches(),
+            (std::vector<std::string>{"feature", "master"}));
+}
+
+TEST(BranchManagerTest, Validation) {
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  BranchManager vcs(store->get());
+  // Unknown branch before bootstrap.
+  CommitDelta c;
+  c.upserts.push_back({{"x", 0}, "1"});
+  EXPECT_TRUE(vcs.Commit("topic", CommitDelta(c)).status().IsNotFound());
+  EXPECT_TRUE(vcs.CreateBranch("topic", 0).IsInvalidArgument());  // no V0 yet
+  ASSERT_TRUE(vcs.Commit("master", std::move(c)).ok());
+  EXPECT_TRUE(vcs.CreateBranch("", 0).IsInvalidArgument());
+  ASSERT_TRUE(vcs.CreateBranch("topic", 0).ok());
+  EXPECT_TRUE(vcs.CreateBranch("topic", 0).IsAlreadyExists());
+  EXPECT_TRUE(vcs.Tip("missing").status().IsNotFound());
+  EXPECT_TRUE(vcs.DeleteBranch("missing").IsNotFound());
+  ASSERT_TRUE(vcs.DeleteBranch("topic").ok());
+  EXPECT_TRUE(vcs.Tip("topic").status().IsNotFound());
+}
+
+TEST(BranchManagerTest, TagsAreImmutableBindings) {
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  BranchManager vcs(store->get());
+  CommitDelta c;
+  c.upserts.push_back({{"x", 0}, "1"});
+  VersionId v0 = *vcs.Commit("master", std::move(c));
+  ASSERT_TRUE(vcs.Tag("release-1.0", v0).ok());
+  EXPECT_TRUE(vcs.Tag("release-1.0", v0).IsAlreadyExists());
+  EXPECT_EQ(*vcs.ResolveTag("release-1.0"), v0);
+  EXPECT_TRUE(vcs.ResolveTag("nope").status().IsNotFound());
+  EXPECT_TRUE(vcs.Tag("bad", 99).IsInvalidArgument());
+  EXPECT_EQ(vcs.Tags(), (std::vector<std::string>{"release-1.0"}));
+}
+
+TEST(BranchManagerTest, PersistAndLoad) {
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  {
+    BranchManager vcs(store->get());
+    CommitDelta c;
+    c.upserts.push_back({{"x", 0}, "1"});
+    VersionId v0 = *vcs.Commit("master", std::move(c));
+    CommitDelta c2;
+    c2.upserts.push_back({{"y", 0}, "2"});
+    ASSERT_TRUE(vcs.Commit("master", std::move(c2)).ok());
+    ASSERT_TRUE(vcs.CreateBranch("dev", v0).ok());
+    ASSERT_TRUE(vcs.Tag("gold", v0).ok());
+    ASSERT_TRUE(vcs.Persist(&backend).ok());
+  }
+  auto loaded = BranchManager::Load(store->get(), &backend);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded->Tip("master"), 1u);
+  EXPECT_EQ(*loaded->Tip("dev"), 0u);
+  EXPECT_EQ(*loaded->ResolveTag("gold"), 0u);
+}
+
+}  // namespace
+}  // namespace rstore

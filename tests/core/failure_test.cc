@@ -1,0 +1,104 @@
+// RStore-level failure behaviour: backend outages and partial data loss must
+// surface as loud errors, never as silently wrong query results.
+
+#include <gtest/gtest.h>
+
+#include "core/rstore.h"
+#include "core_test_util.h"
+#include "kvstore/cluster.h"
+
+namespace rstore {
+namespace {
+
+using testing::ExampleData;
+using testing::MakeChain;
+
+Options SmallOptions() {
+  Options options;
+  options.algorithm = PartitionAlgorithm::kBottomUp;
+  options.chunk_capacity_bytes = 600;
+  return options;
+}
+
+TEST(FailureTest, UnreplicatedNodeLossFailsQueriesLoudly) {
+  ExampleData data = MakeChain(20, 10, 3);
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 4;
+  cluster_options.replication_factor = 1;  // no redundancy
+  Cluster cluster(cluster_options);
+  auto store = RStore::Open(&cluster, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+
+  cluster.SetNodeAlive(1, false);
+  // Some versions' chunks lived on node 1: those queries must error.
+  int failures = 0;
+  for (VersionId v = 0; v < 20; ++v) {
+    auto r = (*store)->GetVersion(v);
+    if (!r.ok()) {
+      ++failures;
+      EXPECT_TRUE(r.status().IsIOError() || r.status().IsCorruption())
+          << r.status().ToString();
+    } else {
+      // Whatever still answers must be complete and correct.
+      EXPECT_EQ(r->size(), data.dataset.MaterializeVersion(v).size());
+    }
+  }
+  EXPECT_GT(failures, 0);
+}
+
+TEST(FailureTest, ReplicatedStoreMasksSingleNodeLoss) {
+  ExampleData data = MakeChain(20, 10, 3);
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 4;
+  cluster_options.replication_factor = 3;
+  Cluster cluster(cluster_options);
+  auto store = RStore::Open(&cluster, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+
+  cluster.SetNodeAlive(0, false);
+  cluster.SetNodeAlive(3, false);  // rf=3 tolerates two failures
+  for (VersionId v = 0; v < 20; ++v) {
+    auto r = (*store)->GetVersion(v);
+    ASSERT_TRUE(r.ok()) << "V" << v << ": " << r.status().ToString();
+    EXPECT_EQ(r->size(), data.dataset.MaterializeVersion(v).size());
+  }
+}
+
+TEST(FailureTest, CommitFailsWhenAllReplicasDown) {
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 1;
+  Cluster cluster(cluster_options);
+  Options options = SmallOptions();
+  options.online_batch_size = 1;  // flush immediately
+  auto store = RStore::Open(&cluster, options);
+  ASSERT_TRUE(store.ok());
+  cluster.SetNodeAlive(0, false);
+  CommitDelta delta;
+  delta.upserts.push_back({{"k", 0}, "v"});
+  auto r = (*store)->Commit(kInvalidVersion, std::move(delta));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FailureTest, QueriesOnUnknownVersionsRejected) {
+  ExampleData data = MakeChain(5, 5, 1);
+  ClusterOptions cluster_options;
+  Cluster cluster(cluster_options);
+  auto store = RStore::Open(&cluster, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+  EXPECT_TRUE((*store)->GetVersion(99).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      (*store)->GetRange(99, "a", "z").status().IsInvalidArgument());
+  EXPECT_TRUE((*store)->GetRecord("key1000", 99).status().IsInvalidArgument());
+  // Inverted range.
+  EXPECT_TRUE((*store)->GetRange(1, "z", "a").status().IsInvalidArgument());
+  // Unknown key history: empty result, not an error.
+  auto history = (*store)->GetHistory("no-such-key");
+  ASSERT_TRUE(history.ok());
+  EXPECT_TRUE(history->empty());
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,231 @@
+// Tests for the online ingest path (§4): delta store batching, chunk-map
+// rewrites across batches, repartitioning, and online-vs-offline parity.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/rstore.h"
+#include "core_test_util.h"
+#include "kvstore/memory_store.h"
+#include "workload/dataset_generator.h"
+
+namespace rstore {
+namespace {
+
+using testing::ExampleData;
+using testing::MakeChain;
+
+Options SmallOptions(uint32_t batch) {
+  Options options;
+  options.algorithm = PartitionAlgorithm::kBottomUp;
+  options.chunk_capacity_bytes = 600;
+  options.online_batch_size = batch;
+  return options;
+}
+
+/// Commits every version of `data` into `store` in generation order.
+void CommitAll(RStore* store, const ExampleData& data) {
+  for (VersionId v = 0; v < data.dataset.graph.size(); ++v) {
+    CommitDelta delta;
+    std::map<std::string, bool> added;
+    for (const CompositeKey& ck : data.dataset.deltas[v].added) {
+      added[ck.key] = true;
+      delta.upserts.push_back(Record{ck, data.payloads.at(ck)});
+    }
+    for (const CompositeKey& ck : data.dataset.deltas[v].removed) {
+      if (!added.count(ck.key)) delta.deletes.push_back(ck.key);
+    }
+    VersionId parent =
+        v == 0 ? kInvalidVersion : data.dataset.graph.PrimaryParent(v);
+    auto r = store->Commit(parent, std::move(delta));
+    ASSERT_TRUE(r.ok()) << v << ": " << r.status().ToString();
+    ASSERT_EQ(*r, v);
+  }
+}
+
+std::map<std::string, std::string> ExpectedVersion(const ExampleData& data,
+                                                   VersionId v) {
+  std::map<std::string, std::string> out;
+  for (const CompositeKey& ck : data.dataset.MaterializeVersion(v)) {
+    out[ck.key] = data.payloads.at(ck);
+  }
+  return out;
+}
+
+std::map<std::string, std::string> ToMap(const std::vector<Record>& records) {
+  std::map<std::string, std::string> out;
+  for (const Record& r : records) out[r.key.key] = r.payload;
+  return out;
+}
+
+class BatchSizeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BatchSizeTest, OnlineCommitsMatchGroundTruthAtAnyBatchSize) {
+  ExampleData data = MakeChain(30, 10, 3);
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions(GetParam()));
+  ASSERT_TRUE(store.ok());
+  CommitAll(store->get(), data);
+  ASSERT_TRUE((*store)->Flush().ok());
+  for (VersionId v : {VersionId{0}, VersionId{13}, VersionId{29}}) {
+    auto got = (*store)->GetVersion(v);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(ToMap(*got), ExpectedVersion(data, v)) << "V" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSizeTest,
+                         ::testing::Values(1, 2, 7, 30, 100));
+
+TEST(OnlineTest, ChunkMapsRewrittenForInheritedRecords) {
+  // A record committed in batch 1 and inherited by versions in batch 2 must
+  // appear in those versions' query results — this exercises the §4 path
+  // that rewrites existing chunk maps once per batch.
+  ExampleData data = MakeChain(20, 8, 2);
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions(5));
+  ASSERT_TRUE(store.ok());
+  CommitAll(store->get(), data);
+  ASSERT_TRUE((*store)->Flush().ok());
+  // The last version inherits root-era records across 4 batch boundaries.
+  auto got = (*store)->GetVersion(19);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToMap(*got), ExpectedVersion(data, 19));
+  // Every version span accounted by the projections equals per-query
+  // fetches.
+  uint64_t fetched = 0;
+  for (VersionId v = 0; v < 20; ++v) {
+    QueryStats stats;
+    ASSERT_TRUE((*store)->GetVersion(v, &stats).ok());
+    fetched += stats.chunks_fetched;
+  }
+  EXPECT_EQ(fetched, (*store)->TotalVersionSpan());
+}
+
+TEST(OnlineTest, OnlineSpanAtLeastOfflineSpanOnChains) {
+  // On a linear chain the offline BOTTOM-UP layout is the quality ceiling;
+  // online batching must not beat it (and typically trails it).
+  ExampleData data = MakeChain(60, 30, 4);
+  MemoryStore offline_backend;
+  auto offline = RStore::Open(&offline_backend, SmallOptions(1000));
+  ASSERT_TRUE(offline.ok());
+  ASSERT_TRUE((*offline)->BulkLoad(data.dataset, data.payloads).ok());
+  uint64_t offline_span = (*offline)->TotalVersionSpan();
+
+  MemoryStore online_backend;
+  auto online = RStore::Open(&online_backend, SmallOptions(10));
+  ASSERT_TRUE(online.ok());
+  CommitAll(online->get(), data);
+  ASSERT_TRUE((*online)->Flush().ok());
+  uint64_t online_span = (*online)->TotalVersionSpan();
+  EXPECT_GE(online_span, offline_span);
+  // ... but within a sane factor (paper Fig. 13: small penalties).
+  EXPECT_LT(online_span, offline_span * 2);
+}
+
+TEST(OnlineTest, RepartitionRestoresOfflineQuality) {
+  ExampleData data = MakeChain(60, 30, 4);
+  MemoryStore offline_backend;
+  auto offline = RStore::Open(&offline_backend, SmallOptions(1000));
+  ASSERT_TRUE(offline.ok());
+  ASSERT_TRUE((*offline)->BulkLoad(data.dataset, data.payloads).ok());
+  uint64_t offline_span = (*offline)->TotalVersionSpan();
+
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions(5));
+  ASSERT_TRUE(store.ok());
+  CommitAll(store->get(), data);
+  ASSERT_TRUE((*store)->Flush().ok());
+  uint64_t online_span = (*store)->TotalVersionSpan();
+
+  Status s = (*store)->Repartition();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  uint64_t repartitioned_span = (*store)->TotalVersionSpan();
+  EXPECT_LE(repartitioned_span, online_span);
+  EXPECT_EQ(repartitioned_span, offline_span);
+
+  // Data integrity preserved through the rebuild.
+  for (VersionId v : {VersionId{0}, VersionId{30}, VersionId{59}}) {
+    auto got = (*store)->GetVersion(v);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(ToMap(*got), ExpectedVersion(data, v)) << "V" << v;
+  }
+  auto history = (*store)->GetHistory("key1003");
+  ASSERT_TRUE(history.ok());
+  EXPECT_GT(history->size(), 1u);
+}
+
+TEST(OnlineTest, RepartitionOnEmptyStoreIsNoOp) {
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions(4));
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->Repartition().ok());
+}
+
+TEST(OnlineTest, RepartitionWithCompressedSubChunks) {
+  ExampleData data = MakeChain(25, 5, 2);
+  for (auto& [ck, payload] : data.payloads) {
+    payload = std::string(800, 'b') + ck.ToString();
+  }
+  MemoryStore backend;
+  Options options = SmallOptions(6);
+  options.max_sub_chunk_records = 4;
+  auto store = RStore::Open(&backend, options);
+  ASSERT_TRUE(store.ok());
+  CommitAll(store->get(), data);
+  ASSERT_TRUE((*store)->Repartition().ok());
+  for (VersionId v : {VersionId{3}, VersionId{24}}) {
+    auto got = (*store)->GetVersion(v);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(ToMap(*got), ExpectedVersion(data, v));
+  }
+}
+
+TEST(OnlineTest, DeltaStoreAccounting) {
+  DeltaStore ds;
+  EXPECT_TRUE(ds.empty());
+  PendingCommit commit;
+  commit.version = 0;
+  commit.delta.added = {{"a", 0}};
+  ds.Stage(std::move(commit), {Record{{"a", 0}, "12345"}});
+  EXPECT_EQ(ds.pending_versions(), 1u);
+  EXPECT_EQ(ds.payload_bytes(), 5u);
+  EXPECT_EQ(ds.payloads().at(CompositeKey("a", 0)), "12345");
+  ds.Clear();
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.payload_bytes(), 0u);
+}
+
+TEST(OnlineTest, BranchedCommitsAcrossBatches) {
+  // Branches interleaved with batch boundaries: children of versions from
+  // earlier batches.
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, SmallOptions(3));
+  ASSERT_TRUE(store.ok());
+  RStore& db = **store;
+  CommitDelta root;
+  root.upserts.push_back({{"doc", 0}, "v0"});
+  VersionId v0 = *db.Commit(kInvalidVersion, std::move(root));
+  std::vector<VersionId> tips;
+  for (int branch = 0; branch < 5; ++branch) {
+    CommitDelta c;
+    c.upserts.push_back(
+        {{"doc", 0}, "branch-" + std::to_string(branch)});
+    c.upserts.push_back(
+        {{"extra-" + std::to_string(branch), 0}, "payload"});
+    tips.push_back(*db.Commit(v0, std::move(c)));
+  }
+  ASSERT_TRUE(db.Flush().ok());
+  for (int branch = 0; branch < 5; ++branch) {
+    auto got = db.GetRecord("doc", tips[branch]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->payload, "branch-" + std::to_string(branch));
+    auto full = db.GetVersion(tips[branch]);
+    ASSERT_TRUE(full.ok());
+    EXPECT_EQ(full->size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,141 @@
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace rstore {
+namespace {
+
+TEST(ChunkPackerTest, FillsToCapacity) {
+  ChunkPacker packer(100, 0.25);
+  for (uint32_t i = 0; i < 10; ++i) packer.Add(i, 30);
+  Partitioning p = packer.Finish(false);
+  // 30+30+30 = 90 < 100; a fourth 30 would hit 120 <= 125 hard limit, but
+  // the chunk closed at >= capacity... 90 < 100 so the 4th lands (120).
+  // Then the next starts fresh.
+  ASSERT_FALSE(p.chunks.empty());
+  EXPECT_EQ(p.chunks[0].size(), 4u);
+  EXPECT_EQ(p.num_items(), 10u);
+}
+
+TEST(ChunkPackerTest, OverflowBandRespected) {
+  ChunkPacker packer(100, 0.25);
+  packer.Add(0, 90);
+  packer.Add(1, 40);  // 90+40=130 > 125: must open a new chunk
+  Partitioning p = packer.Finish(false);
+  ASSERT_EQ(p.chunks.size(), 2u);
+  EXPECT_EQ(p.chunks[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(p.chunks[1], (std::vector<uint32_t>{1}));
+}
+
+TEST(ChunkPackerTest, SpillIntoOverflowAllowed) {
+  ChunkPacker packer(100, 0.25);
+  packer.Add(0, 90);
+  packer.Add(1, 30);  // 90+30=120 <= 125: allowed to spill
+  Partitioning p = packer.Finish(false);
+  ASSERT_EQ(p.chunks.size(), 1u);
+  EXPECT_EQ(p.chunks[0].size(), 2u);
+}
+
+TEST(ChunkPackerTest, OversizedItemGetsOwnChunk) {
+  ChunkPacker packer(100, 0.25);
+  packer.Add(0, 10);
+  packer.Add(1, 1000);
+  packer.Add(2, 10);
+  Partitioning p = packer.Finish(false);
+  ASSERT_EQ(p.chunks.size(), 3u);
+  EXPECT_EQ(p.chunks[1], (std::vector<uint32_t>{1}));
+}
+
+TEST(ChunkPackerTest, StartNewChunkForcesBoundary) {
+  ChunkPacker packer(100, 0.25);
+  packer.Add(0, 10);
+  packer.StartNewChunk();
+  packer.Add(1, 10);
+  Partitioning p = packer.Finish(false);
+  ASSERT_EQ(p.chunks.size(), 2u);
+}
+
+TEST(ChunkPackerTest, MergePartialsReducesFragmentation) {
+  ChunkPacker packer(100, 0.25);
+  for (uint32_t i = 0; i < 6; ++i) {
+    packer.StartNewChunk();
+    packer.Add(i, 20);  // six 20-byte partial chunks
+  }
+  Partitioning merged = packer.Finish(true);
+  // 5 x 20 = 100 fits one chunk; 6th spills to a second.
+  EXPECT_EQ(merged.chunks.size(), 2u);
+  EXPECT_EQ(merged.num_items(), 6u);
+}
+
+TEST(ChunkPackerTest, MergeKeepsFullChunksIntact) {
+  ChunkPacker packer(100, 0.25);
+  for (uint32_t i = 0; i < 5; ++i) packer.Add(i, 25);  // full chunk (>=100)
+  packer.StartNewChunk();
+  packer.Add(5, 10);
+  packer.StartNewChunk();
+  packer.Add(6, 10);
+  Partitioning p = packer.Finish(true);
+  EXPECT_EQ(p.chunks.size(), 2u);  // 1 full + merged partials
+  EXPECT_EQ(p.num_items(), 7u);
+}
+
+// ---- span accounting ----
+
+// Three versions in a chain; item A lives in all three, item B only in V2.
+std::vector<PlacementItem> ChainItems() {
+  PlacementItem a;
+  a.id = CompositeKey("A", 0);
+  a.origin_version = 0;
+  a.versions = {0, 1, 2};
+  a.bytes = 10;
+  PlacementItem b;
+  b.id = CompositeKey("B", 2);
+  b.origin_version = 2;
+  b.versions = {2};
+  b.bytes = 10;
+  return {a, b};
+}
+
+VersionGraph ChainGraph() {
+  VersionGraph g;
+  g.AddRoot();
+  (void)*g.AddVersion({0});
+  (void)*g.AddVersion({1});
+  return g;
+}
+
+TEST(SpanTest, ChunkedLayout) {
+  Partitioning p;
+  p.layout = LayoutKind::kChunked;
+  p.chunks = {{0}, {1}};  // A alone, B alone
+  auto spans = PerVersionSpans(p, ChainItems(), ChainGraph());
+  EXPECT_EQ(spans, (std::vector<uint64_t>{1, 1, 2}));
+  EXPECT_EQ(TotalVersionSpan(p, ChainItems(), ChainGraph()), 4u);
+
+  // Grouping both into one chunk: V2 now needs one chunk.
+  Partitioning grouped;
+  grouped.chunks = {{0, 1}};
+  auto grouped_spans = PerVersionSpans(grouped, ChainItems(), ChainGraph());
+  EXPECT_EQ(grouped_spans, (std::vector<uint64_t>{1, 1, 1}));
+}
+
+TEST(SpanTest, DeltaChainLayout) {
+  Partitioning p;
+  p.layout = LayoutKind::kDeltaChain;
+  p.chunks = {{0}, {1}};  // delta of V0 = {A}, delta of V2 = {B}
+  auto spans = PerVersionSpans(p, ChainItems(), ChainGraph());
+  // V0: 1 (own delta); V1: V0's delta (nothing new); V2: both deltas.
+  EXPECT_EQ(spans, (std::vector<uint64_t>{1, 1, 2}));
+}
+
+TEST(SpanTest, SubChunkPerKeyLayout) {
+  Partitioning p;
+  p.layout = LayoutKind::kSubChunkPerKey;
+  p.chunks = {{0}, {1}};
+  auto spans = PerVersionSpans(p, ChainItems(), ChainGraph());
+  // Every version must scan all chunks.
+  EXPECT_EQ(spans, (std::vector<uint64_t>{2, 2, 2}));
+}
+
+}  // namespace
+}  // namespace rstore

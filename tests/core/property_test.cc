@@ -1,0 +1,194 @@
+// Randomized property tests over generated datasets: for random workload
+// shapes, every algorithm must produce a complete, capacity-respecting
+// layout whose query results are byte-identical to ground truth, with spans
+// consistent between the a-priori computation and the live projections.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/partitioner.h"
+#include "core/rstore.h"
+#include "core/sub_chunk_builder.h"
+#include "kvstore/memory_store.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_workload.h"
+
+namespace rstore {
+namespace {
+
+using workload::DatasetConfig;
+using workload::GeneratedDataset;
+using workload::GenerateDataset;
+using workload::Query;
+using workload::QueryWorkloadGenerator;
+
+DatasetConfig RandomConfig(uint64_t seed) {
+  Random rng(seed * 2654435761ull + 17);
+  DatasetConfig config;
+  config.name = "prop" + std::to_string(seed);
+  config.num_versions = 10 + static_cast<uint32_t>(rng.Uniform(40));
+  config.records_per_version = 30 + static_cast<uint32_t>(rng.Uniform(150));
+  config.update_fraction = 0.02 + rng.NextDouble() * 0.3;
+  config.zipf_updates = rng.Bernoulli(0.5);
+  config.branch_probability = rng.Bernoulli(0.5) ? rng.NextDouble() * 0.5 : 0;
+  config.insert_fraction = rng.NextDouble() * 0.02;
+  config.delete_fraction = rng.NextDouble() * 0.02;
+  config.record_size_bytes = 100 + static_cast<uint32_t>(rng.Uniform(400));
+  config.pd = 0.02 + rng.NextDouble() * 0.2;
+  config.seed = seed;
+  return config;
+}
+
+class RandomizedDatasetTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedDatasetTest, GeneratedDatasetAlwaysValidates) {
+  GeneratedDataset gen = GenerateDataset(RandomConfig(GetParam()));
+  Status s = gen.dataset.Validate();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  // Every record has a payload; counts agree.
+  EXPECT_EQ(gen.payloads.size(), gen.dataset.CountDistinctRecords());
+}
+
+TEST_P(RandomizedDatasetTest, SubChunksPartitionTheRecordSet) {
+  GeneratedDataset gen = GenerateDataset(RandomConfig(GetParam()));
+  Random rng(GetParam());
+  Options options;
+  options.max_sub_chunk_records = 1 + static_cast<uint32_t>(rng.Uniform(8));
+  RecordVersionMap rv = gen.dataset.BuildRecordVersionMap();
+  auto built = BuildSubChunks(gen.dataset, gen.payloads, rv, options);
+  ASSERT_TRUE(built.ok());
+  std::set<CompositeKey> seen;
+  for (const SubChunk& sc : built->sub_chunks) {
+    EXPECT_LE(sc.num_records(), options.max_sub_chunk_records);
+    for (const CompositeKey& ck : sc.keys()) {
+      EXPECT_TRUE(seen.insert(ck).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), gen.dataset.CountDistinctRecords());
+}
+
+TEST_P(RandomizedDatasetTest, AllQueriesMatchGroundTruthEndToEnd) {
+  GeneratedDataset gen = GenerateDataset(RandomConfig(GetParam()));
+  Random rng(GetParam() ^ 0xabcdef);
+  Options options;
+  // Random knob settings, random algorithm.
+  const PartitionAlgorithm algorithms[] = {
+      PartitionAlgorithm::kBottomUp, PartitionAlgorithm::kShingle,
+      PartitionAlgorithm::kDepthFirst, PartitionAlgorithm::kBreadthFirst,
+      PartitionAlgorithm::kDeltaBaseline,
+      PartitionAlgorithm::kSubChunkBaseline,
+      PartitionAlgorithm::kSingleAddressSpace};
+  options.algorithm = algorithms[rng.Uniform(7)];
+  options.chunk_capacity_bytes = 512 + rng.Uniform(8192);
+  options.max_sub_chunk_records = 1 + static_cast<uint32_t>(rng.Uniform(6));
+  options.subtree_limit = rng.Bernoulli(0.3)
+                              ? 1 + static_cast<uint32_t>(rng.Uniform(10))
+                              : 0;
+  SCOPED_TRACE(std::string("algorithm=") +
+               PartitionAlgorithmName(options.algorithm));
+
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(gen.dataset, gen.payloads).ok());
+
+  // Q1 on three random versions.
+  QueryWorkloadGenerator qgen(&gen.dataset, GetParam());
+  for (const Query& q : qgen.FullVersionQueries(3)) {
+    auto got = (*store)->GetVersion(q.version);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    std::map<std::string, std::string> expected;
+    for (const CompositeKey& ck :
+         gen.dataset.MaterializeVersion(q.version)) {
+      expected[ck.key] = gen.payloads.at(ck);
+    }
+    std::map<std::string, std::string> actual;
+    for (const Record& r : *got) actual[r.key.key] = r.payload;
+    ASSERT_EQ(actual, expected) << "V" << q.version;
+  }
+  // Q2 random ranges.
+  for (const Query& q : qgen.RangeQueries(3, 0.2)) {
+    auto got = (*store)->GetRange(q.version, q.key_lo, q.key_hi);
+    ASSERT_TRUE(got.ok());
+    std::map<std::string, std::string> expected;
+    for (const CompositeKey& ck :
+         gen.dataset.MaterializeVersion(q.version)) {
+      if (ck.key >= q.key_lo && ck.key <= q.key_hi) {
+        expected[ck.key] = gen.payloads.at(ck);
+      }
+    }
+    std::map<std::string, std::string> actual;
+    for (const Record& r : *got) actual[r.key.key] = r.payload;
+    ASSERT_EQ(actual, expected);
+  }
+  // Q3 random keys: every composite key with that primary key, in order.
+  for (const Query& q : qgen.EvolutionQueries(3)) {
+    auto got = (*store)->GetHistory(q.key);
+    ASSERT_TRUE(got.ok());
+    std::set<CompositeKey> expected;
+    for (const auto& [ck, payload] : gen.payloads) {
+      if (ck.key == q.key) expected.insert(ck);
+    }
+    ASSERT_EQ(got->size(), expected.size()) << q.key;
+    for (const Record& r : *got) {
+      EXPECT_TRUE(expected.count(r.key));
+      EXPECT_EQ(r.payload, gen.payloads.at(r.key));
+    }
+  }
+  // Point queries: present keys resolve to the version-visible record.
+  for (const Query& q : qgen.PointQueries(5)) {
+    auto members = gen.dataset.MaterializeVersion(q.version);
+    const CompositeKey* visible = nullptr;
+    for (const CompositeKey& ck : members) {
+      if (ck.key == q.key) {
+        visible = &ck;
+        break;
+      }
+    }
+    auto got = (*store)->GetRecord(q.key, q.version);
+    if (visible == nullptr) {
+      EXPECT_TRUE(got.status().IsNotFound());
+    } else {
+      ASSERT_TRUE(got.ok()) << q.key << " V" << q.version;
+      EXPECT_EQ(got->key, *visible);
+      EXPECT_EQ(got->payload, gen.payloads.at(*visible));
+    }
+  }
+}
+
+TEST_P(RandomizedDatasetTest, ChunkCapacityInvariantHolds) {
+  GeneratedDataset gen = GenerateDataset(RandomConfig(GetParam()));
+  Options options;
+  options.chunk_capacity_bytes = 2048;
+  options.max_sub_chunk_records = 2;
+  RecordVersionMap rv = gen.dataset.BuildRecordVersionMap();
+  auto built = BuildSubChunks(gen.dataset, gen.payloads, rv, options);
+  ASSERT_TRUE(built.ok());
+  for (PartitionAlgorithm algorithm :
+       {PartitionAlgorithm::kBottomUp, PartitionAlgorithm::kShingle,
+        PartitionAlgorithm::kDepthFirst}) {
+    auto partitioner = CreatePartitioner(algorithm);
+    PartitionInput input;
+    input.dataset = &gen.dataset;
+    input.items = &built->items;
+    input.options = options;
+    auto p = partitioner->Partition(input);
+    ASSERT_TRUE(p.ok());
+    uint64_t hard_limit = options.chunk_capacity_bytes +
+                          options.chunk_capacity_bytes / 4;
+    for (const auto& chunk : p->chunks) {
+      if (chunk.size() <= 1) continue;  // oversized singletons exempt
+      uint64_t bytes = 0;
+      for (uint32_t item : chunk) bytes += built->items[item].bytes;
+      EXPECT_LE(bytes, hard_limit) << PartitionAlgorithmName(algorithm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedDatasetTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace rstore

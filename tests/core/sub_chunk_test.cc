@@ -1,0 +1,161 @@
+#include "core/sub_chunk.h"
+
+#include <gtest/gtest.h>
+
+namespace rstore {
+namespace {
+
+SubChunk::Member MakeMember(const std::string& key, VersionId v,
+                            uint32_t parent, const std::string& payload) {
+  SubChunk::Member m;
+  m.key = CompositeKey(key, v);
+  m.parent_index = parent;
+  m.payload = payload;
+  return m;
+}
+
+TEST(SubChunkTest, SingleRecordRoundTrip) {
+  auto sc = SubChunk::Build({MakeMember("K1", 0, 0, "hello world payload")},
+                            CompressionType::kLZ);
+  ASSERT_TRUE(sc.ok());
+  EXPECT_EQ(sc->num_records(), 1u);
+  EXPECT_EQ(sc->id(), CompositeKey("K1", 0));
+  EXPECT_TRUE(sc->Contains(CompositeKey("K1", 0)));
+  EXPECT_FALSE(sc->Contains(CompositeKey("K1", 1)));
+  auto payload = sc->ExtractPayload(CompositeKey("K1", 0));
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "hello world payload");
+}
+
+TEST(SubChunkTest, MultiVersionChainRoundTrip) {
+  std::string v0(2000, 'a');
+  std::string v1 = v0;
+  v1[500] = 'b';
+  std::string v2 = v1;
+  v2[1500] = 'c';
+  auto sc = SubChunk::Build({MakeMember("K", 0, 0, v0),
+                             MakeMember("K", 1, 0, v1),
+                             MakeMember("K", 2, 1, v2)},
+                            CompressionType::kLZ);
+  ASSERT_TRUE(sc.ok());
+  EXPECT_EQ(sc->num_records(), 3u);
+  EXPECT_EQ(*sc->ExtractPayload(CompositeKey("K", 0)), v0);
+  EXPECT_EQ(*sc->ExtractPayload(CompositeKey("K", 1)), v1);
+  EXPECT_EQ(*sc->ExtractPayload(CompositeKey("K", 2)), v2);
+}
+
+TEST(SubChunkTest, DeltaEncodingCompressesSimilarVersions) {
+  // Three near-identical 4 KB records together must be far smaller than 3x
+  // one record (the whole point of sub-chunking, paper §3.4).
+  std::string base;
+  for (int i = 0; i < 200; ++i) {
+    base += "{\"field" + std::to_string(i) + "\":" + std::to_string(i * 7) +
+            "},";
+  }
+  std::string v1 = base;
+  v1.replace(100, 5, "XXXXX");
+  std::string v2 = v1;
+  v2.replace(3000, 5, "YYYYY");
+
+  auto single =
+      SubChunk::Build({MakeMember("K", 0, 0, base)}, CompressionType::kLZ);
+  auto grouped = SubChunk::Build({MakeMember("K", 0, 0, base),
+                                  MakeMember("K", 1, 0, v1),
+                                  MakeMember("K", 2, 1, v2)},
+                                 CompressionType::kLZ);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_LT(grouped->serialized_size(), single->serialized_size() * 2);
+  EXPECT_EQ(grouped->uncompressed_bytes(),
+            base.size() + v1.size() + v2.size());
+}
+
+TEST(SubChunkTest, SiblingsDeltaAgainstCommonParent) {
+  // Fig. 7 constraint: siblings delta against their common parent, so
+  // grouping parent + two siblings works without sibling-to-sibling deltas.
+  std::string parent(1000, 'p');
+  std::string sib1 = parent;
+  sib1[10] = '1';
+  std::string sib2 = parent;
+  sib2[900] = '2';
+  auto sc = SubChunk::Build({MakeMember("K", 0, 0, parent),
+                             MakeMember("K", 3, 0, sib1),
+                             MakeMember("K", 5, 0, sib2)},
+                            CompressionType::kLZ);
+  ASSERT_TRUE(sc.ok());
+  EXPECT_EQ(*sc->ExtractPayload(CompositeKey("K", 3)), sib1);
+  EXPECT_EQ(*sc->ExtractPayload(CompositeKey("K", 5)), sib2);
+}
+
+TEST(SubChunkTest, BuildValidation) {
+  EXPECT_TRUE(SubChunk::Build({}, CompressionType::kNone)
+                  .status()
+                  .IsInvalidArgument());
+  // Head must be its own parent.
+  EXPECT_FALSE(
+      SubChunk::Build({MakeMember("K", 0, 1, "x")}, CompressionType::kNone)
+          .ok());
+  // Forward parent reference.
+  EXPECT_FALSE(SubChunk::Build({MakeMember("K", 0, 0, "x"),
+                                MakeMember("K", 1, 1, "y")},
+                               CompressionType::kNone)
+                   .ok());
+  // Mixed primary keys.
+  EXPECT_FALSE(SubChunk::Build({MakeMember("A", 0, 0, "x"),
+                                MakeMember("B", 1, 0, "y")},
+                               CompressionType::kNone)
+                   .ok());
+}
+
+TEST(SubChunkTest, EncodeDecodeRoundTrip) {
+  std::string p0 = "payload zero with some content";
+  std::string p1 = "payload one with other content";
+  auto sc = SubChunk::Build(
+      {MakeMember("K9", 2, 0, p0), MakeMember("K9", 7, 0, p1)},
+      CompressionType::kLZ);
+  ASSERT_TRUE(sc.ok());
+  std::string buf;
+  sc->EncodeTo(&buf);
+  EXPECT_EQ(buf.size(), sc->serialized_size());
+  Slice in(buf);
+  SubChunk decoded;
+  ASSERT_TRUE(SubChunk::DecodeFrom(&in, &decoded).ok());
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(decoded.keys(), sc->keys());
+  EXPECT_EQ(*decoded.ExtractPayload(CompositeKey("K9", 2)), p0);
+  EXPECT_EQ(*decoded.ExtractPayload(CompositeKey("K9", 7)), p1);
+  EXPECT_EQ(decoded.uncompressed_bytes(), p0.size() + p1.size());
+}
+
+TEST(SubChunkTest, DecodeRejectsCorruption) {
+  auto sc = SubChunk::Build({MakeMember("K", 0, 0, "data data data")},
+                            CompressionType::kLZ);
+  ASSERT_TRUE(sc.ok());
+  std::string buf;
+  sc->EncodeTo(&buf);
+  for (size_t cut : {size_t{0}, size_t{1}, buf.size() / 2, buf.size() - 1}) {
+    Slice in(buf.data(), cut);
+    SubChunk decoded;
+    EXPECT_FALSE(SubChunk::DecodeFrom(&in, &decoded).ok()) << cut;
+  }
+}
+
+TEST(SubChunkTest, ExtractMissingRecordIsNotFound) {
+  auto sc =
+      SubChunk::Build({MakeMember("K", 0, 0, "x")}, CompressionType::kNone);
+  ASSERT_TRUE(sc.ok());
+  EXPECT_TRUE(
+      sc->ExtractPayload(CompositeKey("K", 9)).status().IsNotFound());
+}
+
+TEST(SubChunkTest, EmptyPayloadsSupported) {
+  auto sc = SubChunk::Build(
+      {MakeMember("K", 0, 0, ""), MakeMember("K", 1, 0, "")},
+      CompressionType::kLZ);
+  ASSERT_TRUE(sc.ok());
+  EXPECT_EQ(*sc->ExtractPayload(CompositeKey("K", 0)), "");
+  EXPECT_EQ(*sc->ExtractPayload(CompositeKey("K", 1)), "");
+}
+
+}  // namespace
+}  // namespace rstore

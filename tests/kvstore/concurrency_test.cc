@@ -1,0 +1,88 @@
+// Thread-safety smoke tests: MemoryStore and Cluster claim mutex-protected
+// concurrent access; hammer them from several threads and check nothing is
+// lost or corrupted.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "kvstore/cluster.h"
+#include "kvstore/memory_store.h"
+
+namespace rstore {
+namespace {
+
+TEST(ConcurrencyTest, MemoryStoreParallelPutsAllLand) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string key = "k" + std::to_string(t) + "/" + std::to_string(i);
+        if (!store.Put("t", key, key + "-value").ok()) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(*store.TableSize("t"),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  // Spot-check values.
+  for (int t = 0; t < kThreads; ++t) {
+    std::string key = "k" + std::to_string(t) + "/499";
+    auto r = store.Get("t", key);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, key + "-value");
+  }
+}
+
+TEST(ConcurrencyTest, ClusterMixedReadersAndWriters) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication_factor = 2;
+  options.latency = ZeroLatencyModel();
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  // Seed.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        cluster.Put("t", "seed" + std::to_string(i), "base").ok());
+  }
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {  // writers
+      for (int i = 0; i < 300; ++i) {
+        std::string key = "w" + std::to_string(t) + "/" + std::to_string(i);
+        if (!cluster.Put("t", key, std::string(64, 'x')).ok()) ++errors;
+      }
+    });
+    threads.emplace_back([&] {  // readers
+      for (int i = 0; i < 300; ++i) {
+        auto r = cluster.Get("t", "seed" + std::to_string(i % 200));
+        if (!r.ok() || *r != "base") ++errors;
+        std::map<std::string, std::string> out;
+        if (!cluster
+                 .MultiGet("t", {"seed1", "seed2", "seed3"}, &out)
+                 .ok() ||
+            out.size() != 3) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  KVStats stats = cluster.stats();
+  EXPECT_EQ(stats.puts, 200u + 4 * 300u);
+  EXPECT_EQ(stats.multiget_batches, 4 * 300u);
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,138 @@
+#include "kvstore/memory_store.h"
+
+#include <gtest/gtest.h>
+
+namespace rstore {
+namespace {
+
+TEST(MemoryStoreTest, PutGetRoundTrip) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  ASSERT_TRUE(store.Put("t", "k1", "v1").ok());
+  auto r = store.Get("t", "k1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "v1");
+}
+
+TEST(MemoryStoreTest, GetMissingKeyIsNotFound) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  EXPECT_TRUE(store.Get("t", "nope").status().IsNotFound());
+}
+
+TEST(MemoryStoreTest, MissingTableIsNotFound) {
+  MemoryStore store;
+  EXPECT_TRUE(store.Put("missing", "k", "v").IsNotFound());
+  EXPECT_TRUE(store.Get("missing", "k").status().IsNotFound());
+  EXPECT_TRUE(store.Delete("missing", "k").IsNotFound());
+  EXPECT_TRUE(store.TableSize("missing").status().IsNotFound());
+}
+
+TEST(MemoryStoreTest, CreateTableIdempotent) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  ASSERT_TRUE(store.Put("t", "k", "v").ok());
+  ASSERT_TRUE(store.CreateTable("t").ok());  // must not clear
+  EXPECT_TRUE(store.Get("t", "k").ok());
+}
+
+TEST(MemoryStoreTest, OverwriteReplacesValue) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  ASSERT_TRUE(store.Put("t", "k", "old").ok());
+  ASSERT_TRUE(store.Put("t", "k", "new").ok());
+  EXPECT_EQ(*store.Get("t", "k"), "new");
+  EXPECT_EQ(*store.TableSize("t"), 1u);
+}
+
+TEST(MemoryStoreTest, DeleteRemovesKey) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  ASSERT_TRUE(store.Put("t", "k", "v").ok());
+  ASSERT_TRUE(store.Delete("t", "k").ok());
+  EXPECT_TRUE(store.Get("t", "k").status().IsNotFound());
+  // Deleting an absent key is OK (idempotent).
+  EXPECT_TRUE(store.Delete("t", "k").ok());
+}
+
+TEST(MemoryStoreTest, MultiGetSkipsMissing) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  ASSERT_TRUE(store.Put("t", "a", "1").ok());
+  ASSERT_TRUE(store.Put("t", "c", "3").ok());
+  std::map<std::string, std::string> out;
+  ASSERT_TRUE(store.MultiGet("t", {"a", "b", "c"}, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out["a"], "1");
+  EXPECT_EQ(out["c"], "3");
+  EXPECT_EQ(out.count("b"), 0u);
+}
+
+TEST(MemoryStoreTest, TablesAreIsolated) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t1").ok());
+  ASSERT_TRUE(store.CreateTable("t2").ok());
+  ASSERT_TRUE(store.Put("t1", "k", "v1").ok());
+  ASSERT_TRUE(store.Put("t2", "k", "v2").ok());
+  EXPECT_EQ(*store.Get("t1", "k"), "v1");
+  EXPECT_EQ(*store.Get("t2", "k"), "v2");
+}
+
+TEST(MemoryStoreTest, ScanVisitsAllEntries) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        store.Put("t", "k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(store
+                  .Scan("t",
+                        [&](Slice key, Slice value) {
+                          ++count;
+                          EXPECT_EQ(key.ToString().substr(0, 1), "k");
+                          EXPECT_EQ(value.ToString().substr(0, 1), "v");
+                        })
+                  .ok());
+  EXPECT_EQ(count, 10);
+}
+
+TEST(MemoryStoreTest, BinaryKeysAndValues) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  std::string key("\x00\x01\xff", 3);
+  std::string value("\xde\xad\x00\xbe\xef", 5);
+  ASSERT_TRUE(store.Put("t", key, value).ok());
+  auto r = store.Get("t", key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, value);
+}
+
+TEST(MemoryStoreTest, StatsTracking) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  ASSERT_TRUE(store.Put("t", "key", "value").ok());  // 3 + 5 bytes written
+  (void)store.Get("t", "key");                       // 5 bytes read
+  std::map<std::string, std::string> out;
+  (void)store.MultiGet("t", {"key", "nope"}, &out);
+  KVStats s = store.stats();
+  EXPECT_EQ(s.puts, 1u);
+  EXPECT_EQ(s.gets, 1u);
+  EXPECT_EQ(s.multiget_batches, 1u);
+  EXPECT_EQ(s.keys_requested, 3u);  // 1 get + 2 multiget keys
+  EXPECT_EQ(s.bytes_written, 8u);
+  EXPECT_EQ(s.bytes_read, 10u);
+  store.ResetStats();
+  EXPECT_EQ(store.stats().puts, 0u);
+}
+
+TEST(MemoryStoreTest, TotalBytes) {
+  MemoryStore store;
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  EXPECT_EQ(store.TotalBytes(), 0u);
+  ASSERT_TRUE(store.Put("t", "ab", "cdef").ok());
+  EXPECT_EQ(store.TotalBytes(), 6u);
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,196 @@
+#include "version/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "version/delta.h"
+
+namespace rstore {
+namespace {
+
+// The paper's Example 2 (Fig. 1): five versions, nine distinct records.
+//   V0 = {K0@V0, K1@V0, K2@V0, K3@V0}
+//   V1 = V0 with K3 modified, K4 added.
+//   V2 = V0 with K3 modified, K5 added, K2 deleted.
+//   V3 = V1 with K2 deleted.
+//   V4 = V2 with K3 modified.
+VersionedDataset Example2() {
+  VersionedDataset ds;
+  ds.graph.AddRoot();
+  (void)*ds.graph.AddVersion({0});
+  (void)*ds.graph.AddVersion({0});
+  (void)*ds.graph.AddVersion({1});
+  (void)*ds.graph.AddVersion({2});
+  ds.deltas.resize(5);
+  for (int k = 0; k < 4; ++k) {
+    ds.deltas[0].added.emplace_back("K" + std::to_string(k), 0);
+  }
+  // ∆0,1 = {+<K3,V1>, +<K4,V1>, -<K3,V0>} (paper Example 2).
+  ds.deltas[1].added = {{"K3", 1}, {"K4", 1}};
+  ds.deltas[1].removed = {{"K3", 0}};
+  ds.deltas[2].added = {{"K3", 2}, {"K5", 2}};
+  ds.deltas[2].removed = {{"K3", 0}, {"K2", 0}};
+  ds.deltas[3].removed = {{"K2", 0}};
+  ds.deltas[4].added = {{"K3", 4}};
+  ds.deltas[4].removed = {{"K3", 2}};
+  return ds;
+}
+
+TEST(VersionDeltaTest, ConsistencyCheck) {
+  VersionDelta d;
+  d.added = {{"K1", 1}};
+  d.removed = {{"K1", 0}};
+  EXPECT_TRUE(d.CheckConsistent().ok());
+  d.removed.push_back({"K1", 1});
+  EXPECT_TRUE(d.CheckConsistent().IsInvalidArgument());
+}
+
+TEST(VersionDeltaTest, InverseSwapsSets) {
+  VersionDelta d;
+  d.added = {{"A", 2}};
+  d.removed = {{"B", 1}};
+  VersionDelta inv = d.Inverse();
+  EXPECT_EQ(inv.added, d.removed);
+  EXPECT_EQ(inv.removed, d.added);
+  // ∆ij = ∆ji: double inverse is identity.
+  VersionDelta back = inv.Inverse();
+  EXPECT_EQ(back.added, d.added);
+  EXPECT_EQ(back.removed, d.removed);
+}
+
+TEST(VersionDeltaTest, EncodeDecodeRoundTrip) {
+  VersionDelta d;
+  d.added = {{"K3", 1}, {"K4", 1}};
+  d.removed = {{"K3", 0}};
+  std::string buf;
+  d.EncodeTo(&buf);
+  Slice in(buf);
+  VersionDelta out;
+  ASSERT_TRUE(VersionDelta::DecodeFrom(&in, &out).ok());
+  EXPECT_EQ(out.added, d.added);
+  EXPECT_EQ(out.removed, d.removed);
+}
+
+TEST(VersionedDatasetTest, Example2Validates) {
+  EXPECT_TRUE(Example2().Validate().ok());
+}
+
+TEST(VersionedDatasetTest, Example2Materialization) {
+  VersionedDataset ds = Example2();
+  auto v0 = ds.MaterializeVersion(0);
+  EXPECT_EQ(v0.size(), 4u);
+  EXPECT_TRUE(v0.count({"K3", 0}));
+
+  // Paper: "To retrieve K3 from version V3 ... we need the version-to-record
+  // mapping (〈K3,V1〉 in this case)".
+  auto v3 = ds.MaterializeVersion(3);
+  EXPECT_EQ(v3.size(), 4u);
+  EXPECT_TRUE(v3.count({"K0", 0}));
+  EXPECT_TRUE(v3.count({"K1", 0}));
+  EXPECT_TRUE(v3.count({"K3", 1}));
+  EXPECT_TRUE(v3.count({"K4", 1}));
+  EXPECT_FALSE(v3.count({"K2", 0}));
+  EXPECT_FALSE(v3.count({"K3", 3}));
+
+  auto v4 = ds.MaterializeVersion(4);
+  EXPECT_EQ(v4.size(), 4u);
+  EXPECT_TRUE(v4.count({"K3", 4}));
+  EXPECT_TRUE(v4.count({"K5", 2}));
+  EXPECT_FALSE(v4.count({"K3", 2}));
+}
+
+TEST(VersionedDatasetTest, NineDistinctRecords) {
+  // "a total of nine distinct records" (paper Example 2).
+  EXPECT_EQ(Example2().CountDistinctRecords(), 9u);
+}
+
+TEST(VersionedDatasetTest, TotalMembership) {
+  // |V0|=4, |V1|=5, |V2|=4, |V3|=4, |V4|=4.
+  EXPECT_EQ(Example2().TotalMembership(), 21u);
+}
+
+TEST(VersionedDatasetTest, RecordVersionMapMatchesFig1) {
+  VersionedDataset ds = Example2();
+  auto map = ds.BuildRecordVersionMap();
+  EXPECT_EQ(map.size(), 9u);
+  EXPECT_EQ((map[{"K0", 0}]), (std::vector<VersionId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ((map[{"K1", 0}]), (std::vector<VersionId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ((map[{"K2", 0}]), (std::vector<VersionId>{0, 1}));
+  EXPECT_EQ((map[{"K3", 0}]), (std::vector<VersionId>{0}));
+  EXPECT_EQ((map[{"K3", 1}]), (std::vector<VersionId>{1, 3}));
+  EXPECT_EQ((map[{"K3", 2}]), (std::vector<VersionId>{2}));
+  EXPECT_EQ((map[{"K3", 4}]), (std::vector<VersionId>{4}));
+  EXPECT_EQ((map[{"K4", 1}]), (std::vector<VersionId>{1, 3}));
+  EXPECT_EQ((map[{"K5", 2}]), (std::vector<VersionId>{2, 4}));
+}
+
+TEST(VersionedDatasetTest, RecordVersionMapAgreesWithMaterialization) {
+  VersionedDataset ds = Example2();
+  auto map = ds.BuildRecordVersionMap();
+  for (VersionId v = 0; v < ds.graph.size(); ++v) {
+    auto members = ds.MaterializeVersion(v);
+    for (const auto& [ck, versions] : map) {
+      bool in_map =
+          std::binary_search(versions.begin(), versions.end(), v);
+      EXPECT_EQ(in_map, members.count(ck) > 0)
+          << ck.ToString() << " vs V" << v;
+    }
+  }
+}
+
+TEST(VersionedDatasetTest, ValidateCatchesRemovingAbsentRecord) {
+  VersionedDataset ds = Example2();
+  ds.deltas[3].removed.push_back({"K9", 0});
+  EXPECT_TRUE(ds.Validate().IsInvalidArgument());
+}
+
+TEST(VersionedDatasetTest, ValidateCatchesReAdd) {
+  VersionedDataset ds = Example2();
+  ds.deltas[1].added.push_back({"K0", 0});  // already present via V0
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(VersionedDatasetTest, ValidateCatchesForeignAddFromNonAncestor) {
+  VersionedDataset ds = Example2();
+  // V3 (descendant of V1) cannot add a record originating in V2's branch
+  // without a merge edge.
+  ds.deltas[3].added.push_back({"K5", 2});
+  EXPECT_TRUE(ds.Validate().IsInvalidArgument());
+}
+
+TEST(VersionedDatasetTest, ValidateCatchesDuplicateKeyInVersion) {
+  VersionedDataset ds = Example2();
+  ds.deltas[1].added.push_back({"K4", 1});  // K4 added twice in V1
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(VersionedDatasetTest, ValidateCatchesCountMismatch) {
+  VersionedDataset ds = Example2();
+  ds.deltas.pop_back();
+  EXPECT_TRUE(ds.Validate().IsInvalidArgument());
+}
+
+TEST(VersionedDatasetTest, MergeDeltaWithForeignRecordValidates) {
+  // V1 and V2 branch from V0; V3 = merge(V1, V2) picking up V2's record.
+  VersionedDataset ds;
+  ds.graph.AddRoot();
+  (void)*ds.graph.AddVersion({0});
+  (void)*ds.graph.AddVersion({0});
+  (void)*ds.graph.AddVersion({1, 2});
+  ds.deltas.resize(4);
+  ds.deltas[0].added = {{"A", 0}};
+  ds.deltas[1].added = {{"B", 1}};
+  ds.deltas[2].added = {{"C", 2}};
+  // Merge V3: delta vs primary parent V1 brings in C@V2 (foreign).
+  ds.deltas[3].added = {{"C", 2}};
+  ASSERT_TRUE(ds.Validate().ok());
+  auto v3 = ds.MaterializeVersion(3);
+  EXPECT_EQ(v3.size(), 3u);
+  EXPECT_TRUE(v3.count({"A", 0}));
+  EXPECT_TRUE(v3.count({"B", 1}));
+  EXPECT_TRUE(v3.count({"C", 2}));
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,176 @@
+#include "version/tree_transform.h"
+
+#include <gtest/gtest.h>
+
+namespace rstore {
+namespace {
+
+TEST(TreeTransformTest, TreeInputIsUnchanged) {
+  VersionedDataset ds;
+  ds.graph.AddRoot();
+  (void)*ds.graph.AddVersion({0});
+  (void)*ds.graph.AddVersion({1});
+  ds.deltas.resize(3);
+  ds.deltas[0].added = {{"A", 0}, {"B", 0}};
+  ds.deltas[1].added = {{"A", 1}};
+  ds.deltas[1].removed = {{"A", 0}};
+  ds.deltas[2].added = {{"C", 2}};
+  ASSERT_TRUE(ds.Validate().ok());
+
+  TreeTransformResult r = ConvertToTree(ds);
+  EXPECT_EQ(r.renamed_count, 0u);
+  EXPECT_TRUE(r.renames.empty());
+  EXPECT_TRUE(r.tree.graph.IsTree());
+  ASSERT_TRUE(r.tree.Validate().ok());
+  for (VersionId v = 0; v < ds.graph.size(); ++v) {
+    EXPECT_EQ(r.tree.deltas[v].added, ds.deltas[v].added) << v;
+    EXPECT_EQ(r.tree.deltas[v].removed, ds.deltas[v].removed) << v;
+  }
+}
+
+// Fig. 4 shape: V8 merges branches; records that arrived exclusively from
+// non-primary parents are renamed to fresh inserts.
+TEST(TreeTransformTest, MergeRecordsRenamed) {
+  VersionedDataset ds;
+  ds.graph.AddRoot();                    // V0
+  (void)*ds.graph.AddVersion({0});       // V1 branch a
+  (void)*ds.graph.AddVersion({0});       // V2 branch b
+  (void)*ds.graph.AddVersion({1, 2});    // V3 = merge, primary parent V1
+  ds.deltas.resize(4);
+  ds.deltas[0].added = {{"A", 0}};
+  ds.deltas[1].added = {{"B", 1}};
+  ds.deltas[2].added = {{"C", 2}};
+  ds.deltas[3].added = {{"C", 2}};       // arrives from V2 (non-primary)
+  ASSERT_TRUE(ds.Validate().ok());
+
+  TreeTransformResult r = ConvertToTree(ds);
+  EXPECT_TRUE(r.tree.graph.IsTree());
+  EXPECT_EQ(r.tree.graph.parents(3), (std::vector<VersionId>{1}));
+  EXPECT_EQ(r.renamed_count, 1u);
+  // C@V2 appears in the merge as the fresh insert C@V3.
+  ASSERT_EQ(r.tree.deltas[3].added.size(), 1u);
+  EXPECT_EQ(r.tree.deltas[3].added[0], CompositeKey("C", 3));
+  ASSERT_TRUE(r.renames.count(CompositeKey("C", 3)));
+  EXPECT_EQ(r.renames.at(CompositeKey("C", 3)), CompositeKey("C", 2));
+  ASSERT_TRUE(r.tree.Validate().ok());
+
+  // Tree membership of the merge matches DAG membership modulo the rename.
+  auto members = r.tree.MaterializeVersion(3);
+  EXPECT_EQ(members.size(), 3u);
+  EXPECT_TRUE(members.count({"A", 0}));
+  EXPECT_TRUE(members.count({"B", 1}));
+  EXPECT_TRUE(members.count({"C", 3}));
+}
+
+TEST(TreeTransformTest, RenamePropagatesToDescendantRemovals) {
+  VersionedDataset ds;
+  ds.graph.AddRoot();                    // V0
+  (void)*ds.graph.AddVersion({0});       // V1
+  (void)*ds.graph.AddVersion({0});       // V2
+  (void)*ds.graph.AddVersion({1, 2});    // V3 merge, brings C@V2
+  (void)*ds.graph.AddVersion({3});       // V4 deletes C
+  ds.deltas.resize(5);
+  ds.deltas[0].added = {{"A", 0}};
+  ds.deltas[1].added = {{"B", 1}};
+  ds.deltas[2].added = {{"C", 2}};
+  ds.deltas[3].added = {{"C", 2}};
+  ds.deltas[4].removed = {{"C", 2}};     // references the original key
+  ASSERT_TRUE(ds.Validate().ok());
+
+  TreeTransformResult r = ConvertToTree(ds);
+  ASSERT_TRUE(r.tree.Validate().ok()) << r.tree.Validate().ToString();
+  // V4's removal must now reference the renamed key C@V3.
+  ASSERT_EQ(r.tree.deltas[4].removed.size(), 1u);
+  EXPECT_EQ(r.tree.deltas[4].removed[0], CompositeKey("C", 3));
+  EXPECT_EQ(r.tree.MaterializeVersion(4).size(), 2u);
+}
+
+TEST(TreeTransformTest, RenameScopedToMergeSubtree) {
+  // The original branch keeps the original key: only the merge's subtree
+  // sees the rename.
+  VersionedDataset ds;
+  ds.graph.AddRoot();                    // V0
+  (void)*ds.graph.AddVersion({0});       // V1
+  (void)*ds.graph.AddVersion({0});       // V2 adds C@V2
+  (void)*ds.graph.AddVersion({1, 2});    // V3 merge (primary V1)
+  (void)*ds.graph.AddVersion({2});       // V4: child of V2, deletes C@V2
+  ds.deltas.resize(5);
+  ds.deltas[0].added = {{"A", 0}};
+  ds.deltas[1].added = {{"B", 1}};
+  ds.deltas[2].added = {{"C", 2}};
+  ds.deltas[3].added = {{"C", 2}};
+  ds.deltas[4].removed = {{"C", 2}};
+  ASSERT_TRUE(ds.Validate().ok());
+
+  TreeTransformResult r = ConvertToTree(ds);
+  ASSERT_TRUE(r.tree.Validate().ok()) << r.tree.Validate().ToString();
+  // V4 is outside the merge subtree: its removal keeps the original key.
+  ASSERT_EQ(r.tree.deltas[4].removed.size(), 1u);
+  EXPECT_EQ(r.tree.deltas[4].removed[0], CompositeKey("C", 2));
+  // V2's branch still holds C@V2; merge subtree holds C@V3.
+  EXPECT_TRUE(r.tree.MaterializeVersion(2).count({"C", 2}));
+  EXPECT_TRUE(r.tree.MaterializeVersion(3).count({"C", 3}));
+}
+
+TEST(TreeTransformTest, ThreeWayMergeFig4) {
+  // Fig. 4: V8 has parents {V5, V6, V7}; the edge to the primary parent is
+  // retained and records from the other two are renamed.
+  VersionedDataset ds;
+  ds.graph.AddRoot();                          // V0
+  (void)*ds.graph.AddVersion({0});             // V1
+  (void)*ds.graph.AddVersion({1});             // V2
+  (void)*ds.graph.AddVersion({1});             // V3
+  (void)*ds.graph.AddVersion({1});             // V4
+  (void)*ds.graph.AddVersion({2});             // V5
+  (void)*ds.graph.AddVersion({3});             // V6
+  (void)*ds.graph.AddVersion({4});             // V7
+  (void)*ds.graph.AddVersion({6, 5, 7});       // V8: primary V6
+  ds.deltas.resize(9);
+  ds.deltas[0].added = {{"base", 0}};
+  ds.deltas[5].added = {{"from5", 5}};
+  ds.deltas[6].added = {{"from6", 6}};
+  ds.deltas[7].added = {{"from7", 7}};
+  // Merge V8 vs primary V6: gains the records of V5 and V7.
+  ds.deltas[8].added = {{"from5", 5}, {"from7", 7}};
+  ASSERT_TRUE(ds.Validate().ok());
+
+  TreeTransformResult r = ConvertToTree(ds);
+  EXPECT_TRUE(r.tree.graph.IsTree());
+  EXPECT_EQ(r.tree.graph.parents(8), (std::vector<VersionId>{6}));
+  EXPECT_EQ(r.renamed_count, 2u);
+  auto v8 = r.tree.MaterializeVersion(8);
+  EXPECT_TRUE(v8.count({"base", 0}));
+  EXPECT_TRUE(v8.count({"from6", 6}));   // via primary path, not renamed
+  EXPECT_TRUE(v8.count({"from5", 8}));   // renamed
+  EXPECT_TRUE(v8.count({"from7", 8}));   // renamed
+  ASSERT_TRUE(r.tree.Validate().ok());
+}
+
+TEST(TreeTransformTest, NestedMergesRenameIndependently) {
+  // Two merges on the same path both pulling versions of key "C".
+  VersionedDataset ds;
+  ds.graph.AddRoot();                        // V0 {A}
+  (void)*ds.graph.AddVersion({0});           // V1 (main)
+  (void)*ds.graph.AddVersion({0});           // V2 adds C@V2
+  (void)*ds.graph.AddVersion({1, 2});        // V3 merge: +C@V2
+  (void)*ds.graph.AddVersion({0});           // V4 adds D@V4
+  (void)*ds.graph.AddVersion({3, 4});        // V5 merge: +D@V4
+  ds.deltas.resize(6);
+  ds.deltas[0].added = {{"A", 0}};
+  ds.deltas[2].added = {{"C", 2}};
+  ds.deltas[3].added = {{"C", 2}};
+  ds.deltas[4].added = {{"D", 4}};
+  ds.deltas[5].added = {{"D", 4}};
+  ASSERT_TRUE(ds.Validate().ok());
+
+  TreeTransformResult r = ConvertToTree(ds);
+  EXPECT_EQ(r.renamed_count, 2u);
+  auto v5 = r.tree.MaterializeVersion(5);
+  EXPECT_TRUE(v5.count({"A", 0}));
+  EXPECT_TRUE(v5.count({"C", 3}));
+  EXPECT_TRUE(v5.count({"D", 5}));
+  ASSERT_TRUE(r.tree.Validate().ok());
+}
+
+}  // namespace
+}  // namespace rstore

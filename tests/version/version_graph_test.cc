@@ -1,0 +1,186 @@
+#include "version/version_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace rstore {
+namespace {
+
+// Builds the paper's Fig. 1 shape: V0 root; V1, V2 children of V0 (V2 after
+// V1); V3 child of V1; V4 child of V2.
+VersionGraph Fig1Graph() {
+  VersionGraph g;
+  g.AddRoot();                       // V0
+  EXPECT_EQ(*g.AddVersion({0}), 1);  // V1
+  EXPECT_EQ(*g.AddVersion({0}), 2);  // V2
+  EXPECT_EQ(*g.AddVersion({1}), 3);  // V3
+  EXPECT_EQ(*g.AddVersion({2}), 4);  // V4
+  return g;
+}
+
+TEST(VersionGraphTest, RootProperties) {
+  VersionGraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.AddRoot(), 0u);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_TRUE(g.IsRoot(0));
+  EXPECT_TRUE(g.IsLeaf(0));
+  EXPECT_EQ(g.PrimaryParent(0), kInvalidVersion);
+  EXPECT_EQ(g.Depth(0), 0u);
+}
+
+TEST(VersionGraphTest, Fig1Structure) {
+  VersionGraph g = Fig1Graph();
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_EQ(g.PrimaryParent(3), 1u);
+  EXPECT_EQ(g.children(0), (std::vector<VersionId>{1, 2}));
+  EXPECT_EQ(g.Leaves(), (std::vector<VersionId>{3, 4}));
+  EXPECT_EQ(g.Depth(3), 2u);
+  EXPECT_EQ(g.MaxDepth(), 2u);
+  EXPECT_DOUBLE_EQ(g.AverageLeafDepth(), 2.0);
+}
+
+TEST(VersionGraphTest, AddVersionValidation) {
+  VersionGraph g;
+  EXPECT_TRUE(g.AddVersion({0}).status().IsInvalidArgument());  // no root yet
+  g.AddRoot();
+  EXPECT_TRUE(g.AddVersion({}).status().IsInvalidArgument());
+  EXPECT_TRUE(g.AddVersion({5}).status().IsInvalidArgument());
+  EXPECT_TRUE(g.AddVersion({0, 0}).status().IsInvalidArgument());
+  EXPECT_TRUE(g.AddVersion({0}).ok());
+}
+
+TEST(VersionGraphTest, MergeDetection) {
+  VersionGraph g;
+  g.AddRoot();
+  (void)*g.AddVersion({0});
+  (void)*g.AddVersion({0});
+  VersionId merge = *g.AddVersion({1, 2});
+  EXPECT_TRUE(g.IsMerge(merge));
+  EXPECT_FALSE(g.IsTree());
+  EXPECT_EQ(g.PrimaryParent(merge), 1u);
+  EXPECT_EQ(g.parents(merge).size(), 2u);
+}
+
+TEST(VersionGraphTest, PathFromRoot) {
+  VersionGraph g = Fig1Graph();
+  EXPECT_EQ(g.PathFromRoot(0), (std::vector<VersionId>{0}));
+  EXPECT_EQ(g.PathFromRoot(3), (std::vector<VersionId>{0, 1, 3}));
+  EXPECT_EQ(g.PathFromRoot(4), (std::vector<VersionId>{0, 2, 4}));
+}
+
+TEST(VersionGraphTest, IsAncestorTree) {
+  VersionGraph g = Fig1Graph();
+  EXPECT_TRUE(g.IsAncestor(0, 3));
+  EXPECT_TRUE(g.IsAncestor(1, 3));
+  EXPECT_TRUE(g.IsAncestor(3, 3));
+  EXPECT_FALSE(g.IsAncestor(2, 3));
+  EXPECT_FALSE(g.IsAncestor(3, 1));
+  EXPECT_FALSE(g.IsAncestor(1, 4));
+}
+
+TEST(VersionGraphTest, IsAncestorThroughMergeParents) {
+  // V3 = merge(V1, V2): both branches are ancestors of V3.
+  VersionGraph g;
+  g.AddRoot();
+  (void)*g.AddVersion({0});
+  (void)*g.AddVersion({0});
+  VersionId merge = *g.AddVersion({1, 2});
+  EXPECT_TRUE(g.IsAncestor(1, merge));
+  EXPECT_TRUE(g.IsAncestor(2, merge));  // non-primary parent
+  EXPECT_TRUE(g.IsAncestor(0, merge));
+}
+
+TEST(VersionGraphTest, TopologicalOrderIsIdOrder) {
+  VersionGraph g = Fig1Graph();
+  auto order = g.TopologicalOrder();
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(VersionGraphTest, LinearChainDepths) {
+  VersionGraph g;
+  g.AddRoot();
+  for (int i = 0; i < 99; ++i) {
+    VersionId v = *g.AddVersion({static_cast<VersionId>(i)});
+    EXPECT_EQ(g.Depth(v), static_cast<uint32_t>(i + 1));
+  }
+  EXPECT_EQ(g.MaxDepth(), 99u);
+  EXPECT_EQ(g.Leaves().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.AverageLeafDepth(), 99.0);
+}
+
+TEST(VersionGraphTest, EncodeDecodeRoundTrip) {
+  VersionGraph g;
+  g.AddRoot();
+  (void)*g.AddVersion({0});
+  (void)*g.AddVersion({0});
+  (void)*g.AddVersion({1, 2});
+  (void)*g.AddVersion({3});
+  std::string buf;
+  g.EncodeTo(&buf);
+  Slice in(buf);
+  VersionGraph decoded;
+  ASSERT_TRUE(VersionGraph::DecodeFrom(&in, &decoded).ok());
+  EXPECT_EQ(decoded.size(), g.size());
+  for (VersionId v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(decoded.parents(v), g.parents(v)) << v;
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(VersionGraphTest, DecodeRejectsGarbage) {
+  std::string garbage = "\x05\xff\xff\xff\xff";
+  Slice in(garbage);
+  VersionGraph g;
+  EXPECT_FALSE(VersionGraph::DecodeFrom(&in, &g).ok());
+}
+
+TEST(CompositeKeyTest, OrderingAndEquality) {
+  CompositeKey a("K1", 0), b("K1", 1), c("K2", 0);
+  EXPECT_EQ(a, CompositeKey("K1", 0));
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.ToString(), "K1@V0");
+}
+
+TEST(CompositeKeyTest, EncodeDecodeRoundTrip) {
+  std::string buf;
+  CompositeKey a("patient/42", 17);
+  CompositeKey b("", 0);
+  a.EncodeTo(&buf);
+  b.EncodeTo(&buf);
+  Slice in(buf);
+  CompositeKey out;
+  ASSERT_TRUE(CompositeKey::DecodeFrom(&in, &out).ok());
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(CompositeKey::DecodeFrom(&in, &out).ok());
+  EXPECT_EQ(out, b);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CompositeKeyTest, HashDistinguishesVersions) {
+  CompositeKey a("K1", 0), b("K1", 1);
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_EQ(a.Hash(), CompositeKey("K1", 0).Hash());
+}
+
+
+TEST(VersionGraphTest, DotExport) {
+  VersionGraph g;
+  g.AddRoot();
+  (void)*g.AddVersion({0});
+  (void)*g.AddVersion({0});
+  (void)*g.AddVersion({1, 2});  // merge
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("digraph versions"), std::string::npos);
+  EXPECT_NE(dot.find("V0 -> V1"), std::string::npos);
+  EXPECT_NE(dot.find("V1 -> V3"), std::string::npos);
+  // Non-primary merge edge is dashed.
+  EXPECT_NE(dot.find("V2 -> V3 [style=dashed]"), std::string::npos);
+  // Tips marked.
+  EXPECT_NE(dot.find("V3 [shape=doublecircle]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "json/json_parser.h"
+#include "workload/dataset_catalog.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_workload.h"
+#include "workload/record_generator.h"
+
+namespace rstore {
+namespace workload {
+namespace {
+
+TEST(RecordGeneratorTest, GeneratesValidJsonNearTargetSize) {
+  RecordGenerator gen(500, 7);
+  for (int i = 0; i < 20; ++i) {
+    std::string payload = gen.Generate("key" + std::to_string(i));
+    auto parsed = json::Parse(payload);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->Find("id")->as_string(), "key" + std::to_string(i));
+    EXPECT_GT(payload.size(), 250u);
+    EXPECT_LT(payload.size(), 750u);
+  }
+}
+
+TEST(RecordGeneratorTest, MutationChangesBoundedFraction) {
+  RecordGenerator gen(2000, 9);
+  std::string base = gen.Generate("k");
+  for (double pd : {0.01, 0.05, 0.10}) {
+    std::string mutated = gen.Mutate(base, pd);
+    ASSERT_TRUE(json::Parse(mutated).ok());
+    EXPECT_NE(mutated, base);
+    // Count differing bytes (same length since fields are fixed width).
+    ASSERT_EQ(mutated.size(), base.size());
+    size_t diff = 0;
+    for (size_t i = 0; i < base.size(); ++i) {
+      if (base[i] != mutated[i]) ++diff;
+    }
+    double frac = static_cast<double>(diff) / base.size();
+    EXPECT_LT(frac, pd * 3 + 0.05) << pd;  // bounded above
+    EXPECT_GT(frac, 0.0);
+  }
+}
+
+TEST(RecordGeneratorTest, MutationOfNonJsonFallsBackToBytes) {
+  RecordGenerator gen(100, 3);
+  std::string binary = "not json at all \x01\x02";
+  std::string mutated = gen.Mutate(binary, 0.2);
+  EXPECT_EQ(mutated.size(), binary.size());
+  EXPECT_NE(mutated, binary);
+}
+
+TEST(DatasetGeneratorTest, GeneratedDatasetValidates) {
+  DatasetConfig config;
+  config.num_versions = 50;
+  config.records_per_version = 200;
+  config.update_fraction = 0.1;
+  config.branch_probability = 0.2;
+  config.insert_fraction = 0.01;
+  config.delete_fraction = 0.01;
+  GeneratedDataset gen = GenerateDataset(config);
+  EXPECT_TRUE(gen.dataset.Validate().ok())
+      << gen.dataset.Validate().ToString();
+  EXPECT_EQ(gen.dataset.graph.size(), 50u);
+}
+
+TEST(DatasetGeneratorTest, EveryAddedRecordHasPayload) {
+  DatasetConfig config;
+  config.num_versions = 30;
+  config.records_per_version = 100;
+  config.update_fraction = 0.2;
+  config.branch_probability = 0.3;
+  GeneratedDataset gen = GenerateDataset(config);
+  for (const VersionDelta& delta : gen.dataset.deltas) {
+    for (const CompositeKey& ck : delta.added) {
+      EXPECT_TRUE(gen.payloads.count(ck)) << ck.ToString();
+    }
+  }
+  EXPECT_EQ(gen.payloads.size(), gen.dataset.CountDistinctRecords());
+}
+
+TEST(DatasetGeneratorTest, DeterministicGivenSeed) {
+  DatasetConfig config;
+  config.num_versions = 20;
+  config.records_per_version = 50;
+  config.seed = 77;
+  GeneratedDataset a = GenerateDataset(config);
+  GeneratedDataset b = GenerateDataset(config);
+  ASSERT_EQ(a.dataset.graph.size(), b.dataset.graph.size());
+  for (VersionId v = 0; v < a.dataset.graph.size(); ++v) {
+    EXPECT_EQ(a.dataset.deltas[v].added, b.dataset.deltas[v].added);
+  }
+  EXPECT_EQ(a.payloads, b.payloads);
+}
+
+TEST(DatasetGeneratorTest, ZeroBranchProbabilityGivesChain) {
+  DatasetConfig config;
+  config.num_versions = 40;
+  config.records_per_version = 50;
+  config.branch_probability = 0.0;
+  GeneratedDataset gen = GenerateDataset(config);
+  EXPECT_EQ(gen.dataset.graph.MaxDepth(), 39u);
+  EXPECT_EQ(gen.dataset.graph.Leaves().size(), 1u);
+}
+
+TEST(DatasetGeneratorTest, BranchingReducesDepth) {
+  DatasetConfig chain;
+  chain.num_versions = 200;
+  chain.records_per_version = 50;
+  chain.branch_probability = 0.0;
+  DatasetConfig branched = chain;
+  branched.branch_probability = 0.4;
+  EXPECT_LT(GenerateDataset(branched).dataset.graph.AverageLeafDepth(),
+            GenerateDataset(chain).dataset.graph.AverageLeafDepth());
+}
+
+TEST(DatasetGeneratorTest, UpdateFractionDrivesUniqueRecords) {
+  DatasetConfig low;
+  low.num_versions = 50;
+  low.records_per_version = 200;
+  low.update_fraction = 0.01;
+  DatasetConfig high = low;
+  high.update_fraction = 0.3;
+  EXPECT_LT(GenerateDataset(low).stats.unique_records,
+            GenerateDataset(high).stats.unique_records);
+}
+
+TEST(DatasetGeneratorTest, ZipfSkewsUpdateTargets) {
+  DatasetConfig config;
+  config.num_versions = 60;
+  config.records_per_version = 300;
+  config.update_fraction = 0.1;
+  config.zipf_updates = true;
+  GeneratedDataset gen = GenerateDataset(config);
+  ASSERT_TRUE(gen.dataset.Validate().ok());
+  // Count updates per key: under Zipf a few keys absorb many updates.
+  std::map<std::string, int> updates;
+  for (VersionId v = 1; v < gen.dataset.graph.size(); ++v) {
+    for (const CompositeKey& ck : gen.dataset.deltas[v].added) {
+      ++updates[ck.key];
+    }
+  }
+  int max_updates = 0;
+  for (const auto& [key, count] : updates) {
+    max_updates = std::max(max_updates, count);
+  }
+  // The hottest key must see far more than the uniform expectation
+  // (~59 versions * 30 updates / 300 keys = ~6).
+  EXPECT_GT(max_updates, 20);
+}
+
+TEST(DatasetCatalogTest, AllEntriesResolvable) {
+  auto catalog = DatasetCatalog();
+  EXPECT_EQ(catalog.size(), 14u);
+  for (const CatalogEntry& entry : catalog) {
+    auto config = CatalogConfig(entry.name);
+    ASSERT_TRUE(config.ok()) << entry.name;
+    EXPECT_EQ(config->name, entry.name);
+  }
+  EXPECT_TRUE(CatalogConfig("Z9").status().IsNotFound());
+}
+
+TEST(DatasetCatalogTest, DepthOrderingMatchesPaper) {
+  // Paper Table 2: A (chains, deepest relative to size) > B > C > D in
+  // average depth relative terms; A is exactly linear.
+  auto a = GenerateDataset(*CatalogConfig("A1"));
+  auto b = GenerateDataset(*CatalogConfig("B1"));
+  auto c = GenerateDataset(*CatalogConfig("C1"));
+  auto d = GenerateDataset(*CatalogConfig("D1"));
+  EXPECT_DOUBLE_EQ(a.stats.avg_depth, a.stats.num_versions - 1.0);
+  double b_ratio = b.stats.avg_depth / b.stats.num_versions;
+  double c_ratio = c.stats.avg_depth / c.stats.num_versions;
+  double d_ratio = d.stats.avg_depth / d.stats.num_versions;
+  EXPECT_GT(b_ratio, c_ratio);
+  EXPECT_GT(c_ratio, d_ratio);
+}
+
+TEST(DatasetCatalogTest, SmallCatalogEntriesValidate) {
+  // Validate the fast entries end-to-end (bigger ones are exercised by the
+  // benches).
+  for (const char* name : {"A1", "C1", "D1"}) {
+    auto gen = GenerateDataset(*CatalogConfig(name));
+    EXPECT_TRUE(gen.dataset.Validate().ok()) << name;
+    EXPECT_GT(gen.stats.unique_records, 0u);
+    EXPECT_GT(gen.stats.total_bytes, gen.stats.unique_record_bytes);
+  }
+}
+
+TEST(QueryWorkloadTest, QueriesAreWellFormed) {
+  DatasetConfig config;
+  config.num_versions = 30;
+  config.records_per_version = 100;
+  GeneratedDataset gen = GenerateDataset(config);
+  QueryWorkloadGenerator qgen(&gen.dataset, 5);
+
+  for (const Query& q : qgen.FullVersionQueries(50)) {
+    EXPECT_LT(q.version, 30u);
+  }
+  for (const Query& q : qgen.RangeQueries(50, 0.1)) {
+    EXPECT_LE(q.key_lo, q.key_hi);
+    EXPECT_LT(q.version, 30u);
+  }
+  std::set<std::string> keys;
+  for (const Query& q : qgen.EvolutionQueries(50)) {
+    EXPECT_FALSE(q.key.empty());
+    keys.insert(q.key);
+  }
+  EXPECT_GT(keys.size(), 10u);  // spread over the key space
+  for (const Query& q : qgen.PointQueries(50)) {
+    EXPECT_FALSE(q.key.empty());
+    EXPECT_LT(q.version, 30u);
+  }
+}
+
+TEST(QueryWorkloadTest, RangeSelectivityControlsSpan) {
+  DatasetConfig config;
+  config.num_versions = 10;
+  config.records_per_version = 500;
+  GeneratedDataset gen = GenerateDataset(config);
+  QueryWorkloadGenerator qgen(&gen.dataset, 5);
+  auto narrow = qgen.RangeQueries(20, 0.01);
+  auto wide = qgen.RangeQueries(20, 0.5);
+  // Compare average lexicographic widths via key index differences: keys are
+  // zero-padded so string compare reflects numeric order.
+  auto avg_width = [](const std::vector<Query>& qs) {
+    double total = 0;
+    for (const Query& q : qs) {
+      total += std::stoll(q.key_hi.substr(3)) - std::stoll(q.key_lo.substr(3));
+    }
+    return total / qs.size();
+  };
+  EXPECT_LT(avg_width(narrow), avg_width(wide));
+}
+
+TEST(StatsFormattingTest, RowAndHeaderAlign) {
+  DatasetConfig config;
+  config.num_versions = 10;
+  config.records_per_version = 20;
+  GeneratedDataset gen = GenerateDataset(config);
+  std::string header = StatsHeader();
+  std::string row = FormatStatsRow(gen.stats);
+  EXPECT_FALSE(header.empty());
+  EXPECT_FALSE(row.empty());
+  EXPECT_NE(row.find("custom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace rstore
