@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_compression.dir/bench_fig10_compression.cc.o"
+  "CMakeFiles/bench_fig10_compression.dir/bench_fig10_compression.cc.o.d"
+  "bench_fig10_compression"
+  "bench_fig10_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_online.dir/bench_fig13_online.cc.o"
+  "CMakeFiles/bench_fig13_online.dir/bench_fig13_online.cc.o.d"
+  "bench_fig13_online"
+  "bench_fig13_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

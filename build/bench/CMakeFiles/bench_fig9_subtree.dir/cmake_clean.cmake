@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_subtree.dir/bench_fig9_subtree.cc.o"
+  "CMakeFiles/bench_fig9_subtree.dir/bench_fig9_subtree.cc.o.d"
+  "bench_fig9_subtree"
+  "bench_fig9_subtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_subtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_too_many_queries.dir/bench_too_many_queries.cc.o"
+  "CMakeFiles/bench_too_many_queries.dir/bench_too_many_queries.cc.o.d"
+  "bench_too_many_queries"
+  "bench_too_many_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_too_many_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehr_analytics.dir/ehr_analytics.cpp.o"
+  "CMakeFiles/ehr_analytics.dir/ehr_analytics.cpp.o.d"
+  "ehr_analytics"
+  "ehr_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehr_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

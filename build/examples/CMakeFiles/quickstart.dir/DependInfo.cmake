@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/rstore_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/rstore_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rstore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rstore_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/rstore_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/version/CMakeFiles/rstore_version.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstore_shell.dir/rstore_shell.cpp.o"
+  "CMakeFiles/rstore_shell.dir/rstore_shell.cpp.o.d"
+  "rstore_shell"
+  "rstore_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstore_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

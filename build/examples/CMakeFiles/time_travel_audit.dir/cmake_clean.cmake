@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_travel_audit.dir/time_travel_audit.cpp.o"
+  "CMakeFiles/time_travel_audit.dir/time_travel_audit.cpp.o.d"
+  "time_travel_audit"
+  "time_travel_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_travel_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_knobs.dir/tuning_knobs.cpp.o"
+  "CMakeFiles/tuning_knobs.dir/tuning_knobs.cpp.o.d"
+  "tuning_knobs"
+  "tuning_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstore_common.dir/coding.cc.o"
+  "CMakeFiles/rstore_common.dir/coding.cc.o.d"
+  "CMakeFiles/rstore_common.dir/hash.cc.o"
+  "CMakeFiles/rstore_common.dir/hash.cc.o.d"
+  "CMakeFiles/rstore_common.dir/logging.cc.o"
+  "CMakeFiles/rstore_common.dir/logging.cc.o.d"
+  "CMakeFiles/rstore_common.dir/random.cc.o"
+  "CMakeFiles/rstore_common.dir/random.cc.o.d"
+  "CMakeFiles/rstore_common.dir/status.cc.o"
+  "CMakeFiles/rstore_common.dir/status.cc.o.d"
+  "CMakeFiles/rstore_common.dir/string_util.cc.o"
+  "CMakeFiles/rstore_common.dir/string_util.cc.o.d"
+  "librstore_common.a"
+  "librstore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitmap.cc" "src/compress/CMakeFiles/rstore_compress.dir/bitmap.cc.o" "gcc" "src/compress/CMakeFiles/rstore_compress.dir/bitmap.cc.o.d"
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/rstore_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/rstore_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/delta_codec.cc" "src/compress/CMakeFiles/rstore_compress.dir/delta_codec.cc.o" "gcc" "src/compress/CMakeFiles/rstore_compress.dir/delta_codec.cc.o.d"
+  "/root/repo/src/compress/lz_codec.cc" "src/compress/CMakeFiles/rstore_compress.dir/lz_codec.cc.o" "gcc" "src/compress/CMakeFiles/rstore_compress.dir/lz_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

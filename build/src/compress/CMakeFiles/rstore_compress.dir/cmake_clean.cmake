@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstore_compress.dir/bitmap.cc.o"
+  "CMakeFiles/rstore_compress.dir/bitmap.cc.o.d"
+  "CMakeFiles/rstore_compress.dir/compressor.cc.o"
+  "CMakeFiles/rstore_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/rstore_compress.dir/delta_codec.cc.o"
+  "CMakeFiles/rstore_compress.dir/delta_codec.cc.o.d"
+  "CMakeFiles/rstore_compress.dir/lz_codec.cc.o"
+  "CMakeFiles/rstore_compress.dir/lz_codec.cc.o.d"
+  "librstore_compress.a"
+  "librstore_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstore_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_partitioner.cc" "src/core/CMakeFiles/rstore_core.dir/baseline_partitioner.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/baseline_partitioner.cc.o.d"
+  "/root/repo/src/core/bottom_up_partitioner.cc" "src/core/CMakeFiles/rstore_core.dir/bottom_up_partitioner.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/bottom_up_partitioner.cc.o.d"
+  "/root/repo/src/core/branch_manager.cc" "src/core/CMakeFiles/rstore_core.dir/branch_manager.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/branch_manager.cc.o.d"
+  "/root/repo/src/core/chunk.cc" "src/core/CMakeFiles/rstore_core.dir/chunk.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/chunk.cc.o.d"
+  "/root/repo/src/core/chunk_map.cc" "src/core/CMakeFiles/rstore_core.dir/chunk_map.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/chunk_map.cc.o.d"
+  "/root/repo/src/core/delta_store.cc" "src/core/CMakeFiles/rstore_core.dir/delta_store.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/delta_store.cc.o.d"
+  "/root/repo/src/core/item_index.cc" "src/core/CMakeFiles/rstore_core.dir/item_index.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/item_index.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/core/CMakeFiles/rstore_core.dir/options.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/options.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/core/CMakeFiles/rstore_core.dir/partitioner.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/partitioner.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/rstore_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/query_processor.cc" "src/core/CMakeFiles/rstore_core.dir/query_processor.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/query_processor.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/rstore_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/report.cc.o.d"
+  "/root/repo/src/core/rstore.cc" "src/core/CMakeFiles/rstore_core.dir/rstore.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/rstore.cc.o.d"
+  "/root/repo/src/core/shingle_partitioner.cc" "src/core/CMakeFiles/rstore_core.dir/shingle_partitioner.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/shingle_partitioner.cc.o.d"
+  "/root/repo/src/core/store_catalog.cc" "src/core/CMakeFiles/rstore_core.dir/store_catalog.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/store_catalog.cc.o.d"
+  "/root/repo/src/core/sub_chunk.cc" "src/core/CMakeFiles/rstore_core.dir/sub_chunk.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/sub_chunk.cc.o.d"
+  "/root/repo/src/core/sub_chunk_builder.cc" "src/core/CMakeFiles/rstore_core.dir/sub_chunk_builder.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/sub_chunk_builder.cc.o.d"
+  "/root/repo/src/core/traversal_partitioner.cc" "src/core/CMakeFiles/rstore_core.dir/traversal_partitioner.cc.o" "gcc" "src/core/CMakeFiles/rstore_core.dir/traversal_partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rstore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rstore_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/rstore_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/version/CMakeFiles/rstore_version.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

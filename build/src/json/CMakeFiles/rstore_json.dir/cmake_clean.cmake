@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstore_json.dir/json_parser.cc.o"
+  "CMakeFiles/rstore_json.dir/json_parser.cc.o.d"
+  "CMakeFiles/rstore_json.dir/json_value.cc.o"
+  "CMakeFiles/rstore_json.dir/json_value.cc.o.d"
+  "CMakeFiles/rstore_json.dir/json_writer.cc.o"
+  "CMakeFiles/rstore_json.dir/json_writer.cc.o.d"
+  "librstore_json.a"
+  "librstore_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstore_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/cluster.cc" "src/kvstore/CMakeFiles/rstore_kvstore.dir/cluster.cc.o" "gcc" "src/kvstore/CMakeFiles/rstore_kvstore.dir/cluster.cc.o.d"
+  "/root/repo/src/kvstore/file_store.cc" "src/kvstore/CMakeFiles/rstore_kvstore.dir/file_store.cc.o" "gcc" "src/kvstore/CMakeFiles/rstore_kvstore.dir/file_store.cc.o.d"
+  "/root/repo/src/kvstore/hash_ring.cc" "src/kvstore/CMakeFiles/rstore_kvstore.dir/hash_ring.cc.o" "gcc" "src/kvstore/CMakeFiles/rstore_kvstore.dir/hash_ring.cc.o.d"
+  "/root/repo/src/kvstore/latency_model.cc" "src/kvstore/CMakeFiles/rstore_kvstore.dir/latency_model.cc.o" "gcc" "src/kvstore/CMakeFiles/rstore_kvstore.dir/latency_model.cc.o.d"
+  "/root/repo/src/kvstore/memory_store.cc" "src/kvstore/CMakeFiles/rstore_kvstore.dir/memory_store.cc.o" "gcc" "src/kvstore/CMakeFiles/rstore_kvstore.dir/memory_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

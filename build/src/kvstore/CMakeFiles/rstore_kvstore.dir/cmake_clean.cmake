@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstore_kvstore.dir/cluster.cc.o"
+  "CMakeFiles/rstore_kvstore.dir/cluster.cc.o.d"
+  "CMakeFiles/rstore_kvstore.dir/file_store.cc.o"
+  "CMakeFiles/rstore_kvstore.dir/file_store.cc.o.d"
+  "CMakeFiles/rstore_kvstore.dir/hash_ring.cc.o"
+  "CMakeFiles/rstore_kvstore.dir/hash_ring.cc.o.d"
+  "CMakeFiles/rstore_kvstore.dir/latency_model.cc.o"
+  "CMakeFiles/rstore_kvstore.dir/latency_model.cc.o.d"
+  "CMakeFiles/rstore_kvstore.dir/memory_store.cc.o"
+  "CMakeFiles/rstore_kvstore.dir/memory_store.cc.o.d"
+  "librstore_kvstore.a"
+  "librstore_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstore_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

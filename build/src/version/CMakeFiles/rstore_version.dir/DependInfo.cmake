@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/version/dataset.cc" "src/version/CMakeFiles/rstore_version.dir/dataset.cc.o" "gcc" "src/version/CMakeFiles/rstore_version.dir/dataset.cc.o.d"
+  "/root/repo/src/version/delta.cc" "src/version/CMakeFiles/rstore_version.dir/delta.cc.o" "gcc" "src/version/CMakeFiles/rstore_version.dir/delta.cc.o.d"
+  "/root/repo/src/version/tree_transform.cc" "src/version/CMakeFiles/rstore_version.dir/tree_transform.cc.o" "gcc" "src/version/CMakeFiles/rstore_version.dir/tree_transform.cc.o.d"
+  "/root/repo/src/version/version_graph.cc" "src/version/CMakeFiles/rstore_version.dir/version_graph.cc.o" "gcc" "src/version/CMakeFiles/rstore_version.dir/version_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

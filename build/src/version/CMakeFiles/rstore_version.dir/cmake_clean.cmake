@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstore_version.dir/dataset.cc.o"
+  "CMakeFiles/rstore_version.dir/dataset.cc.o.d"
+  "CMakeFiles/rstore_version.dir/delta.cc.o"
+  "CMakeFiles/rstore_version.dir/delta.cc.o.d"
+  "CMakeFiles/rstore_version.dir/tree_transform.cc.o"
+  "CMakeFiles/rstore_version.dir/tree_transform.cc.o.d"
+  "CMakeFiles/rstore_version.dir/version_graph.cc.o"
+  "CMakeFiles/rstore_version.dir/version_graph.cc.o.d"
+  "librstore_version.a"
+  "librstore_version.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstore_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstore_workload.dir/dataset_catalog.cc.o"
+  "CMakeFiles/rstore_workload.dir/dataset_catalog.cc.o.d"
+  "CMakeFiles/rstore_workload.dir/dataset_generator.cc.o"
+  "CMakeFiles/rstore_workload.dir/dataset_generator.cc.o.d"
+  "CMakeFiles/rstore_workload.dir/query_workload.cc.o"
+  "CMakeFiles/rstore_workload.dir/query_workload.cc.o.d"
+  "CMakeFiles/rstore_workload.dir/record_generator.cc.o"
+  "CMakeFiles/rstore_workload.dir/record_generator.cc.o.d"
+  "librstore_workload.a"
+  "librstore_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstore_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_test.dir/compress/bitmap_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/bitmap_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/delta_codec_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/delta_codec_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/lz_codec_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/lz_codec_test.cc.o.d"
+  "compress_test"
+  "compress_test.pdb"
+  "compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

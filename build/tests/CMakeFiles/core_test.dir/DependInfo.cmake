@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/chunk_test.cc" "tests/CMakeFiles/core_test.dir/core/chunk_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/chunk_test.cc.o.d"
+  "/root/repo/tests/core/delta_compression_test.cc" "tests/CMakeFiles/core_test.dir/core/delta_compression_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/delta_compression_test.cc.o.d"
+  "/root/repo/tests/core/diff_test.cc" "tests/CMakeFiles/core_test.dir/core/diff_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/diff_test.cc.o.d"
+  "/root/repo/tests/core/durability_test.cc" "tests/CMakeFiles/core_test.dir/core/durability_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/durability_test.cc.o.d"
+  "/root/repo/tests/core/failure_test.cc" "tests/CMakeFiles/core_test.dir/core/failure_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/failure_test.cc.o.d"
+  "/root/repo/tests/core/fuzz_decode_test.cc" "tests/CMakeFiles/core_test.dir/core/fuzz_decode_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/fuzz_decode_test.cc.o.d"
+  "/root/repo/tests/core/lossy_projection_test.cc" "tests/CMakeFiles/core_test.dir/core/lossy_projection_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/lossy_projection_test.cc.o.d"
+  "/root/repo/tests/core/online_test.cc" "tests/CMakeFiles/core_test.dir/core/online_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/online_test.cc.o.d"
+  "/root/repo/tests/core/partitioner_test.cc" "tests/CMakeFiles/core_test.dir/core/partitioner_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/partitioner_test.cc.o.d"
+  "/root/repo/tests/core/placement_test.cc" "tests/CMakeFiles/core_test.dir/core/placement_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/placement_test.cc.o.d"
+  "/root/repo/tests/core/property_test.cc" "tests/CMakeFiles/core_test.dir/core/property_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/property_test.cc.o.d"
+  "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/core_test.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_test.cc.o.d"
+  "/root/repo/tests/core/rstore_test.cc" "tests/CMakeFiles/core_test.dir/core/rstore_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rstore_test.cc.o.d"
+  "/root/repo/tests/core/sub_chunk_builder_test.cc" "tests/CMakeFiles/core_test.dir/core/sub_chunk_builder_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sub_chunk_builder_test.cc.o.d"
+  "/root/repo/tests/core/sub_chunk_test.cc" "tests/CMakeFiles/core_test.dir/core/sub_chunk_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sub_chunk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/rstore_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/rstore_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rstore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rstore_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/rstore_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/version/CMakeFiles/rstore_version.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

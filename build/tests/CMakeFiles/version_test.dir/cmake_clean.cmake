@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_test.dir/version/dataset_test.cc.o"
+  "CMakeFiles/version_test.dir/version/dataset_test.cc.o.d"
+  "CMakeFiles/version_test.dir/version/tree_transform_test.cc.o"
+  "CMakeFiles/version_test.dir/version/tree_transform_test.cc.o.d"
+  "CMakeFiles/version_test.dir/version/version_graph_test.cc.o"
+  "CMakeFiles/version_test.dir/version/version_graph_test.cc.o.d"
+  "version_test"
+  "version_test.pdb"
+  "version_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
