@@ -17,8 +17,8 @@
 //   help / quit
 //
 // Example session:
-//   $ printf 'put master a {"x":1}\nput master a {"x":2}\nhistory a\n' \
-//       | ./build/examples/rstore_shell
+//   $ printf 'put master a {"x":1}\nput master a {"x":2}\nhistory a\n' |
+//       ./build/examples/rstore_shell
 
 #include <cstdio>
 #include <iostream>

@@ -1,6 +1,6 @@
 #include "common/hash.h"
 
-#include <cassert>
+#include "common/logging.h"
 
 namespace rstore {
 
@@ -47,7 +47,7 @@ HashFamily::HashFamily(size_t count, uint64_t seed) {
 }
 
 uint64_t HashFamily::Apply(size_t i, uint64_t x) const {
-  assert(i < params_.size());
+  RSTORE_DCHECK(i < params_.size());
   uint64_t r = MulMod61(params_[i].a, x % kMersenne61);
   r += params_[i].b;
   if (r >= kMersenne61) r -= kMersenne61;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace rstore {
@@ -33,6 +34,19 @@ void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
 namespace internal {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* condition) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line
+          << "] Check failed: " << condition << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::string msg = stream_.str();
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {

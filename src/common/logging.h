@@ -15,6 +15,26 @@ LogLevel GetLogLevel();
 
 namespace internal {
 
+/// Accumulates the failure message for RSTORE_CHECK and terminates the
+/// process on destruction. Never instantiated directly; use the macros.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
 /// Stream-style log sink: accumulates a message and emits it on destruction.
 class LogMessage {
  public:
@@ -42,6 +62,28 @@ class LogMessage {
   } else                                                               \
     ::rstore::internal::LogMessage(::rstore::LogLevel::level, __FILE__, \
                                    __LINE__)
+
+/// Invariant checks. Policy (see DESIGN.md "Correctness tooling"):
+///  - RSTORE_CHECK: internal invariants whose violation means the process
+///    state is already corrupt. Always on, logs and aborts. Extra context
+///    can be streamed: RSTORE_CHECK(i < n) << "i=" << i;
+///  - RSTORE_DCHECK: same contract but for hot paths; compiled out under
+///    NDEBUG (the condition is not evaluated).
+///  - Errors that depend on input or the environment are not invariants:
+///    return a Status instead.
+#define RSTORE_CHECK(cond)                                          \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::rstore::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#ifndef NDEBUG
+#define RSTORE_DCHECK(cond) RSTORE_CHECK(cond)
+#else
+#define RSTORE_DCHECK(cond)                                         \
+  if (true || (cond)) {                                             \
+  } else                                                            \
+    ::rstore::internal::CheckFailure(__FILE__, __LINE__, #cond)
+#endif
 
 }  // namespace rstore
 

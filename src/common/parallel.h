@@ -4,22 +4,31 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace rstore {
 
-/// Runs fn(i) for i in [0, count) across up to `max_threads` worker threads
-/// (0 = hardware concurrency). Falls back to inline execution for a single
-/// item or thread. fn must be safe to call concurrently for distinct i;
-/// writers should target disjoint, pre-sized slots.
+/// Runs fn(i) for i in [0, count) across up to `max_threads` worker threads.
+/// max_threads = 0 means hardware concurrency; an explicit max_threads is
+/// honored even beyond the core count (deliberate oversubscription), though
+/// never more threads than items. Falls back to inline execution for a
+/// single item or thread. fn must be safe to call concurrently for distinct
+/// i; writers should target disjoint, pre-sized slots.
+///
+/// Exception safety: if a worker's fn throws, the first exception is
+/// captured, the remaining iterations are abandoned (workers drain without
+/// calling fn again), all threads are joined, and the exception is rethrown
+/// on the calling thread. Without this, a throwing worker would hit
+/// std::terminate.
 inline void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
                         unsigned max_threads = 0) {
   if (count == 0) return;
   unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
-  unsigned threads = max_threads == 0 ? hardware
-                                      : std::min(max_threads, hardware);
+  unsigned threads = max_threads == 0 ? hardware : max_threads;
   threads = static_cast<unsigned>(
       std::min<size_t>(threads, count));
   if (threads <= 1) {
@@ -27,16 +36,28 @@ inline void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
     return;
   }
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;  // write-once, guarded by error_mu
+  std::mutex error_mu;
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
       for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
-        fn(i);
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace rstore

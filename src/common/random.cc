@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/hash.h"
+#include "common/logging.h"
 
 namespace rstore {
 
@@ -33,7 +34,7 @@ uint64_t Random::Next() {
 }
 
 uint64_t Random::Uniform(uint64_t bound) {
-  assert(bound > 0);
+  RSTORE_DCHECK(bound > 0);
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = (0 - bound) % bound;
   for (;;) {
@@ -43,7 +44,7 @@ uint64_t Random::Uniform(uint64_t bound) {
 }
 
 int64_t Random::UniformRange(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  RSTORE_DCHECK(lo <= hi);
   uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   return lo + static_cast<int64_t>(Uniform(span));
 }
@@ -54,7 +55,7 @@ double Random::NextDouble() {
 
 std::vector<uint64_t> Random::SampleWithoutReplacement(uint64_t n,
                                                        uint64_t count) {
-  assert(count <= n);
+  RSTORE_CHECK(count <= n);
   // Floyd's algorithm: O(count) expected time and memory.
   std::vector<uint64_t> picked;
   picked.reserve(count);
@@ -73,8 +74,8 @@ std::vector<uint64_t> Random::SampleWithoutReplacement(uint64_t n,
 }
 
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
-  assert(n >= 1);
-  assert(theta > 0 && theta != 1.0);
+  RSTORE_CHECK(n >= 1);
+  RSTORE_CHECK(theta > 0 && theta != 1.0);
   h_x1_ = H(1.5) - 1.0;
   h_n_ = H(static_cast<double>(n) + 0.5);
   s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta));

@@ -1,7 +1,6 @@
 #ifndef RSTORE_COMMON_RANDOM_H_
 #define RSTORE_COMMON_RANDOM_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <utility>

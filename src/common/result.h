@@ -1,10 +1,10 @@
 #ifndef RSTORE_COMMON_RESULT_H_
 #define RSTORE_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace rstore {
@@ -18,32 +18,32 @@ namespace rstore {
 ///   if (!r.ok()) return r.status();
 ///   Use(r.value());
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a failed Result. `status` must not be OK: an OK status with
   /// no value is a contract violation.
   Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
-    assert(!status_.ok());
+    RSTORE_DCHECK(!status_.ok());
   }
 
   /// Constructs a successful Result holding `value`.
   Result(T value)  // NOLINT(runtime/explicit)
       : status_(Status::OK()), value_(std::move(value)) {}
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Pre-condition: ok().
-  const T& value() const& {
-    assert(ok());
+  [[nodiscard]] const T& value() const& {
+    RSTORE_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    RSTORE_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    RSTORE_DCHECK(ok());
     return std::move(*value_);
   }
 
@@ -53,7 +53,7 @@ class Result {
   T* operator->() { return &value(); }
 
   /// Returns the held value, or `fallback` if this Result failed.
-  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+  [[nodiscard]] T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
 
  private:
   Status status_;

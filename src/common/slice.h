@@ -1,11 +1,12 @@
 #ifndef RSTORE_COMMON_SLICE_H_
 #define RSTORE_COMMON_SLICE_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstring>
 #include <string>
 #include <string_view>
+
+#include "common/logging.h"
 
 namespace rstore {
 
@@ -24,13 +25,13 @@ class Slice {
   bool empty() const { return size_ == 0; }
 
   char operator[](size_t i) const {
-    assert(i < size_);
+    RSTORE_DCHECK(i < size_);
     return data_[i];
   }
 
   /// Drops the first `n` bytes from the view.
   void RemovePrefix(size_t n) {
-    assert(n <= size_);
+    RSTORE_DCHECK(n <= size_);
     data_ += n;
     size_ -= n;
   }

@@ -16,7 +16,11 @@ namespace rstore {
 /// (kInvalidArgument), corrupted on-disk/on-wire payloads (kCorruption),
 /// backend/KVS failures (kIOError), double-insertions (kAlreadyExists), and
 /// features intentionally left out (kNotSupported).
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by value is
+/// implicitly nodiscard, so silently dropping an error is a compile warning
+/// (an error under RSTORE_WERROR). Use RSTORE_RETURN_IF_ERROR to propagate.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -55,20 +59,28 @@ class Status {
     return Status(Code::kAborted, msg);
   }
 
-  bool ok() const { return code_ == Code::kOk; }
-  bool IsNotFound() const { return code_ == Code::kNotFound; }
-  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
-  bool IsCorruption() const { return code_ == Code::kCorruption; }
-  bool IsIOError() const { return code_ == Code::kIOError; }
-  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
-  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
-  bool IsAborted() const { return code_ == Code::kAborted; }
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] bool IsNotFound() const { return code_ == Code::kNotFound; }
+  [[nodiscard]] bool IsInvalidArgument() const {
+    return code_ == Code::kInvalidArgument;
+  }
+  [[nodiscard]] bool IsCorruption() const {
+    return code_ == Code::kCorruption;
+  }
+  [[nodiscard]] bool IsIOError() const { return code_ == Code::kIOError; }
+  [[nodiscard]] bool IsAlreadyExists() const {
+    return code_ == Code::kAlreadyExists;
+  }
+  [[nodiscard]] bool IsNotSupported() const {
+    return code_ == Code::kNotSupported;
+  }
+  [[nodiscard]] bool IsAborted() const { return code_ == Code::kAborted; }
 
-  Code code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Human-readable "<code>: <message>" string, e.g. for logging.
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   Status(Code code, std::string_view msg) : code_(code), message_(msg) {}

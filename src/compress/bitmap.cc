@@ -1,24 +1,24 @@
 #include "compress/bitmap.h"
 
 #include <bit>
-#include <cassert>
 
 #include "common/coding.h"
+#include "common/logging.h"
 
 namespace rstore {
 
 void Bitmap::Set(size_t i) {
-  assert(i < size_);
+  RSTORE_DCHECK(i < size_);
   words_[i >> 6] |= (1ull << (i & 63));
 }
 
 void Bitmap::Clear(size_t i) {
-  assert(i < size_);
+  RSTORE_DCHECK(i < size_);
   words_[i >> 6] &= ~(1ull << (i & 63));
 }
 
 bool Bitmap::Test(size_t i) const {
-  assert(i < size_);
+  RSTORE_DCHECK(i < size_);
   return (words_[i >> 6] >> (i & 63)) & 1;
 }
 
@@ -43,12 +43,12 @@ std::vector<uint32_t> Bitmap::ToVector() const {
 }
 
 void Bitmap::UnionWith(const Bitmap& other) {
-  assert(size_ == other.size_);
+  RSTORE_CHECK(size_ == other.size_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
 }
 
 void Bitmap::IntersectWith(const Bitmap& other) {
-  assert(size_ == other.size_);
+  RSTORE_CHECK(size_ == other.size_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
 }
 

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/coding.h"
+#include "common/logging.h"
 
 namespace rstore {
 
@@ -85,6 +86,48 @@ Status Chunk::DecodeFrom(Slice* input, Chunk* out) {
     SubChunk sc;
     RSTORE_RETURN_IF_ERROR(SubChunk::DecodeFrom(input, &sc));
     out->AddSubChunk(std::move(sc));
+  }
+  RSTORE_DCHECK(out->Validate().ok()) << "decoded chunk fails validation";
+  return Status::OK();
+}
+
+Status Chunk::Validate() const {
+  if (records_.size() != sub_chunk_of_record_.size()) {
+    return Status::Corruption("record list / sub-chunk mapping size mismatch");
+  }
+  // The flattened record list must be exactly the sub-chunks' keys in order.
+  size_t flat = 0;
+  uint64_t expected_payload_bytes = 0;
+  for (size_t s = 0; s < sub_chunks_.size(); ++s) {
+    expected_payload_bytes += sub_chunks_[s].serialized_size();
+    for (const CompositeKey& ck : sub_chunks_[s].keys()) {
+      if (flat >= records_.size()) {
+        return Status::Corruption("record list shorter than sub-chunk keys");
+      }
+      if (!(records_[flat] == ck)) {
+        return Status::Corruption("record list diverges from sub-chunk keys");
+      }
+      if (sub_chunk_of_record_[flat] != s) {
+        return Status::Corruption("record maps to wrong sub-chunk");
+      }
+      ++flat;
+    }
+  }
+  if (flat != records_.size()) {
+    return Status::Corruption("record list longer than sub-chunk keys");
+  }
+  if (payload_bytes_ != expected_payload_bytes) {
+    return Status::Corruption("payload byte accounting drifted");
+  }
+  if (map_.record_count() != 0 && map_.record_count() != record_count()) {
+    return Status::Corruption("chunk map record count mismatch");
+  }
+  for (VersionId v : map_.Versions()) {
+    for (uint32_t idx : map_.RecordsOf(v)) {
+      if (idx >= records_.size()) {
+        return Status::Corruption("chunk map references record out of range");
+      }
+    }
   }
   return Status::OK();
 }

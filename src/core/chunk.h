@@ -74,6 +74,14 @@ class Chunk {
   /// Installs a chunk map fetched from the index table.
   Status SetChunkMap(ChunkMap map);
 
+  /// Internal-consistency check over the chunk index: the flattened record
+  /// list must mirror the sub-chunks' member keys in order, the
+  /// record->sub-chunk mapping must be in range and non-decreasing,
+  /// payload_bytes() must equal the sum of sub-chunk serialized sizes, and a
+  /// populated chunk map must only reference records this chunk holds.
+  /// Returns kCorruption with a description of the first violation.
+  Status Validate() const;
+
  private:
   ChunkId id_ = 0;
   std::vector<SubChunk> sub_chunks_;

@@ -1,8 +1,9 @@
 #include "core/placement.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/logging.h"
 
 namespace rstore {
 
@@ -11,7 +12,7 @@ ChunkPacker::ChunkPacker(uint64_t capacity, double overflow_fraction)
       hard_limit_(static_cast<uint64_t>(
           std::llround(static_cast<double>(capacity) *
                        (1.0 + overflow_fraction)))) {
-  assert(capacity > 0);
+  RSTORE_CHECK(capacity > 0);
 }
 
 void ChunkPacker::Add(uint32_t item_index, uint64_t bytes) {

@@ -1,21 +1,25 @@
 #include "kvstore/cluster.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/logging.h"
 
 namespace rstore {
 
 Cluster::Cluster(const ClusterOptions& options)
     : options_(options),
       ring_(options.num_nodes, options.virtual_nodes_per_node,
-            options.ring_seed) {
-  assert(options.num_nodes >= 1);
-  assert(options.replication_factor >= 1);
+            options.ring_seed),
+      alive_(options.num_nodes) {
+  RSTORE_CHECK(options.num_nodes >= 1);
+  RSTORE_CHECK(options.replication_factor >= 1);
   nodes_.reserve(options.num_nodes);
   for (uint32_t i = 0; i < options.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<MemoryStore>());
   }
-  alive_.assign(options.num_nodes, true);
+  for (std::atomic<bool>& alive : alive_) {
+    alive.store(true, std::memory_order_relaxed);
+  }
 }
 
 Status Cluster::CreateTable(const std::string& table) {
@@ -27,7 +31,9 @@ Status Cluster::CreateTable(const std::string& table) {
 
 int Cluster::FirstAlive(const std::vector<uint32_t>& replicas) const {
   for (uint32_t node : replicas) {
-    if (alive_[node]) return static_cast<int>(node);
+    if (alive_[node].load(std::memory_order_acquire)) {
+      return static_cast<int>(node);
+    }
   }
   return -1;
 }
@@ -41,7 +47,9 @@ Status Cluster::Put(const std::string& table, Slice key, Slice value) {
   auto replicas = ring_.Replicas(key, options_.replication_factor);
   int wrote = 0;
   for (uint32_t node : replicas) {
-    if (!alive_[node]) continue;  // no hinted handoff
+    if (!alive_[node].load(std::memory_order_acquire)) {
+      continue;  // no hinted handoff
+    }
     RSTORE_RETURN_IF_ERROR(nodes_[node]->Put(table, key, value));
     ++wrote;
   }
@@ -118,7 +126,7 @@ Status Cluster::Delete(const std::string& table, Slice key) {
   auto replicas = ring_.Replicas(key, options_.replication_factor);
   int deleted = 0;
   for (uint32_t node : replicas) {
-    if (!alive_[node]) continue;
+    if (!alive_[node].load(std::memory_order_acquire)) continue;
     RSTORE_RETURN_IF_ERROR(nodes_[node]->Delete(table, key));
     ++deleted;
   }
@@ -137,7 +145,7 @@ Status Cluster::Scan(const std::string& table,
   // With replication a key lives on several nodes; dedupe by only emitting
   // keys whose first alive replica is the node being scanned.
   for (uint32_t node = 0; node < nodes_.size(); ++node) {
-    if (!alive_[node]) continue;
+    if (!alive_[node].load(std::memory_order_acquire)) continue;
     Status s = nodes_[node]->Scan(table, [&](Slice key, Slice value) {
       auto replicas = ring_.Replicas(key, options_.replication_factor);
       if (FirstAlive(replicas) == static_cast<int>(node)) fn(key, value);
@@ -165,17 +173,17 @@ void Cluster::ResetStats() {
 }
 
 void Cluster::SetNodeAlive(uint32_t node, bool alive) {
-  assert(node < alive_.size());
-  alive_[node] = alive;
+  RSTORE_CHECK(node < alive_.size());
+  alive_[node].store(alive, std::memory_order_release);
 }
 
 bool Cluster::IsNodeAlive(uint32_t node) const {
-  assert(node < alive_.size());
-  return alive_[node];
+  RSTORE_CHECK(node < alive_.size());
+  return alive_[node].load(std::memory_order_acquire);
 }
 
 uint64_t Cluster::NodeBytes(uint32_t node) const {
-  assert(node < nodes_.size());
+  RSTORE_CHECK(node < nodes_.size());
   return nodes_[node]->TotalBytes();
 }
 

@@ -1,6 +1,7 @@
 #ifndef RSTORE_KVSTORE_CLUSTER_H_
 #define RSTORE_KVSTORE_CLUSTER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -75,7 +76,10 @@ class Cluster : public KVStore {
   ClusterOptions options_;
   HashRing ring_;
   std::vector<std::unique_ptr<MemoryStore>> nodes_;
-  std::vector<bool> alive_;
+  /// Per-node liveness, atomic so failure injection (SetNodeAlive) can race
+  /// with request routing without tearing; a std::vector<bool> here is a
+  /// data race under TSan because neighbouring bits share a byte.
+  std::vector<std::atomic<bool>> alive_;
 
   mutable std::mutex mu_;
   KVStats stats_;

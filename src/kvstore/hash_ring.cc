@@ -1,16 +1,16 @@
 #include "kvstore/hash_ring.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/hash.h"
+#include "common/logging.h"
 
 namespace rstore {
 
 HashRing::HashRing(uint32_t num_nodes, uint32_t virtual_nodes, uint64_t seed)
-    : num_nodes_(num_nodes) {
-  assert(num_nodes >= 1);
-  assert(virtual_nodes >= 1);
+    : num_nodes_(num_nodes), virtual_nodes_(virtual_nodes) {
+  RSTORE_CHECK(num_nodes >= 1);
+  RSTORE_CHECK(virtual_nodes >= 1);
   ring_.reserve(static_cast<size_t>(num_nodes) * virtual_nodes);
   for (uint32_t node = 0; node < num_nodes; ++node) {
     for (uint32_t v = 0; v < virtual_nodes; ++v) {
@@ -23,6 +23,31 @@ HashRing::HashRing(uint32_t num_nodes, uint32_t virtual_nodes, uint64_t seed)
     }
   }
   std::sort(ring_.begin(), ring_.end());
+  RSTORE_DCHECK(Validate().ok()) << "freshly built ring fails validation";
+}
+
+Status HashRing::Validate() const {
+  if (ring_.size() !=
+      static_cast<size_t>(num_nodes_) * virtual_nodes_) {
+    return Status::Corruption("ring entry count mismatch");
+  }
+  std::vector<bool> present(num_nodes_, false);
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[i].node >= num_nodes_) {
+      return Status::Corruption("ring entry names unknown node");
+    }
+    if (i > 0 && ring_[i].position < ring_[i - 1].position) {
+      return Status::Corruption("ring positions not sorted");
+    }
+    present[ring_[i].node] = true;
+  }
+  for (uint32_t node = 0; node < num_nodes_; ++node) {
+    if (!present[node]) {
+      return Status::Corruption("node " + std::to_string(node) +
+                                " owns no ring positions");
+    }
+  }
+  return Status::OK();
 }
 
 uint32_t HashRing::Owner(Slice key) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/slice.h"
+#include "common/status.h"
 
 namespace rstore {
 
@@ -31,6 +32,12 @@ class HashRing {
   /// the number of physical nodes.
   std::vector<uint32_t> Replicas(Slice key, uint32_t count) const;
 
+  /// Ring/replica invariants: exactly num_nodes * virtual_nodes entries,
+  /// sorted by position, every node id in range, and every physical node
+  /// present on the ring (otherwise Replicas() could never return it and its
+  /// data would be unreachable). Returns kCorruption on the first violation.
+  Status Validate() const;
+
  private:
   struct Entry {
     uint64_t position;
@@ -41,6 +48,7 @@ class HashRing {
   };
 
   uint32_t num_nodes_;
+  uint32_t virtual_nodes_;
   std::vector<Entry> ring_;  // sorted by position
 };
 

@@ -1,7 +1,8 @@
 #include "version/dataset.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/logging.h"
 
 namespace rstore {
 
@@ -88,7 +89,7 @@ Status VersionedDataset::Validate() const {
 }
 
 VersionMembership VersionedDataset::MaterializeVersion(VersionId v) const {
-  assert(v < graph.size());
+  RSTORE_CHECK(v < graph.size());
   VersionMembership members;
   for (VersionId step : graph.PathFromRoot(v)) {
     const VersionDelta& delta = deltas[step];

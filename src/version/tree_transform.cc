@@ -1,7 +1,8 @@
 #include "version/tree_transform.h"
 
-#include <cassert>
 #include <vector>
+
+#include "common/logging.h"
 
 namespace rstore {
 
@@ -14,8 +15,7 @@ TreeTransformResult ConvertToTree(const VersionedDataset& dataset) {
   result.tree.graph.AddRoot();
   for (VersionId v = 1; v < graph.size(); ++v) {
     auto r = result.tree.graph.AddVersion({graph.PrimaryParent(v)});
-    assert(r.ok() && *r == v);
-    (void)r;
+    RSTORE_CHECK(r.ok() && *r == v) << "primary-edge rebuild diverged";
   }
   result.tree.deltas.resize(graph.size());
 

@@ -1,12 +1,13 @@
 #include "version/version_graph.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/logging.h"
 
 namespace rstore {
 
 VersionId VersionGraph::AddRoot() {
-  assert(nodes_.empty());
+  RSTORE_CHECK(nodes_.empty()) << "root already exists";
   nodes_.emplace_back();
   return 0;
 }
@@ -41,7 +42,7 @@ Result<VersionId> VersionGraph::AddVersion(
 }
 
 VersionId VersionGraph::PrimaryParent(VersionId v) const {
-  assert(v < nodes_.size());
+  RSTORE_DCHECK(v < nodes_.size());
   if (nodes_[v].parents.empty()) return kInvalidVersion;
   return nodes_[v].parents[0];
 }
@@ -54,7 +55,7 @@ bool VersionGraph::IsTree() const {
 }
 
 uint32_t VersionGraph::Depth(VersionId v) const {
-  assert(v < nodes_.size());
+  RSTORE_DCHECK(v < nodes_.size());
   return nodes_[v].depth;
 }
 
@@ -91,7 +92,7 @@ std::vector<VersionId> VersionGraph::TopologicalOrder() const {
 }
 
 std::vector<VersionId> VersionGraph::PathFromRoot(VersionId v) const {
-  assert(v < nodes_.size());
+  RSTORE_DCHECK(v < nodes_.size());
   std::vector<VersionId> path;
   for (VersionId cur = v;; cur = nodes_[cur].parents[0]) {
     path.push_back(cur);
@@ -102,7 +103,7 @@ std::vector<VersionId> VersionGraph::PathFromRoot(VersionId v) const {
 }
 
 bool VersionGraph::IsAncestor(VersionId ancestor, VersionId v) const {
-  assert(ancestor < nodes_.size() && v < nodes_.size());
+  RSTORE_DCHECK(ancestor < nodes_.size() && v < nodes_.size());
   if (ancestor > v) return false;  // ids are topological
   if (ancestor == v) return true;
   // DFS upward through all parents.
@@ -152,6 +153,57 @@ std::string VersionGraph::ToDot() const {
   return out;
 }
 
+Status VersionGraph::Validate() const {
+  for (VersionId v = 0; v < nodes_.size(); ++v) {
+    const Node& node = nodes_[v];
+    if (v == 0) {
+      if (!node.parents.empty()) {
+        return Status::Corruption("root version has parents");
+      }
+      if (node.depth != 0) return Status::Corruption("root depth nonzero");
+    } else {
+      if (node.parents.empty()) {
+        return Status::Corruption("version " + std::to_string(v) +
+                                  " has no parents (second root)");
+      }
+      for (VersionId p : node.parents) {
+        // Parent ids smaller than the child's make every derivation edge
+        // point backwards in commit order: no cycles are possible.
+        if (p >= v) {
+          return Status::Corruption("version " + std::to_string(v) +
+                                    " has non-topological parent " +
+                                    std::to_string(p));
+        }
+        if (std::count(node.parents.begin(), node.parents.end(), p) != 1) {
+          return Status::Corruption("version " + std::to_string(v) +
+                                    " has duplicate parent");
+        }
+        const std::vector<VersionId>& back = nodes_[p].children;
+        if (std::count(back.begin(), back.end(), v) != 1) {
+          return Status::Corruption("parent/child adjacency mismatch at " +
+                                    std::to_string(v));
+        }
+      }
+      if (node.depth != nodes_[node.parents[0]].depth + 1) {
+        return Status::Corruption("depth of version " + std::to_string(v) +
+                                  " inconsistent with primary parent");
+      }
+    }
+    for (VersionId c : node.children) {
+      if (c >= nodes_.size() || c <= v) {
+        return Status::Corruption("version " + std::to_string(v) +
+                                  " has invalid child");
+      }
+      const std::vector<VersionId>& fwd = nodes_[c].parents;
+      if (std::find(fwd.begin(), fwd.end(), v) == fwd.end()) {
+        return Status::Corruption("child/parent adjacency mismatch at " +
+                                  std::to_string(v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status VersionGraph::DecodeFrom(Slice* input, VersionGraph* out) {
   uint64_t count;
   RSTORE_RETURN_IF_ERROR(GetVarint64(input, &count));
@@ -178,6 +230,7 @@ Status VersionGraph::DecodeFrom(Slice* input, VersionGraph* out) {
                                              r.status().message());
     }
   }
+  RSTORE_DCHECK(graph.Validate().ok()) << "decoded graph fails validation";
   *out = std::move(graph);
   return Status::OK();
 }

@@ -72,6 +72,13 @@ class VersionGraph {
   void EncodeTo(std::string* out) const;
   static Status DecodeFrom(Slice* input, VersionGraph* out);
 
+  /// Structural invariants: a single parentless root (id 0), every parent id
+  /// smaller than its child's (commit order is topological, which also
+  /// proves acyclicity), no duplicate parents, parent/child adjacency lists
+  /// that mirror each other, and depth = primary parent's depth + 1.
+  /// Returns kCorruption describing the first violation.
+  Status Validate() const;
+
   /// Graphviz DOT rendering of the graph (merge edges dashed), for
   /// visualizing branch structure: `dot -Tpng <(program) > graph.png`.
   std::string ToDot() const;

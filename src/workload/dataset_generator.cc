@@ -1,9 +1,9 @@
 #include "workload/dataset_generator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_map>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "workload/record_generator.h"
@@ -32,7 +32,7 @@ std::string KeyName(uint32_t index) {
 }  // namespace
 
 GeneratedDataset GenerateDataset(const DatasetConfig& config) {
-  assert(config.num_versions >= 1);
+  RSTORE_CHECK(config.num_versions >= 1);
   GeneratedDataset out;
   Random rng(config.seed);
   RecordGenerator records(config.record_size_bytes, config.seed ^ 0x9e37);

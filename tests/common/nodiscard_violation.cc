@@ -1,0 +1,21 @@
+// Negative compile check: this file DISCARDS Status and Result return
+// values, so building it with -Werror=unused-result must FAIL. The ctest
+// entry common.nodiscard_enforced builds this target and is marked
+// WILL_FAIL; if [[nodiscard]] is ever dropped from Status or Result, the
+// build starts succeeding and the test turns red.
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace {
+
+rstore::Status FallibleStatus() { return rstore::Status::IOError("x"); }
+rstore::Result<int> FallibleResult() { return 1; }
+
+}  // namespace
+
+int main() {
+  FallibleStatus();  // must not compile under -Werror=unused-result
+  FallibleResult();  // must not compile under -Werror=unused-result
+  return 0;
+}

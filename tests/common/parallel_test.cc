@@ -1,0 +1,142 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace rstore {
+namespace {
+
+TEST(ParallelForTest, ZeroCountNeverInvokes) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleItemRunsInlineOnCaller) {
+  std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> calls{0};
+  ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelForTest, EveryIndexRunsExactlyOnce) {
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(kCount, [&](size_t i) { ++hits[i]; }, 4);
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, CountBelowThreadCountClampsWorkers) {
+  // 3 items with 8 requested threads must spawn at most 3 workers.
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  ParallelFor(
+      3,
+      [&](size_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      },
+      8);
+  EXPECT_LE(ids.size(), 3u);
+  EXPECT_GE(ids.size(), 1u);
+}
+
+TEST(ParallelForTest, MaxThreadsClampsWorkers) {
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  ParallelFor(
+      200,
+      [&](size_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      },
+      2);
+  EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(ParallelForTest, WorkStealingCoversAllIndicesAcrossThreads) {
+  // The shared counter hands out each index exactly once; per-thread tallies
+  // must partition the index space regardless of how the threads interleave.
+  constexpr size_t kCount = 400;
+  std::mutex mu;
+  std::map<std::thread::id, std::vector<size_t>> per_thread;
+  ParallelFor(
+      kCount,
+      [&](size_t i) {
+        std::lock_guard<std::mutex> lock(mu);
+        per_thread[std::this_thread::get_id()].push_back(i);
+      },
+      4);
+  std::set<size_t> seen;
+  size_t total = 0;
+  for (const auto& [id, indices] : per_thread) {
+    total += indices.size();
+    seen.insert(indices.begin(), indices.end());
+  }
+  EXPECT_EQ(total, kCount);
+  EXPECT_EQ(seen.size(), kCount);
+  EXPECT_LE(per_thread.size(), 4u);
+}
+
+TEST(ParallelForTest, WorkerExceptionRethrownOnCaller) {
+  EXPECT_THROW(
+      ParallelFor(
+          100,
+          [](size_t i) {
+            if (i == 37) throw std::runtime_error("worker failed");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, WorkerExceptionMessagePreserved) {
+  try {
+    ParallelFor(
+        50, [](size_t i) { if (i == 7) throw std::runtime_error("boom:7"); },
+        3);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom:7");
+  }
+}
+
+TEST(ParallelForTest, InlineExceptionPropagates) {
+  // threads == 1 takes the inline path; exceptions must behave identically.
+  EXPECT_THROW(
+      ParallelFor(
+          5, [](size_t i) { if (i == 2) throw std::logic_error("inline"); },
+          1),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, ExceptionAbandonsRemainingWork) {
+  // Every call on the first 64 indices throws, so the failure flag is set
+  // before index 64 can ever be handed out; the million-item range must be
+  // abandoned after a handful of calls (bounded by in-flight workers).
+  std::atomic<size_t> executed{0};
+  EXPECT_THROW(ParallelFor(
+                   1u << 20,
+                   [&](size_t i) {
+                     ++executed;
+                     if (i < 64) throw std::runtime_error("early");
+                   },
+                   4),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), 1000u);
+}
+
+}  // namespace
+}  // namespace rstore

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
 #include "common/result.h"
 
 namespace rstore {
@@ -24,6 +29,61 @@ TEST(StatusTest, ErrorCodesAndPredicates) {
   EXPECT_TRUE(Status::Aborted("x").IsAborted());
   EXPECT_FALSE(Status::NotFound("x").ok());
 }
+
+TEST(StatusTest, EveryCodeRoundTripsThroughToString) {
+  // One entry per Status::Code; a new code must be added here (and below in
+  // DistinctCodesCoverTheEnum) to keep the suite exhaustive.
+  const std::vector<std::pair<Status, const char*>> cases = {
+      {Status::OK(), "OK"},
+      {Status::NotFound("m"), "NotFound"},
+      {Status::InvalidArgument("m"), "InvalidArgument"},
+      {Status::Corruption("m"), "Corruption"},
+      {Status::IOError("m"), "IOError"},
+      {Status::AlreadyExists("m"), "AlreadyExists"},
+      {Status::NotSupported("m"), "NotSupported"},
+      {Status::Aborted("m"), "Aborted"},
+  };
+  for (const auto& [status, name] : cases) {
+    if (status.ok()) {
+      EXPECT_EQ(status.ToString(), name);
+    } else {
+      EXPECT_EQ(status.ToString(), std::string(name) + ": m");
+      EXPECT_EQ(status.message(), "m");
+    }
+  }
+}
+
+TEST(StatusTest, DistinctCodesCoverTheEnum) {
+  const std::vector<Status> all = {
+      Status::OK(),           Status::NotFound("x"),
+      Status::InvalidArgument("x"), Status::Corruption("x"),
+      Status::IOError("x"),   Status::AlreadyExists("x"),
+      Status::NotSupported("x"),    Status::Aborted("x"),
+  };
+  std::set<Status::Code> seen;
+  for (const Status& s : all) seen.insert(s.code());
+  // kAborted is the highest code; every value in [0, kAborted] is covered.
+  EXPECT_EQ(seen.size(), all.size());
+  EXPECT_EQ(static_cast<int>(Status::Code::kAborted) + 1,
+            static_cast<int>(all.size()));
+}
+
+TEST(StatusTest, EmptyMessageToStringOmitsSeparator) {
+  EXPECT_EQ(Status::IOError("").ToString(), "IOError");
+}
+
+// Compile-time shape checks for the error-handling discipline: fallible APIs
+// return Status / Result<T> by value, which are [[nodiscard]] class types.
+// The negative half — that discarding such a return actually fails the build
+// — is covered by the common.nodiscard_enforced ctest entry, which compiles
+// tests/common/nodiscard_violation.cc with -Werror=unused-result and expects
+// the build to fail.
+static_assert(std::is_same_v<decltype(std::declval<Status>().ToString()),
+                             std::string>);
+static_assert(!std::is_convertible_v<Status, bool>,
+              "Status must not silently convert to bool");
+static_assert(std::is_same_v<decltype(std::declval<Result<int>>().status()),
+                             const Status&>);
 
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {
   Status s = Status::Corruption("bad header");

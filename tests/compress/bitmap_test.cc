@@ -122,12 +122,9 @@ TEST(BitmapTest, DeserializeRejectsGarbage) {
 
 TEST(BitmapTest, DeserializeRejectsOverrun) {
   // Valid header (size=64 -> 1 word) but a token claiming 100 zero words.
+  // The token (100 << 2) = 400 needs two varint bytes.
   std::string buf;
-  buf.push_back(64);                   // size varint
-  buf.push_back((100 << 2) | 0);       // 100-word zero run (varint < 0x80? 400>127!)
-  // (100<<2)=400 needs 2 varint bytes; construct properly:
-  buf.clear();
-  buf.push_back(64);
+  buf.push_back(64);                       // size varint
   buf.push_back(static_cast<char>(0x90));  // low 7 bits of 400 = 0x10, cont bit
   buf.push_back(0x03);                      // high bits
   Slice in(buf);

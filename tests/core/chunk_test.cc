@@ -114,6 +114,7 @@ TEST(ChunkTest, ChunkMapIntegration) {
   ASSERT_TRUE(extracted.ok());
   EXPECT_EQ((*extracted)[0].second, "a0");
   EXPECT_EQ((*extracted)[1].second, "b1");
+  EXPECT_TRUE(chunk.Validate().ok());
 }
 
 TEST(ChunkTest, EncodeDecodeRoundTrip) {
@@ -130,6 +131,7 @@ TEST(ChunkTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded.record_count(), 3u);
   EXPECT_EQ(decoded.records(), chunk.records());
   EXPECT_EQ(*decoded.ExtractPayload(CompositeKey("B", 3)), "b3");
+  EXPECT_TRUE(decoded.Validate().ok());
 }
 
 TEST(ChunkTest, SetChunkMapValidatesCoverage) {
@@ -149,6 +151,31 @@ TEST(ChunkTest, PayloadBytesTracksSubChunkSizes) {
   uint64_t expected = sc.serialized_size();
   chunk.AddSubChunk(std::move(sc));
   EXPECT_EQ(chunk.payload_bytes(), expected);
+}
+
+TEST(ChunkTest, ValidateCatchesStaleChunkMap) {
+  // A populated chunk map that no longer covers the chunk's records must be
+  // rejected. The state is reachable without any out-of-contract call:
+  // InitChunkMap snapshots the record count, so appending a sub-chunk
+  // afterwards leaves the map referencing a smaller record list.
+  Chunk chunk(1);
+  chunk.AddSubChunk(MakeSubChunk("A", {{0, "a0"}, {1, "a1"}}));
+  chunk.InitChunkMap();
+  chunk.chunk_map()->Add(0, 1);
+  EXPECT_TRUE(chunk.Validate().ok());
+  chunk.AddSubChunk(MakeSubChunk("B", {{0, "b0"}}));
+  EXPECT_TRUE(chunk.Validate().IsCorruption());
+}
+
+TEST(ChunkTest, SetChunkMapRejectsForeignMap) {
+  // Maps referencing a different record universe are stopped at the door, so
+  // the out-of-range branch in Validate stays defense-in-depth only.
+  Chunk chunk(1);
+  chunk.AddSubChunk(MakeSubChunk("A", {{0, "a0"}, {1, "a1"}}));
+  ChunkMap foreign(6);
+  foreign.Add(0, 5);  // valid for a 6-record chunk, not for this one
+  EXPECT_TRUE(chunk.SetChunkMap(std::move(foreign)).IsCorruption());
+  EXPECT_TRUE(chunk.Validate().ok());
 }
 
 TEST(ChunkKeyTest, DistinctAndStable) {

@@ -53,10 +53,10 @@ std::string Mutate(Random* rng, std::string input) {
 std::string ValidChunkEncoding() {
   Chunk chunk(9);
   auto sc1 = SubChunk::Build(
-      {{CompositeKey("A", 0), 0, "payload one for sub-chunk A"}},
+      {{CompositeKey("A", 0), 0, "payload one for sub-chunk A", {}, {}}},
       CompressionType::kLZ);
-  auto sc2 = SubChunk::Build({{CompositeKey("B", 0), 0, "payload B zero"},
-                              {CompositeKey("B", 3), 0, "payload B three"}},
+  auto sc2 = SubChunk::Build({{CompositeKey("B", 0), 0, "payload B zero", {}, {}},
+                              {CompositeKey("B", 3), 0, "payload B three", {}, {}}},
                              CompressionType::kLZ);
   chunk.AddSubChunk(*std::move(sc1));
   chunk.AddSubChunk(*std::move(sc2));
@@ -104,23 +104,29 @@ TEST_P(FuzzDecodeTest, DecodersNeverCrashOnGarbage) {
     auto make_input = [&](const std::string& valid) {
       return mutated ? Mutate(&rng, valid) : RandomBytes(&rng, 300);
     };
+    // Each input is bound to a named string: Slice is non-owning, so the
+    // backing bytes must outlive every DecodeFrom call that reads them.
     {
-      Slice in(make_input(valid_chunk));
+      std::string input = make_input(valid_chunk);
+      Slice in(input);
       Chunk out;
       (void)Chunk::DecodeFrom(&in, &out);  // must simply not crash
     }
     {
-      Slice in(make_input(valid_map));
+      std::string input = make_input(valid_map);
+      Slice in(input);
       ChunkMap out;
       (void)ChunkMap::DecodeFrom(&in, &out);
     }
     {
-      Slice in(make_input(valid_graph));
+      std::string input = make_input(valid_graph);
+      Slice in(input);
       VersionGraph out;
       (void)VersionGraph::DecodeFrom(&in, &out);
     }
     {
-      Slice in(make_input(valid_bitmap));
+      std::string input = make_input(valid_bitmap);
+      Slice in(input);
       Bitmap out;
       (void)Bitmap::DeserializeFrom(&in, &out);
     }
@@ -138,7 +144,8 @@ TEST_P(FuzzDecodeTest, DecodersNeverCrashOnGarbage) {
       (void)json::Parse(input);
     }
     {
-      Slice in(make_input(""));
+      std::string input = make_input("");
+      Slice in(input);
       VersionDelta out;
       (void)VersionDelta::DecodeFrom(&in, &out);
     }
@@ -151,14 +158,15 @@ TEST_P(FuzzDecodeTest, MutatedSubChunkNeverYieldsWrongPayload) {
   // without checksums — but must never crash or loop).
   Random rng(GetParam() * 31337 + 5);
   auto valid = SubChunk::Build(
-      {{CompositeKey("key", 0), 0, std::string(500, 'x')},
-       {CompositeKey("key", 1), 0, std::string(500, 'y')}},
+      {{CompositeKey("key", 0), 0, std::string(500, 'x'), {}, {}},
+       {CompositeKey("key", 1), 0, std::string(500, 'y'), {}, {}}},
       CompressionType::kLZ);
   ASSERT_TRUE(valid.ok());
   std::string encoded;
   valid->EncodeTo(&encoded);
   for (int trial = 0; trial < 200; ++trial) {
-    Slice in(Mutate(&rng, encoded));
+    std::string input = Mutate(&rng, encoded);
+    Slice in(input);
     SubChunk out;
     if (SubChunk::DecodeFrom(&in, &out).ok()) {
       (void)out.ExtractAllPayloads();

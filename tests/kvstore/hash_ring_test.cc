@@ -9,6 +9,12 @@
 namespace rstore {
 namespace {
 
+TEST(HashRingTest, ValidatePassesForFreshRings) {
+  EXPECT_TRUE(HashRing(1, 1, 0).Validate().ok());
+  EXPECT_TRUE(HashRing(8, 64, 42).Validate().ok());
+  EXPECT_TRUE(HashRing(16, 128, 7).Validate().ok());
+}
+
 TEST(HashRingTest, OwnerIsStable) {
   HashRing ring(8, 64, 42);
   for (int i = 0; i < 100; ++i) {

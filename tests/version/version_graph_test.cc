@@ -128,6 +128,16 @@ TEST(VersionGraphTest, EncodeDecodeRoundTrip) {
   EXPECT_TRUE(in.empty());
 }
 
+TEST(VersionGraphTest, ValidateAcceptsBuiltGraphs) {
+  VersionGraph g;
+  EXPECT_TRUE(g.Validate().ok());  // empty graph is trivially valid
+  g.AddRoot();
+  ASSERT_TRUE(g.AddVersion({0}).ok());
+  ASSERT_TRUE(g.AddVersion({0}).ok());
+  ASSERT_TRUE(g.AddVersion({1, 2}).ok());  // merge
+  EXPECT_TRUE(g.Validate().ok());
+}
+
 TEST(VersionGraphTest, DecodeRejectsGarbage) {
   std::string garbage = "\x05\xff\xff\xff\xff";
   Slice in(garbage);

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Repository lint checks that clang-tidy does not cover.
+
+Enforced rules (over src/ by default):
+
+  include-guard   Headers use #ifndef/#define/#endif guards named
+                  RSTORE_<PATH>_H_, where <PATH> is the file's path relative
+                  to src/, upper-cased, with '/' and '.' mapped to '_'
+                  (e.g. src/core/chunk.h -> RSTORE_CORE_CHUNK_H_).
+  naked-new       No `new` expressions outside smart-pointer factories;
+                  ownership goes through std::make_unique/make_shared or
+                  containers.
+  stream-logging  No std::cout / std::cerr / printf-family in src/ outside
+                  the logging implementation; use RSTORE_LOG.
+  assert          No C `assert(...)`; use RSTORE_CHECK (always-on invariants)
+                  or RSTORE_DCHECK (debug-only, hot paths) from
+                  common/logging.h.
+
+Usage:
+  tools/lint.py [paths...]      # default: src/
+  tools/lint.py --list-checks
+
+Exit status is 0 when clean, 1 when any violation is found.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Files allowed to talk to stdio directly: the logging sink itself.
+STREAM_ALLOWLIST = {
+    os.path.join("src", "common", "logging.h"),
+    os.path.join("src", "common", "logging.cc"),
+}
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line breaks.
+
+    Keeps offsets stable so violation line numbers match the original file.
+    A lexer-grade pass is overkill for these checks; this handles //, block
+    comments, and quoted literals, which is what the codebase contains.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            if end == -1:
+                end = n
+            out.append(" " * (end - i))
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:end]))
+            i = end
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def expected_guard(rel_path):
+    """src/core/chunk.h -> RSTORE_CORE_CHUNK_H_"""
+    inner = os.path.relpath(rel_path, "src")
+    stem = re.sub(r"[/.]", "_", inner.replace(os.sep, "/"))
+    return "RSTORE_" + stem.upper() + "_"
+
+
+def check_include_guard(rel_path, text, stripped):
+    if not rel_path.endswith((".h", ".hpp")):
+        return []
+    guard = expected_guard(rel_path)
+    lines = stripped.splitlines()
+    ifndef_re = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+    violations = []
+    for idx, line in enumerate(lines):
+        m = ifndef_re.match(line)
+        if not m:
+            if line.strip():
+                violations.append(
+                    (idx + 1, "include-guard",
+                     "first preprocessor line must be '#ifndef %s'" % guard))
+                return violations
+            continue
+        found = m.group(1)
+        if found != guard:
+            violations.append(
+                (idx + 1, "include-guard",
+                 "guard is '%s', expected '%s'" % (found, guard)))
+            return violations
+        define_ok = idx + 1 < len(lines) and re.match(
+            r"^\s*#\s*define\s+%s\s*$" % re.escape(guard), lines[idx + 1])
+        if not define_ok:
+            violations.append(
+                (idx + 2, "include-guard",
+                 "'#define %s' must immediately follow the #ifndef" % guard))
+        return violations
+    violations.append((1, "include-guard", "missing include guard"))
+    return violations
+
+
+NEW_ANY_RE = re.compile(r"(?<![\w.>])new\b")
+# A `new` handed straight to a smart-pointer constructor in the same
+# expression is owned from birth — the factory-with-private-constructor
+# idiom, where make_unique cannot reach the constructor. Only `new`
+# expressions without an immediate owner are flagged.
+OWNED_NEW_RE = re.compile(
+    r"(unique_ptr|shared_ptr)\s*<[^;]*\(\s*new\b")
+
+
+def check_naked_new(rel_path, text, stripped):
+    violations = []
+    for idx, line in enumerate(stripped.splitlines()):
+        if NEW_ANY_RE.search(line) and not OWNED_NEW_RE.search(line):
+            violations.append(
+                (idx + 1, "naked-new",
+                 "raw `new` — use std::make_unique/make_shared (or wrap in "
+                 "a smart pointer within the same expression)"))
+    return violations
+
+
+STREAM_RE = re.compile(
+    r"std\s*::\s*(cout|cerr)\b|(?<![\w:])(printf|fprintf|puts)\s*\(")
+
+
+def check_stream_logging(rel_path, text, stripped):
+    if rel_path.replace("/", os.sep) in STREAM_ALLOWLIST:
+        return []
+    violations = []
+    for idx, line in enumerate(stripped.splitlines()):
+        m = STREAM_RE.search(line)
+        if m:
+            violations.append(
+                (idx + 1, "stream-logging",
+                 "direct stdio ('%s') — use RSTORE_LOG from "
+                 "common/logging.h" % m.group(0).strip()))
+    return violations
+
+
+ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
+
+
+def check_assert(rel_path, text, stripped):
+    violations = []
+    for idx, line in enumerate(stripped.splitlines()):
+        if ASSERT_RE.search(line):
+            violations.append(
+                (idx + 1, "assert",
+                 "C assert() — use RSTORE_CHECK or RSTORE_DCHECK"))
+    return violations
+
+
+CHECKS = [
+    ("include-guard", check_include_guard),
+    ("naked-new", check_naked_new),
+    ("stream-logging", check_stream_logging),
+    ("assert", check_assert),
+]
+
+
+def lint_file(rel_path):
+    abs_path = os.path.join(REPO_ROOT, rel_path)
+    try:
+        with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [(0, "io", str(e))]
+    stripped = strip_comments_and_strings(text)
+    violations = []
+    for _, fn in CHECKS:
+        violations.extend(fn(rel_path, text, stripped))
+    return violations
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        abs_p = p if os.path.isabs(p) else os.path.join(REPO_ROOT, p)
+        if os.path.isfile(abs_p):
+            files.append(os.path.relpath(abs_p, REPO_ROOT))
+        else:
+            for dirpath, _, names in os.walk(abs_p):
+                for name in sorted(names):
+                    if name.endswith(CXX_EXTENSIONS):
+                        files.append(
+                            os.path.relpath(os.path.join(dirpath, name),
+                                            REPO_ROOT))
+    return sorted(set(files))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print the check names and exit")
+    args = parser.parse_args()
+
+    if args.list_checks:
+        for name, _ in CHECKS:
+            print(name)
+        return 0
+
+    paths = args.paths or ["src"]
+    files = collect_files(paths)
+    if not files:
+        print("lint.py: no C++ files found under: %s" % " ".join(paths),
+              file=sys.stderr)
+        return 1
+
+    total = 0
+    for rel_path in files:
+        for line, check, message in lint_file(rel_path):
+            total += 1
+            print("%s:%d: [%s] %s" % (rel_path, line, check, message))
+    if total:
+        print("\nlint.py: %d violation(s) in %d file(s) scanned"
+              % (total, len(files)), file=sys.stderr)
+        return 1
+    print("lint.py: %d file(s) clean" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
