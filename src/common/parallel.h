@@ -6,9 +6,10 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace rstore {
 
@@ -38,7 +39,7 @@ inline void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;  // write-once, guarded by error_mu
-  std::mutex error_mu;
+  Mutex error_mu{kLockRankParallelError, "ParallelFor::error_mu"};
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
@@ -48,7 +49,7 @@ inline void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
+          MutexLock lock(error_mu);
           if (!first_error) first_error = std::current_exception();
           failed.store(true, std::memory_order_relaxed);
           return;

@@ -1,0 +1,104 @@
+#include "common/sync.h"
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rstore {
+
+namespace sync_internal {
+
+#ifndef NDEBUG
+
+namespace {
+
+struct HeldLock {
+  const void* mu;
+  int rank;
+  const char* name;
+};
+
+// The calling thread's currently-held locks, outermost first. The rank
+// invariant (strictly decreasing) makes the back element the minimum, so an
+// acquisition only needs to compare against the top of the stack.
+thread_local std::vector<HeldLock> t_held;
+
+std::string DescribeHeld() {
+  std::string out;
+  for (const HeldLock& h : t_held) {
+    if (!out.empty()) out += " -> ";
+    out += '"';
+    out += h.name;
+    out += "\" (rank ";
+    out += std::to_string(h.rank);
+    out += ')';
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+}  // namespace
+
+void CheckRankBeforeAcquire(const void* mu, int rank, const char* name) {
+  if (t_held.empty()) return;
+  const HeldLock& top = t_held.back();
+  // Checked before blocking on the underlying mutex so a potential deadlock
+  // (including re-entrant self-lock: same rank, or the same mutex) is
+  // reported instead of hanging.
+  RSTORE_DCHECK(rank < top.rank)
+      << "lock-rank violation: acquiring \"" << name << "\" (rank " << rank
+      << ") while holding \"" << top.name << "\" (rank " << top.rank
+      << "); ranks must be strictly decreasing. Held: " << DescribeHeld();
+  RSTORE_DCHECK(mu != top.mu)
+      << "re-entrant acquisition of \"" << name << "\"";
+}
+
+void RecordAcquired(const void* mu, int rank, const char* name) {
+  t_held.push_back(HeldLock{mu, rank, name});
+}
+
+void RecordReleased(const void* mu, const char* name) {
+  // Releases are usually LIFO (RAII guards) but interleaved scopes are
+  // legal; search from the innermost end.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  RSTORE_DCHECK(false) << "releasing \"" << name
+                       << "\" which this thread does not hold. Held: "
+                       << DescribeHeld();
+}
+
+int HeldLockCount() { return static_cast<int>(t_held.size()); }
+
+#endif  // !NDEBUG
+
+}  // namespace sync_internal
+
+namespace {
+
+// Adapter giving condition_variable_any the BasicLockable surface it wants
+// while routing through Mutex::Lock/Unlock so the rank registry tracks the
+// release/re-acquire pair inside a wait. The analysis cannot see through
+// cv_.wait, hence the opt-out.
+struct CondVarLockAdapter {
+  Mutex* mu;
+  void lock() RSTORE_NO_THREAD_SAFETY_ANALYSIS { mu->Lock(); }
+  void unlock() RSTORE_NO_THREAD_SAFETY_ANALYSIS { mu->Unlock(); }
+};
+
+}  // namespace
+
+void CondVar::Wait(Mutex& mu) {
+  CondVarLockAdapter adapter{&mu};
+  cv_.wait(adapter);
+}
+
+void CondVar::NotifyOne() { cv_.notify_one(); }
+
+void CondVar::NotifyAll() { cv_.notify_all(); }
+
+}  // namespace rstore

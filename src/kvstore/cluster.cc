@@ -38,13 +38,8 @@ int Cluster::FirstAlive(const std::vector<uint32_t>& replicas) const {
   return -1;
 }
 
-void Cluster::ChargeMicros(uint64_t micros) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.simulated_micros += micros;
-}
-
 Status Cluster::Put(const std::string& table, Slice key, Slice value) {
-  auto replicas = ring_.Replicas(key, options_.replication_factor);
+  const auto replicas = ring_.Replicas(key, options_.replication_factor);
   int wrote = 0;
   for (uint32_t node : replicas) {
     if (!alive_[node].load(std::memory_order_acquire)) {
@@ -54,31 +49,29 @@ Status Cluster::Put(const std::string& table, Slice key, Slice value) {
     ++wrote;
   }
   if (wrote == 0) return Status::IOError("all replicas down");
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.puts;
-    stats_.bytes_written += key.size() + value.size();
-  }
   // Replica writes proceed in parallel; charge one request's latency.
-  ChargeMicros(options_.latency.coordinator_overhead_us +
-               options_.latency.NodeServiceMicros(1, value.size()));
+  const uint64_t micros = options_.latency.coordinator_overhead_us +
+                          options_.latency.NodeServiceMicros(1, value.size());
+  MutexLock lock(mu_);
+  ++stats_.puts;
+  stats_.bytes_written += key.size() + value.size();
+  stats_.simulated_micros += micros;
   return Status::OK();
 }
 
 Result<std::string> Cluster::Get(const std::string& table, Slice key) {
-  auto replicas = ring_.Replicas(key, options_.replication_factor);
-  int node = FirstAlive(replicas);
+  const auto replicas = ring_.Replicas(key, options_.replication_factor);
+  const int node = FirstAlive(replicas);
   if (node < 0) return Status::IOError("all replicas down");
   Result<std::string> r = nodes_[node]->Get(table, key);
-  uint64_t bytes = r.ok() ? r.value().size() : 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.gets;
-    ++stats_.keys_requested;
-    stats_.bytes_read += bytes;
-  }
-  ChargeMicros(options_.latency.coordinator_overhead_us +
-               options_.latency.NodeServiceMicros(1, bytes));
+  const uint64_t bytes = r.ok() ? r.value().size() : 0;
+  const uint64_t micros = options_.latency.coordinator_overhead_us +
+                          options_.latency.NodeServiceMicros(1, bytes);
+  MutexLock lock(mu_);
+  ++stats_.gets;
+  ++stats_.keys_requested;
+  stats_.bytes_read += bytes;
+  stats_.simulated_micros += micros;
   return r;
 }
 
@@ -112,13 +105,12 @@ Status Cluster::MultiGet(const std::string& table,
         slowest_us, options_.latency.NodeServiceMicros(per_node[node].size(),
                                                        node_bytes));
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.multiget_batches;
-    stats_.keys_requested += keys.size();
-    stats_.bytes_read += total_bytes;
-  }
-  ChargeMicros(options_.latency.coordinator_overhead_us + slowest_us);
+  MutexLock lock(mu_);
+  ++stats_.multiget_batches;
+  stats_.keys_requested += keys.size();
+  stats_.bytes_read += total_bytes;
+  stats_.simulated_micros += options_.latency.coordinator_overhead_us +
+                             slowest_us;
   return Status::OK();
 }
 
@@ -131,12 +123,10 @@ Status Cluster::Delete(const std::string& table, Slice key) {
     ++deleted;
   }
   if (deleted == 0) return Status::IOError("all replicas down");
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.deletes;
-  }
-  ChargeMicros(options_.latency.coordinator_overhead_us +
-               options_.latency.NodeServiceMicros(1, 0));
+  MutexLock lock(mu_);
+  ++stats_.deletes;
+  stats_.simulated_micros += options_.latency.coordinator_overhead_us +
+                             options_.latency.NodeServiceMicros(1, 0);
   return Status::OK();
 }
 
@@ -163,12 +153,12 @@ Result<uint64_t> Cluster::TableSize(const std::string& table) {
 }
 
 KVStats Cluster::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void Cluster::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = KVStats{};
 }
 

@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "kvstore/hash_ring.h"
 #include "kvstore/kv_store.h"
 #include "kvstore/latency_model.h"
@@ -71,8 +71,10 @@ class Cluster : public KVStore {
   /// First alive node in `replicas`, or -1 if all are down.
   int FirstAlive(const std::vector<uint32_t>& replicas) const;
 
-  void ChargeMicros(uint64_t micros);
-
+  /// Routing state (ring_, nodes_, options_) is immutable after
+  /// construction and alive_ is atomic, so requests route lock-free; mu_
+  /// guards only the coordinator's stats and is never held across a node
+  /// call (node locks rank below kLockRankCluster — see sync.h).
   ClusterOptions options_;
   HashRing ring_;
   std::vector<std::unique_ptr<MemoryStore>> nodes_;
@@ -81,8 +83,8 @@ class Cluster : public KVStore {
   /// data race under TSan because neighbouring bits share a byte.
   std::vector<std::atomic<bool>> alive_;
 
-  mutable std::mutex mu_;
-  KVStats stats_;
+  mutable Mutex mu_{kLockRankCluster, "Cluster::mu_"};
+  KVStats stats_ RSTORE_GUARDED_BY(mu_);
 };
 
 }  // namespace rstore

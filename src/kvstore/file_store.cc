@@ -36,7 +36,7 @@ FileStore::FileStore(std::string directory)
     : directory_(std::move(directory)) {}
 
 FileStore::~FileStore() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, table] : tables_) {
     if (table.log != nullptr) std::fclose(table.log);
   }
@@ -89,7 +89,7 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(
 
 Status FileStore::LoadTable(const std::string& table,
                             const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Table& t = tables_[table];
   FILE* in = std::fopen(path.c_str(), "rb");
   if (in == nullptr) {
@@ -148,7 +148,7 @@ Status FileStore::LoadTable(const std::string& table,
 }
 
 Status FileStore::CreateTable(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it != tables_.end()) return Status::OK();
   Table& t = tables_[table];
@@ -180,7 +180,7 @@ Status FileStore::AppendRecord(Table* table, char op, Slice key,
 }
 
 Status FileStore::Put(const std::string& table, Slice key, Slice value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   RSTORE_RETURN_IF_ERROR(AppendRecord(&it->second, kOpPut, key, value));
@@ -191,7 +191,7 @@ Status FileStore::Put(const std::string& table, Slice key, Slice value) {
 }
 
 Result<std::string> FileStore::Get(const std::string& table, Slice key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   ++stats_.gets;
@@ -207,7 +207,7 @@ Result<std::string> FileStore::Get(const std::string& table, Slice key) {
 Status FileStore::MultiGet(const std::string& table,
                            const std::vector<std::string>& keys,
                            std::map<std::string, std::string>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   ++stats_.multiget_batches;
@@ -223,7 +223,7 @@ Status FileStore::MultiGet(const std::string& table,
 }
 
 Status FileStore::Delete(const std::string& table, Slice key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   RSTORE_RETURN_IF_ERROR(AppendRecord(&it->second, kOpDelete, key, Slice()));
@@ -235,40 +235,46 @@ Status FileStore::Delete(const std::string& table, Slice key) {
 Status FileStore::Scan(
     const std::string& table,
     const std::function<void(Slice key, Slice value)>& fn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(table);
-  if (it == tables_.end()) return Status::NotFound("table: " + table);
-  for (const auto& [key, value] : it->second.entries) {
+  // Snapshot under the lock, iterate outside it, so `fn` may re-enter the
+  // store without self-deadlocking on mu_ (see MemoryStore::Scan).
+  std::map<std::string, std::string> snapshot;
+  {
+    MutexLock lock(mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return Status::NotFound("table: " + table);
+    snapshot = it->second.entries;
+  }
+  for (const auto& [key, value] : snapshot) {
     fn(Slice(key), Slice(value));
   }
   return Status::OK();
 }
 
 Result<uint64_t> FileStore::TableSize(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   return static_cast<uint64_t>(it->second.entries.size());
 }
 
 KVStats FileStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void FileStore::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = KVStats{};
 }
 
 Result<uint64_t> FileStore::Compact(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   Table& t = it->second;
-  uint64_t before = t.log_bytes;
-  std::string path = LogPath(table);
-  std::string tmp_path = path + ".tmp";
+  const uint64_t before = t.log_bytes;
+  const std::string path = LogPath(table);
+  const std::string tmp_path = path + ".tmp";
   FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
   if (tmp == nullptr) return Status::IOError("cannot create " + tmp_path);
   uint64_t written = 0;

@@ -3,9 +3,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "kvstore/kv_store.h"
 
 namespace rstore {
@@ -34,6 +34,8 @@ class FileStore : public KVStore {
                   const std::vector<std::string>& keys,
                   std::map<std::string, std::string>* out) override;
   Status Delete(const std::string& table, Slice key) override;
+  /// Iterates a point-in-time snapshot of the table; the store lock is NOT
+  /// held while `fn` runs, so the callback may call back into this store.
   Status Scan(const std::string& table,
               const std::function<void(Slice key, Slice value)>& fn) override;
   Result<uint64_t> TableSize(const std::string& table) override;
@@ -57,12 +59,14 @@ class FileStore : public KVStore {
 
   std::string LogPath(const std::string& table) const;
   Status LoadTable(const std::string& table, const std::string& path);
-  Status AppendRecord(Table* table, char op, Slice key, Slice value);
+  /// `table` points into tables_, hence the lock requirement.
+  Status AppendRecord(Table* table, char op, Slice key, Slice value)
+      RSTORE_REQUIRES(mu_);
 
   std::string directory_;
-  mutable std::mutex mu_;
-  std::map<std::string, Table> tables_;
-  KVStats stats_;
+  mutable Mutex mu_{kLockRankFileStore, "FileStore::mu_"};
+  std::map<std::string, Table> tables_ RSTORE_GUARDED_BY(mu_);
+  KVStats stats_ RSTORE_GUARDED_BY(mu_);
 };
 
 }  // namespace rstore

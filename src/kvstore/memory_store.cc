@@ -3,13 +3,13 @@
 namespace rstore {
 
 Status MemoryStore::CreateTable(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tables_.try_emplace(table);
   return Status::OK();
 }
 
 Status MemoryStore::Put(const std::string& table, Slice key, Slice value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   it->second[key.ToString()] = value.ToString();
@@ -19,7 +19,7 @@ Status MemoryStore::Put(const std::string& table, Slice key, Slice value) {
 }
 
 Result<std::string> MemoryStore::Get(const std::string& table, Slice key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   ++stats_.gets;
@@ -35,7 +35,7 @@ Result<std::string> MemoryStore::Get(const std::string& table, Slice key) {
 Status MemoryStore::MultiGet(const std::string& table,
                              const std::vector<std::string>& keys,
                              std::map<std::string, std::string>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   ++stats_.multiget_batches;
@@ -51,7 +51,7 @@ Status MemoryStore::MultiGet(const std::string& table,
 }
 
 Status MemoryStore::Delete(const std::string& table, Slice key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   ++stats_.deletes;
@@ -62,34 +62,41 @@ Status MemoryStore::Delete(const std::string& table, Slice key) {
 Status MemoryStore::Scan(
     const std::string& table,
     const std::function<void(Slice key, Slice value)>& fn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(table);
-  if (it == tables_.end()) return Status::NotFound("table: " + table);
-  for (const auto& [key, value] : it->second) {
+  // Snapshot under the lock, iterate outside it: invoking an arbitrary
+  // callback with mu_ held self-deadlocks the moment the callback re-enters
+  // the store (the lock-rank registry flags exactly this in debug builds).
+  Table snapshot;
+  {
+    MutexLock lock(mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return Status::NotFound("table: " + table);
+    snapshot = it->second;
+  }
+  for (const auto& [key, value] : snapshot) {
     fn(Slice(key), Slice(value));
   }
   return Status::OK();
 }
 
 Result<uint64_t> MemoryStore::TableSize(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table: " + table);
   return static_cast<uint64_t>(it->second.size());
 }
 
 KVStats MemoryStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void MemoryStore::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = KVStats{};
 }
 
 uint64_t MemoryStore::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [name, table] : tables_) {
     for (const auto& [key, value] : table) {

@@ -2,9 +2,9 @@
 #define RSTORE_KVSTORE_MEMORY_STORE_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "kvstore/kv_store.h"
 
 namespace rstore {
@@ -24,6 +24,9 @@ class MemoryStore : public KVStore {
                   const std::vector<std::string>& keys,
                   std::map<std::string, std::string>* out) override;
   Status Delete(const std::string& table, Slice key) override;
+  /// Iterates a point-in-time snapshot of the table; the store lock is NOT
+  /// held while `fn` runs, so the callback may call back into this store
+  /// (or mutate it — such writes are simply not visible to the snapshot).
   Status Scan(const std::string& table,
               const std::function<void(Slice key, Slice value)>& fn) override;
   Result<uint64_t> TableSize(const std::string& table) override;
@@ -37,9 +40,9 @@ class MemoryStore : public KVStore {
  private:
   using Table = std::map<std::string, std::string>;
 
-  mutable std::mutex mu_;
-  std::map<std::string, Table> tables_;
-  KVStats stats_;
+  mutable Mutex mu_{kLockRankMemoryStore, "MemoryStore::mu_"};
+  std::map<std::string, Table> tables_ RSTORE_GUARDED_BY(mu_);
+  KVStats stats_ RSTORE_GUARDED_BY(mu_);
 };
 
 }  // namespace rstore

@@ -150,5 +150,31 @@ TEST_F(FileStoreTest, RStoreRunsOnFileBackend) {
   EXPECT_TRUE((*store)->VerifyIntegrity().ok());
 }
 
+// Regression: like MemoryStore, FileStore::Scan held mu_ across the user
+// callback, deadlocking any callback that re-entered the store. Scan now
+// snapshots the table first.
+TEST_F(FileStoreTest, ScanCallbackMayReenterStore) {
+  auto store = FileStore::Open(dir_.string());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->CreateTable("t").ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*store)
+                    ->Put("t", "k" + std::to_string(i),
+                          "v" + std::to_string(i))
+                    .ok());
+  }
+  int checked = 0;
+  ASSERT_TRUE((*store)
+                  ->Scan("t",
+                         [&](Slice key, Slice value) {
+                           auto r = (*store)->Get("t", key.ToString());
+                           ASSERT_TRUE(r.ok());
+                           EXPECT_EQ(*r, value.ToString());
+                           ++checked;
+                         })
+                  .ok());
+  EXPECT_EQ(checked, 8);
+}
+
 }  // namespace
 }  // namespace rstore

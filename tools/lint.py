@@ -15,6 +15,13 @@ Enforced rules (over src/ by default):
   assert          No C `assert(...)`; use RSTORE_CHECK (always-on invariants)
                   or RSTORE_DCHECK (debug-only, hot paths) from
                   common/logging.h.
+  raw-sync        No raw std::mutex / std::shared_mutex / std::lock_guard /
+                  std::unique_lock / std::condition_variable (etc.) outside
+                  src/common/sync.h; use the annotated primitives
+                  (rstore::Mutex, MutexLock, ReaderLock, CondVar, ...) so
+                  Clang -Wthread-safety and the lock-rank registry see every
+                  acquisition. Append `// lint:allow-raw-sync` to a line to
+                  suppress (e.g. interop with an external API).
 
 Usage:
   tools/lint.py [paths...]      # default: src/
@@ -173,11 +180,50 @@ def check_assert(rel_path, text, stripped):
     return violations
 
 
+# Only the annotated wrappers may touch the std primitives directly;
+# everything else must go through common/sync.h so Clang's thread-safety
+# analysis and the debug lock-rank registry observe every acquisition.
+RAW_SYNC_RE = re.compile(
+    r"std\s*::\s*(mutex|shared_mutex|timed_mutex|shared_timed_mutex|"
+    r"recursive_mutex|recursive_timed_mutex|lock_guard|unique_lock|"
+    r"shared_lock|scoped_lock|condition_variable|condition_variable_any)\b")
+
+RAW_SYNC_ALLOWLIST = {
+    os.path.join("src", "common", "sync.h"),
+    os.path.join("src", "common", "sync.cc"),
+}
+
+RAW_SYNC_SUPPRESSION = "lint:allow-raw-sync"
+
+
+def check_raw_sync(rel_path, text, stripped):
+    if rel_path.replace("/", os.sep) in RAW_SYNC_ALLOWLIST:
+        return []
+    violations = []
+    original_lines = text.splitlines()
+    for idx, line in enumerate(stripped.splitlines()):
+        m = RAW_SYNC_RE.search(line)
+        if not m:
+            continue
+        # The suppression lives in a comment, which stripping blanked out;
+        # look it up in the original line.
+        if idx < len(original_lines) and \
+                RAW_SYNC_SUPPRESSION in original_lines[idx]:
+            continue
+        violations.append(
+            (idx + 1, "raw-sync",
+             "raw std::%s — use the annotated primitives in common/sync.h "
+             "(rstore::Mutex/MutexLock/ReaderLock/CondVar); append "
+             "`// %s` to suppress" % (m.group(1), RAW_SYNC_SUPPRESSION)))
+    return violations
+
+
 CHECKS = [
     ("include-guard", check_include_guard),
     ("naked-new", check_naked_new),
     ("stream-logging", check_stream_logging),
     ("assert", check_assert),
+    ("raw-sync", check_raw_sync),
 ]
 
 
