@@ -1,0 +1,145 @@
+// Cache ablation: the same repeated Q1 (GetVersion) / Q3 (GetHistory) sweep
+// replayed over a range of chunk-cache capacities, from disabled up to a
+// cache comfortably holding the whole decoded working set. Reported time is
+// the simulator's modeled backend latency per pass, so pass 1 (cold) vs.
+// later passes (warm) isolates exactly the traffic the cache removes.
+//
+// Expected shape: capacity 0 repeats the full cost every pass (the paper's
+// prototype); as capacity grows, warm passes approach zero backend time
+// while cold-pass cost and all query RESULTS stay identical — the cache is
+// invisible except in the latency and hit-rate columns.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/report.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace rstore;
+using namespace rstore::workload;
+using namespace rstore::bench;
+
+struct PassResult {
+  double ms = 0;
+  uint64_t chunks = 0;
+  uint64_t bytes = 0;
+};
+
+constexpr int kPasses = 3;
+constexpr size_t kQ1Queries = 10;
+constexpr size_t kQ3Queries = 10;
+
+std::vector<PassResult> RunSweep(RStore* store, const GeneratedDataset& gen,
+                                 double* hit_rate) {
+  QueryWorkloadGenerator qgen(&gen.dataset, 1234);
+  const std::vector<Query> q1 = qgen.FullVersionQueries(kQ1Queries);
+  const std::vector<Query> q3 = qgen.EvolutionQueries(kQ3Queries);
+  std::vector<PassResult> passes;
+  uint64_t hits = 0, lookups = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    QueryStats stats;
+    for (const Query& q : q1) {
+      auto r = store->GetVersion(q.version, &stats);
+      if (!r.ok()) {
+        std::fprintf(stderr, "Q1 failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    for (const Query& q : q3) {
+      auto r = store->GetHistory(q.key, &stats);
+      if (!r.ok()) {
+        std::fprintf(stderr, "Q3 failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    passes.push_back(PassResult{stats.simulated_micros / 1e3,
+                                stats.chunks_fetched, stats.bytes_fetched});
+    hits += stats.cache_hits;
+    lookups += stats.cache_hits + stats.cache_misses;
+  }
+  *hit_rate = lookups == 0 ? 0.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(lookups);
+  return passes;
+}
+
+}  // namespace
+
+int main() {
+  DatasetConfig config;
+  config.name = "cache-ablation";
+  config.num_versions = 60;
+  config.records_per_version = 220;
+  config.update_fraction = 0.12;
+  config.record_size_bytes = 420;
+  config.pd = 0.05;
+  config.seed = 7;
+  GeneratedDataset gen = GenerateDataset(config);
+
+  Options base;
+  base.chunk_capacity_bytes = ScaledChunkCapacity(gen);
+
+  // Size the sweep against the stored chunk bytes; decoded chunks are
+  // larger than their compressed bodies, so "4x stored" comfortably holds
+  // the whole working set.
+  uint64_t stored_bytes;
+  {
+    LoadedStore probe = LoadStore(gen, PartitionAlgorithm::kBottomUp, base, 4);
+    auto report = BuildStoreReport(*probe.store, probe.cluster.get());
+    if (!report.ok()) {
+      std::fprintf(stderr, "report failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    stored_bytes = report->chunk_bytes;
+  }
+  struct Point {
+    const char* label;
+    uint64_t capacity;
+  };
+  const Point points[] = {
+      {"off", 0},
+      {"stored/8", stored_bytes / 8},
+      {"stored/2", stored_bytes / 2},
+      {"stored*1", stored_bytes},
+      {"stored*4", stored_bytes * 4},
+  };
+
+  std::printf("dataset: %u versions, ~%u records/version, %s stored chunks, "
+              "chunk capacity %s\n",
+              config.num_versions, config.records_per_version,
+              HumanBytes(stored_bytes).c_str(),
+              HumanBytes(base.chunk_capacity_bytes).c_str());
+  std::printf("sweep: %zu Q1 + %zu Q3 queries x %d passes (pass 1 cold)\n\n",
+              kQ1Queries, kQ3Queries, kPasses);
+  std::printf("%-10s %10s %10s %10s %8s %10s %9s\n", "cache", "pass1_ms",
+              "pass2_ms", "pass3_ms", "hit%", "chunks", "speedup");
+  for (const Point& point : points) {
+    Options options = base;
+    options.cache_capacity_bytes = point.capacity;
+    LoadedStore loaded = LoadStore(gen, PartitionAlgorithm::kBottomUp,
+                                   options, 4);
+    double hit_rate = 0;
+    std::vector<PassResult> passes =
+        RunSweep(loaded.store.get(), gen, &hit_rate);
+    uint64_t total_chunks = 0;
+    for (const PassResult& p : passes) total_chunks += p.chunks;
+    double warm = passes.back().ms;
+    double speedup = warm > 0 ? passes.front().ms / warm : 0;
+    std::printf("%-10s %10.2f %10.2f %10.2f %7.1f%% %10llu ",
+                point.label, passes[0].ms, passes[1].ms, passes[2].ms,
+                hit_rate * 100.0, (unsigned long long)total_chunks);
+    if (warm > 0) {
+      std::printf("%8.1fx\n", speedup);
+    } else {
+      std::printf("%9s\n", "inf");
+    }
+  }
+  return 0;
+}

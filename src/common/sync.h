@@ -91,6 +91,10 @@ enum LockRank : int {
   /// MemoryStore table state (innermost storage-engine lock; also the
   /// per-node lock inside a Cluster).
   kLockRankMemoryStore = 200,
+  /// ChunkCache shard locks. Below the storage ranks: cache operations never
+  /// call into a backend, but a thread may insert into the cache right after
+  /// a fetch, and decode workers touch shards under ParallelFor.
+  kLockRankChunkCache = 150,
   /// ParallelFor first-error capture; taken by a worker after its user fn
   /// has thrown (and therefore released whatever it held).
   kLockRankParallelError = 100,

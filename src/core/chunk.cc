@@ -25,6 +25,17 @@ uint32_t Chunk::AddSubChunk(SubChunk sub_chunk) {
   return first_index;
 }
 
+uint64_t Chunk::ApproximateMemoryBytes() const {
+  uint64_t bytes = sizeof(Chunk);
+  for (const SubChunk& sc : sub_chunks_) bytes += sc.ApproximateMemoryBytes();
+  for (const CompositeKey& ck : records_) {
+    bytes += sizeof(CompositeKey) + ck.key.size();
+  }
+  bytes += sub_chunk_of_record_.size() * sizeof(uint32_t);
+  bytes += map_.ApproximateMemoryBytes();
+  return bytes;
+}
+
 Result<std::string> Chunk::ExtractPayload(
     const CompositeKey& ck, const SubChunk::PayloadResolver& resolver) const {
   for (uint32_t i = 0; i < records_.size(); ++i) {

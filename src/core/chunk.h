@@ -62,6 +62,10 @@ class Chunk {
   /// Total bytes of the sub-chunks' serialized forms — the value the packing
   /// algorithms compare against chunk capacity. Excludes the chunk map.
   uint64_t payload_bytes() const { return payload_bytes_; }
+  /// Approximate heap footprint of this decoded chunk (sub-chunk blobs,
+  /// member keys, record index, chunk map) — what a ChunkCache entry is
+  /// charged against its byte budget.
+  uint64_t ApproximateMemoryBytes() const;
   /// Sum of original record sizes, for compression-ratio reporting.
   uint64_t uncompressed_bytes() const;
 

@@ -1,0 +1,153 @@
+#include "core/chunk_cache.h"
+
+#include "common/logging.h"
+
+namespace rstore {
+
+namespace {
+
+uint32_t RoundUpToPowerOfTwo(uint32_t n) {
+  if (n == 0) return 1;
+  uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ChunkCache::ChunkCache(uint64_t capacity_bytes, uint32_t num_shards)
+    : capacity_bytes_(capacity_bytes),
+      num_shards_(RoundUpToPowerOfTwo(num_shards)) {
+  RSTORE_CHECK(capacity_bytes_ > 0) << "chunk cache capacity must be > 0";
+  shard_mask_ = num_shards_ - 1;
+  shard_capacity_ = capacity_bytes_ / num_shards_;
+  if (shard_capacity_ == 0) shard_capacity_ = 1;
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+}
+
+std::shared_ptr<const Chunk> ChunkCache::Lookup(const ChunkCacheKey& key) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  // Promote to most-recently-used.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->chunk;
+}
+
+void ChunkCache::EvictToFit(Shard& shard, uint64_t incoming) {
+  while (!shard.lru.empty() &&
+         shard.charged + incoming > shard_capacity_) {
+    Entry& victim = shard.lru.back();
+    RSTORE_DCHECK(shard.charged >= victim.charge);
+    shard.charged -= victim.charge;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ChunkCache::Insert(const ChunkCacheKey& key,
+                        std::shared_ptr<const Chunk> chunk, uint64_t charge) {
+  if (chunk == nullptr) return;
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Replace in place: drop the old charge first so eviction below sees the
+    // true occupancy, then refresh content and recency.
+    RSTORE_DCHECK(shard.charged >= it->second->charge);
+    shard.charged -= it->second->charge;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  if (charge > shard_capacity_) {
+    ++shard.rejected;
+    return;
+  }
+  EvictToFit(shard, charge);
+  shard.lru.push_front(Entry{key, std::move(chunk), charge});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.charged += charge;
+  ++shard.insertions;
+  RSTORE_DCHECK(shard.charged <= shard_capacity_);
+  RSTORE_DCHECK(shard.index.size() == shard.lru.size());
+}
+
+void ChunkCache::Erase(const ChunkCacheKey& key) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;
+  RSTORE_DCHECK(shard.charged >= it->second->charge);
+  shard.charged -= it->second->charge;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+void ChunkCache::Clear() {
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    MutexLock lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.charged = 0;
+  }
+}
+
+ChunkCacheStats ChunkCache::stats() const {
+  ChunkCacheStats out;
+  out.capacity_bytes = capacity_bytes_;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    MutexLock lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.insertions += shard.insertions;
+    out.evictions += shard.evictions;
+    out.rejected_inserts += shard.rejected;
+    out.entries += shard.lru.size();
+    out.charged_bytes += shard.charged;
+  }
+  return out;
+}
+
+Status ChunkCache::Validate() const {
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    MutexLock lock(shard.mu);
+    if (shard.index.size() != shard.lru.size()) {
+      return Status::Corruption("chunk cache shard " + std::to_string(s) +
+                                ": index/LRU size mismatch");
+    }
+    uint64_t charged = 0;
+    for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+      auto idx = shard.index.find(it->key);
+      if (idx == shard.index.end() || idx->second != it) {
+        return Status::Corruption(
+            "chunk cache shard " + std::to_string(s) +
+            ": LRU entry not indexed (or indexed to another node)");
+      }
+      if (it->chunk == nullptr) {
+        return Status::Corruption("chunk cache shard " + std::to_string(s) +
+                                  ": null chunk resident");
+      }
+      charged += it->charge;
+    }
+    if (charged != shard.charged) {
+      return Status::Corruption("chunk cache shard " + std::to_string(s) +
+                                ": charge accounting drifted");
+    }
+    if (shard.charged > shard_capacity_) {
+      return Status::Corruption("chunk cache shard " + std::to_string(s) +
+                                ": over budget");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rstore

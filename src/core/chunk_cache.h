@@ -1,0 +1,167 @@
+#ifndef RSTORE_CORE_CHUNK_CACHE_H_
+#define RSTORE_CORE_CHUNK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "core/chunk.h"
+
+namespace rstore {
+
+/// Cache key for one decoded chunk. Chunk bodies are immutable once sealed,
+/// but chunk *maps* are rewritten when the online partitioner folds a batch
+/// into pre-existing chunks (paper §4), so a cached entry — body plus its
+/// installed map — is only valid for one map generation. The key therefore
+/// carries the generation the owning store's catalog assigned when the entry
+/// was decoded: a map rewrite bumps the generation, old entries become
+/// unreachable and age out of the LRU, and no explicit invalidation is ever
+/// needed. `owner` namespaces entries so independent stores can share one
+/// cache without colliding on chunk ids.
+struct ChunkCacheKey {
+  uint64_t owner = 0;
+  ChunkId chunk = 0;
+  uint64_t generation = 0;
+
+  bool operator==(const ChunkCacheKey& other) const {
+    return owner == other.owner && chunk == other.chunk &&
+           generation == other.generation;
+  }
+};
+
+struct ChunkCacheKeyHash {
+  size_t operator()(const ChunkCacheKey& k) const {
+    uint64_t h = Mix64(k.owner ^ Mix64(k.chunk ^ Mix64(k.generation)));
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Aggregate counters across all shards (a point-in-time snapshot).
+struct ChunkCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Inserts refused because one entry exceeded a whole shard's budget.
+  uint64_t rejected_inserts = 0;
+  uint64_t entries = 0;
+  /// Sum of the charges of resident entries.
+  uint64_t charged_bytes = 0;
+  uint64_t capacity_bytes = 0;
+
+  double hit_rate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// A sharded, byte-budgeted LRU cache of decoded chunks for the read path.
+///
+/// Entries are handed out as shared_ptr<const Chunk>, so an entry evicted
+/// while another thread still extracts records from it stays alive until the
+/// last reader drops it. The byte budget is split evenly across the shards;
+/// an entry whose charge exceeds a single shard's budget is rejected rather
+/// than allowed to evict an entire shard (the paper's chunks are
+/// near-constant-size, so a chunk that large indicates a misconfigured
+/// capacity, not a hot chunk worth keeping).
+///
+/// Thread-safe: each shard is guarded by its own rstore::Mutex at
+/// kLockRankChunkCache (below the storage-engine ranks — cache operations
+/// never call back into a backend).
+class ChunkCache {
+ public:
+  /// `capacity_bytes` is the total budget across all shards (must be > 0);
+  /// `num_shards` is rounded up to a power of two.
+  explicit ChunkCache(uint64_t capacity_bytes, uint32_t num_shards = 8);
+
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+  /// Distinct owner token for key namespacing (see ChunkCacheKey::owner).
+  uint64_t NewOwnerId() { return next_owner_.fetch_add(1) + 1; }
+
+  /// Returns the cached chunk and promotes it to most-recently-used, or
+  /// nullptr. Counts a hit or a miss.
+  std::shared_ptr<const Chunk> Lookup(const ChunkCacheKey& key);
+
+  /// Inserts (or replaces) an entry charged `charge` bytes against the
+  /// budget, evicting least-recently-used entries as needed. An entry larger
+  /// than one shard's whole budget is rejected (counted in
+  /// rejected_inserts); a rejected replace also drops the stale resident
+  /// entry. No-op if `chunk` is null.
+  void Insert(const ChunkCacheKey& key, std::shared_ptr<const Chunk> chunk,
+              uint64_t charge);
+
+  /// Removes an entry if present (outstanding shared_ptrs stay valid).
+  void Erase(const ChunkCacheKey& key);
+
+  /// Drops every entry; counters other than entries/charged_bytes persist.
+  void Clear();
+
+  ChunkCacheStats stats() const;
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint32_t num_shards() const { return num_shards_; }
+  /// Budget of a single shard — the oversized-entry rejection threshold.
+  uint64_t shard_capacity_bytes() const { return shard_capacity_; }
+
+  /// Internal-consistency check over every shard: index and LRU list agree
+  /// entry for entry, charges sum to the shard's accounted total, and the
+  /// total respects the shard budget. kCorruption on first violation.
+  /// Debug builds RSTORE_DCHECK parts of this on every mutation; tests call
+  /// it directly.
+  Status Validate() const;
+
+ private:
+  // Test-only backdoor (defined in tests/core/chunk_cache_test.cc) that
+  // corrupts shard state so each Validate detection branch can be proven to
+  // fire.
+  friend class ChunkCacheTestPeer;
+
+  struct Entry {
+    ChunkCacheKey key;
+    std::shared_ptr<const Chunk> chunk;
+    uint64_t charge = 0;
+  };
+  // front = most recently used.
+  using LruList = std::list<Entry>;
+
+  struct Shard {
+    mutable Mutex mu{kLockRankChunkCache, "ChunkCache::Shard::mu"};
+    LruList lru RSTORE_GUARDED_BY(mu);
+    std::unordered_map<ChunkCacheKey, LruList::iterator, ChunkCacheKeyHash>
+        index RSTORE_GUARDED_BY(mu);
+    uint64_t charged RSTORE_GUARDED_BY(mu) = 0;
+    uint64_t hits RSTORE_GUARDED_BY(mu) = 0;
+    uint64_t misses RSTORE_GUARDED_BY(mu) = 0;
+    uint64_t insertions RSTORE_GUARDED_BY(mu) = 0;
+    uint64_t evictions RSTORE_GUARDED_BY(mu) = 0;
+    uint64_t rejected RSTORE_GUARDED_BY(mu) = 0;
+  };
+
+  Shard& ShardFor(const ChunkCacheKey& key) const {
+    return shards_[ChunkCacheKeyHash()(key) & shard_mask_];
+  }
+
+  /// Evicts from the tail until `incoming` more bytes fit the shard budget.
+  void EvictToFit(Shard& shard, uint64_t incoming)
+      RSTORE_REQUIRES(shard.mu);
+
+  uint64_t capacity_bytes_;
+  uint32_t num_shards_;
+  uint64_t shard_mask_;
+  uint64_t shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> next_owner_{0};
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_CHUNK_CACHE_H_

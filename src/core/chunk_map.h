@@ -43,6 +43,13 @@ class ChunkMap {
   void EncodeTo(std::string* out) const;
   static Status DecodeFrom(Slice* input, ChunkMap* out);
 
+  /// Approximate heap footprint (for cache charging): one fixed-size bitmap
+  /// plus map-node overhead per version touching the chunk.
+  uint64_t ApproximateMemoryBytes() const {
+    uint64_t per_bitmap = (record_count_ + 63) / 64 * 8 + 64;
+    return sizeof(ChunkMap) + bitmaps_.size() * per_bitmap;
+  }
+
   bool operator==(const ChunkMap& other) const {
     return record_count_ == other.record_count_ && bitmaps_ == other.bitmaps_;
   }

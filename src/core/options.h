@@ -2,11 +2,14 @@
 #define RSTORE_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "compress/compressor.h"
 
 namespace rstore {
+
+class ChunkCache;
 
 /// The partitioning algorithms of paper §3, plus the §2.2 baselines.
 enum class PartitionAlgorithm {
@@ -79,6 +82,23 @@ struct Options {
   /// parallelization as ongoing work (§5.5); off by default to match the
   /// evaluated system.
   bool parallel_extraction = false;
+
+  /// Byte budget of the decoded-chunk cache on the read path. 0 (the
+  /// default) disables caching entirely: every query fetches its chunks from
+  /// the backend, matching the paper's evaluated prototype. When positive,
+  /// the store builds a ChunkCache of this capacity at Open and all query
+  /// classes consult it before issuing MultiGets.
+  uint64_t cache_capacity_bytes = 0;
+
+  /// Shard count for the chunk cache's lock striping (rounded up to a power
+  /// of two). Only consulted when the store builds its own cache.
+  uint32_t cache_shards = 8;
+
+  /// Externally owned cache shared across stores (e.g. every RStore on one
+  /// application server). Takes precedence over cache_capacity_bytes; each
+  /// store namespaces its entries with a distinct owner id, so sharing is
+  /// safe even across stores reusing chunk ids.
+  std::shared_ptr<ChunkCache> chunk_cache;
 
   /// Seed for all randomized components (shingle hash family).
   uint64_t seed = 0x5253746f7265ull;  // "RStore"

@@ -23,85 +23,126 @@ bool KeyInRange(const std::string& key, const std::string& lo,
 
 QueryProcessor::QueryProcessor(KVStore* kvs, const StoreCatalog* catalog,
                                const VersionedDataset* dataset,
-                               LayoutKind layout, const Options& options)
+                               LayoutKind layout, const Options& options,
+                               ChunkCache* cache, uint64_t cache_owner)
     : kvs_(kvs),
       catalog_(catalog),
       dataset_(dataset),
       layout_(layout),
-      options_(options) {}
+      options_(options),
+      cache_(cache),
+      cache_owner_(cache_owner) {}
 
-Result<std::vector<Chunk>> QueryProcessor::FetchChunks(
+Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
     const std::vector<ChunkId>& ids, QueryStats* stats) {
-  KVStats before = kvs_->stats();
-  std::vector<std::string> chunk_keys, map_keys;
-  chunk_keys.reserve(ids.size());
-  map_keys.reserve(ids.size());
-  for (ChunkId id : ids) {
-    chunk_keys.push_back(ChunkKey(id));
-    map_keys.push_back(MapKey(id));
-  }
-  std::map<std::string, std::string> chunk_values, map_values;
-  RSTORE_RETURN_IF_ERROR(
-      kvs_->MultiGet(options_.chunk_table, chunk_keys, &chunk_values));
-  RSTORE_RETURN_IF_ERROR(
-      kvs_->MultiGet(options_.index_table, map_keys, &map_values));
-
-  std::vector<Chunk> chunks(ids.size());
-  std::vector<Status> statuses(ids.size());
-  auto decode_one = [&](size_t i) {
-    auto cit = chunk_values.find(chunk_keys[i]);
-    if (cit == chunk_values.end()) {
-      statuses[i] = Status::Corruption("chunk " + std::to_string(ids[i]) +
-                                       " missing from backend");
-      return;
+  std::vector<ChunkRef> chunks(ids.size());
+  // Cache pass: resolve each id against the cache under its *current* map
+  // generation, so entries decoded before a map rewrite can never be served.
+  std::vector<ChunkCacheKey> cache_keys;
+  std::vector<size_t> miss;  // indices into `ids` needing a backend fetch
+  if (cache_ != nullptr) {
+    cache_keys.resize(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      cache_keys[i] = ChunkCacheKey{cache_owner_, ids[i],
+                                    catalog_->ChunkMapGeneration(ids[i])};
+      chunks[i] = cache_->Lookup(cache_keys[i]);
+      if (chunks[i] == nullptr) miss.push_back(i);
     }
-    auto mit = map_values.find(map_keys[i]);
-    if (mit == map_values.end()) {
-      statuses[i] = Status::Corruption("chunk map " + std::to_string(ids[i]) +
-                                       " missing from backend");
-      return;
-    }
-    Slice body(cit->second);
-    Status s = Chunk::DecodeFrom(&body, &chunks[i]);
-    if (!s.ok()) {
-      statuses[i] = s;
-      return;
-    }
-    Slice map_input(mit->second);
-    ChunkMap map;
-    s = ChunkMap::DecodeFrom(&map_input, &map);
-    if (!s.ok()) {
-      statuses[i] = s;
-      return;
-    }
-    statuses[i] = chunks[i].SetChunkMap(std::move(map));
-  };
-  if (options_.parallel_extraction) {
-    ParallelFor(ids.size(), decode_one);
   } else {
-    // The paper's evaluated prototype processes chunks sequentially (§5.5).
-    for (size_t i = 0; i < ids.size(); ++i) decode_one(i);
+    miss.resize(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) miss[i] = i;
   }
-  for (const Status& s : statuses) {
-    RSTORE_RETURN_IF_ERROR(s);
+  uint64_t hits = ids.size() - miss.size();
+
+  KVStats before = kvs_->stats();
+  if (!miss.empty()) {
+    std::vector<std::string> chunk_keys, map_keys;
+    chunk_keys.reserve(miss.size());
+    map_keys.reserve(miss.size());
+    for (size_t i : miss) {
+      chunk_keys.push_back(ChunkKey(ids[i]));
+      map_keys.push_back(MapKey(ids[i]));
+    }
+    std::map<std::string, std::string> chunk_values, map_values;
+    RSTORE_RETURN_IF_ERROR(
+        kvs_->MultiGet(options_.chunk_table, chunk_keys, &chunk_values));
+    RSTORE_RETURN_IF_ERROR(
+        kvs_->MultiGet(options_.index_table, map_keys, &map_values));
+
+    std::vector<Status> statuses(miss.size());
+    auto decode_one = [&](size_t m) {
+      size_t i = miss[m];
+      auto cit = chunk_values.find(chunk_keys[m]);
+      if (cit == chunk_values.end()) {
+        statuses[m] = Status::Corruption("chunk " + std::to_string(ids[i]) +
+                                         " missing from backend");
+        return;
+      }
+      auto mit = map_values.find(map_keys[m]);
+      if (mit == map_values.end()) {
+        statuses[m] = Status::Corruption("chunk map " +
+                                         std::to_string(ids[i]) +
+                                         " missing from backend");
+        return;
+      }
+      auto decoded = std::make_shared<Chunk>();
+      Slice body(cit->second);
+      Status s = Chunk::DecodeFrom(&body, decoded.get());
+      if (!s.ok()) {
+        statuses[m] = s;
+        return;
+      }
+      Slice map_input(mit->second);
+      ChunkMap map;
+      s = ChunkMap::DecodeFrom(&map_input, &map);
+      if (!s.ok()) {
+        statuses[m] = s;
+        return;
+      }
+      statuses[m] = decoded->SetChunkMap(std::move(map));
+      if (statuses[m].ok()) chunks[i] = std::move(decoded);
+    };
+    if (options_.parallel_extraction) {
+      ParallelFor(miss.size(), decode_one);
+    } else {
+      // The paper's evaluated prototype processes chunks sequentially (§5.5).
+      for (size_t m = 0; m < miss.size(); ++m) decode_one(m);
+    }
+    for (const Status& s : statuses) {
+      RSTORE_RETURN_IF_ERROR(s);
+    }
+    if (cache_ != nullptr) {
+      // Serial insert after the (possibly parallel) decode: the shards do
+      // their own locking, this just keeps insertion order deterministic.
+      for (size_t i : miss) {
+        cache_->Insert(cache_keys[i], chunks[i],
+                       chunks[i]->ApproximateMemoryBytes());
+      }
+    }
   }
   if (stats != nullptr) {
+    // chunks_fetched stays the query's span (paper §2.5) regardless of the
+    // cache; bytes/latency only count traffic that reached the backend.
     KVStats after = kvs_->stats();
     stats->chunks_fetched += ids.size();
     stats->bytes_fetched += after.bytes_read - before.bytes_read;
     stats->simulated_micros += after.simulated_micros -
                                before.simulated_micros;
+    if (cache_ != nullptr) {
+      stats->cache_hits += hits;
+      stats->cache_misses += miss.size();
+    }
   }
   return chunks;
 }
 
 Result<std::vector<Record>> QueryProcessor::ExtractVersionRecords(
-    const std::vector<Chunk>& chunks, VersionId version, bool use_range,
+    const std::vector<ChunkRef>& chunks, VersionId version, bool use_range,
     const std::string& key_lo, const std::string& key_hi) const {
   std::vector<std::vector<Record>> per_chunk(chunks.size());
   std::vector<Status> statuses(chunks.size());
   auto extract_one = [&](size_t c) {
-    const Chunk& chunk = chunks[c];
+    const Chunk& chunk = *chunks[c];
     std::vector<uint32_t> indices = chunk.chunk_map().RecordsOf(version);
     if (use_range) {
       std::vector<uint32_t> filtered;
@@ -169,7 +210,8 @@ Result<std::vector<Record>> QueryProcessor::GetVersionDeltaChain(
     }
     return it->second;
   };
-  for (const Chunk& chunk : chunks.value()) {
+  for (const ChunkRef& chunk_ref : chunks.value()) {
+    const Chunk& chunk = *chunk_ref;
     // Chunk ids ascend with origin version, so bases precede dependents.
     std::vector<uint32_t> all(chunk.record_count());
     for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
@@ -311,7 +353,8 @@ Result<std::vector<Record>> QueryProcessor::GetHistory(const std::string& key,
       }
       return it->second;
     };
-    for (const Chunk& chunk : chunks.value()) {
+    for (const ChunkRef& chunk_ref : chunks.value()) {
+      const Chunk& chunk = *chunk_ref;
       std::vector<uint32_t> all(chunk.record_count());
       for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
       auto extracted = chunk.ExtractRecords(all, resolver);
@@ -324,7 +367,8 @@ Result<std::vector<Record>> QueryProcessor::GetHistory(const std::string& key,
       if (ck.key == key) out.push_back(Record{ck, std::move(payload)});
     }
   } else {
-    for (const Chunk& chunk : chunks.value()) {
+    for (const ChunkRef& chunk_ref : chunks.value()) {
+      const Chunk& chunk = *chunk_ref;
       std::vector<uint32_t> wanted;
       for (uint32_t i = 0; i < chunk.records().size(); ++i) {
         if (chunk.records()[i].key == key) wanted.push_back(i);
@@ -376,7 +420,8 @@ Result<Record> QueryProcessor::GetRecord(const std::string& key,
   }
   auto chunks = FetchChunks(ids, stats);
   if (!chunks.ok()) return chunks.status();
-  for (const Chunk& chunk : chunks.value()) {
+  for (const ChunkRef& chunk_ref : chunks.value()) {
+    const Chunk& chunk = *chunk_ref;
     for (uint32_t idx : chunk.chunk_map().RecordsOf(version)) {
       if (chunk.records()[idx].key == key) {
         auto payload = chunk.ExtractPayload(chunk.records()[idx]);

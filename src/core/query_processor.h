@@ -1,10 +1,12 @@
 #ifndef RSTORE_CORE_QUERY_PROCESSOR_H_
 #define RSTORE_CORE_QUERY_PROCESSOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "core/chunk_cache.h"
 #include "core/options.h"
 #include "core/placement.h"
 #include "core/record.h"
@@ -16,19 +18,45 @@ namespace rstore {
 
 /// Per-query cost accounting: the number of chunks retrieved is the span
 /// (paper §2.5, "the key performance metric"); simulated_micros is the
-/// modeled backend latency the query incurred.
+/// modeled backend latency the query incurred. With a chunk cache on the
+/// read path, bytes_fetched/simulated_micros only reflect traffic that
+/// actually reached the backend (misses), while chunks_fetched stays the
+/// span — so cache_hits + cache_misses == chunks_fetched whenever a cache
+/// is attached.
+///
+/// Counters are registered once in kQueryStatsFields below; aggregation
+/// (operator+=) and generic reporting iterate that table, so adding a new
+/// per-layer counter is a one-line change that no existing caller sees.
 struct QueryStats {
   uint64_t chunks_fetched = 0;
   uint64_t bytes_fetched = 0;
   uint64_t simulated_micros = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
-  QueryStats& operator+=(const QueryStats& other) {
-    chunks_fetched += other.chunks_fetched;
-    bytes_fetched += other.bytes_fetched;
-    simulated_micros += other.simulated_micros;
-    return *this;
-  }
+  struct Field {
+    const char* name;
+    uint64_t QueryStats::* member;
+  };
+
+  inline QueryStats& operator+=(const QueryStats& other);
 };
+
+/// The counter registry: every QueryStats counter, exactly once.
+inline constexpr QueryStats::Field kQueryStatsFields[] = {
+    {"chunks_fetched", &QueryStats::chunks_fetched},
+    {"bytes_fetched", &QueryStats::bytes_fetched},
+    {"simulated_micros", &QueryStats::simulated_micros},
+    {"cache_hits", &QueryStats::cache_hits},
+    {"cache_misses", &QueryStats::cache_misses},
+};
+
+inline QueryStats& QueryStats::operator+=(const QueryStats& other) {
+  for (const Field& field : kQueryStatsFields) {
+    this->*field.member += other.*field.member;
+  }
+  return *this;
+}
 
 /// Executes the four retrieval query classes of paper §2.1 against the
 /// chunked store (paper §2.4, "Indexes and Query Processing Module").
@@ -42,14 +70,22 @@ struct QueryStats {
 ///
 /// The DELTA and SUBCHUNK baseline layouts use their own retrieval rules
 /// (chain replay / full scan) selected by the layout kind.
+///
+/// When a ChunkCache is attached, every chunk fetch consults it first (keyed
+/// by the chunk's current map generation from the catalog, so entries with
+/// rewritten maps are never served) and decoded chunks are inserted after a
+/// backend fetch. Multiple QueryProcessors — including ones on different
+/// threads — may share one cache; `cache_owner` namespaces their entries
+/// per owning store.
 class QueryProcessor {
  public:
   /// All pointers are borrowed and must outlive the processor. `dataset` is
   /// the tree-transformed dataset whose composite keys match the stored
-  /// chunks.
+  /// chunks. `cache` may be null (uncached reads, the default).
   QueryProcessor(KVStore* kvs, const StoreCatalog* catalog,
                  const VersionedDataset* dataset, LayoutKind layout,
-                 const Options& options);
+                 const Options& options, ChunkCache* cache = nullptr,
+                 uint64_t cache_owner = 0);
 
   /// Q1 — full version retrieval: every record of `version`.
   Result<std::vector<Record>> GetVersion(VersionId version,
@@ -73,15 +109,19 @@ class QueryProcessor {
                            QueryStats* stats = nullptr);
 
  private:
-  /// Fetches and decodes chunks (bodies + their maps) by id, accounting
-  /// stats.
-  Result<std::vector<Chunk>> FetchChunks(const std::vector<ChunkId>& ids,
-                                         QueryStats* stats);
+  /// A decoded chunk on the read path: cached entries are shared with the
+  /// cache (and other readers), uncached ones are exclusively owned.
+  using ChunkRef = std::shared_ptr<const Chunk>;
+
+  /// Fetches and decodes chunks (bodies + their maps) by id, consulting the
+  /// cache first when attached, accounting stats.
+  Result<std::vector<ChunkRef>> FetchChunks(const std::vector<ChunkId>& ids,
+                                            QueryStats* stats);
 
   /// Extracts the records of `version` from fetched chunks via chunk maps,
   /// optionally restricted to [key_lo, key_hi].
   Result<std::vector<Record>> ExtractVersionRecords(
-      const std::vector<Chunk>& chunks, VersionId version, bool use_range,
+      const std::vector<ChunkRef>& chunks, VersionId version, bool use_range,
       const std::string& key_lo, const std::string& key_hi) const;
 
   Result<std::vector<Record>> GetVersionDeltaChain(VersionId version,
@@ -95,6 +135,8 @@ class QueryProcessor {
   const VersionedDataset* dataset_;
   LayoutKind layout_;
   Options options_;
+  ChunkCache* cache_;
+  uint64_t cache_owner_;
 };
 
 }  // namespace rstore

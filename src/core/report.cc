@@ -66,6 +66,22 @@ Result<StoreReport> BuildStoreReport(const RStore& store, KVStore* backend) {
           : static_cast<double>(report.chunk_bytes) /
                 (static_cast<double>(report.num_chunks) *
                  static_cast<double>(options.chunk_capacity_bytes));
+
+  if (const ChunkCache* cache = store.chunk_cache()) {
+    ChunkCacheStats cs = cache->stats();
+    StoreReport::LayerCounters layer;
+    layer.layer = "chunk cache";
+    layer.counters = {
+        {"hits", cs.hits},
+        {"misses", cs.misses},
+        {"hit_rate_pct", static_cast<uint64_t>(cs.hit_rate() * 100.0 + 0.5)},
+        {"evictions", cs.evictions},
+        {"entries", cs.entries},
+        {"bytes", cs.charged_bytes},
+        {"capacity", cs.capacity_bytes},
+    };
+    report.layers.push_back(std::move(layer));
+  }
   return report;
 }
 
@@ -91,6 +107,15 @@ std::string StoreReport::ToString() const {
                         (unsigned long long)span_histogram[i]);
   }
   out += "\n";
+  for (const LayerCounters& layer : layers) {
+    out += StringPrintf("%-18s ", (layer.layer + ":").c_str());
+    for (size_t i = 0; i < layer.counters.size(); ++i) {
+      out += StringPrintf("%s%s=%llu", i == 0 ? "" : " ",
+                          layer.counters[i].first.c_str(),
+                          (unsigned long long)layer.counters[i].second);
+    }
+    out += "\n";
+  }
   return out;
 }
 

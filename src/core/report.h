@@ -43,6 +43,15 @@ struct StoreReport {
   double avg_chunk_fill = 0;
   uint64_t overfull_chunks = 0;
 
+  /// Generic per-layer counter blocks (e.g. the chunk cache); ToString
+  /// renders each as "<layer>: name=value ..." so new layers show up in
+  /// reports without bespoke fields or printing code.
+  struct LayerCounters {
+    std::string layer;
+    std::vector<std::pair<std::string, uint64_t>> counters;
+  };
+  std::vector<LayerCounters> layers;
+
   /// Multi-line human-readable rendering.
   std::string ToString() const;
 };

@@ -32,7 +32,17 @@ Result<std::unique_ptr<RStore>> RStore::Open(KVStore* backend,
   }
   RSTORE_RETURN_IF_ERROR(backend->CreateTable(options.chunk_table));
   RSTORE_RETURN_IF_ERROR(backend->CreateTable(options.index_table));
-  return std::unique_ptr<RStore>(new RStore(backend, options));
+  std::unique_ptr<RStore> store(new RStore(backend, options));
+  if (options.chunk_cache != nullptr) {
+    store->cache_ = options.chunk_cache;
+  } else if (options.cache_capacity_bytes > 0) {
+    store->cache_ = std::make_shared<ChunkCache>(options.cache_capacity_bytes,
+                                                 options.cache_shards);
+  }
+  if (store->cache_ != nullptr) {
+    store->cache_owner_ = store->cache_->NewOwnerId();
+  }
+  return store;
 }
 
 Status RStore::WriteChunk(Chunk* chunk) {
@@ -272,6 +282,10 @@ Status RStore::ProcessBatch() {
     map->EncodeTo(&encoded);
     RSTORE_RETURN_IF_ERROR(
         backend_->Put(options_.index_table, MapKey(id), encoded));
+    // The rewrite invalidates every cached copy of this chunk: bumping the
+    // generation changes the cache key, so stale entries are unreachable and
+    // simply age out of the LRU.
+    catalog_.BumpChunkMapGeneration(id);
   }
   delta_store_.Clear();
   return Status::OK();
@@ -498,7 +512,8 @@ Status RStore::Flush() {
 Result<std::vector<Record>> RStore::GetVersion(VersionId version,
                                                QueryStats* stats) {
   RSTORE_RETURN_IF_ERROR(ProcessBatch());
-  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_);
+  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
+                    cache_.get(), cache_owner_);
   return qp.GetVersion(version, stats);
 }
 
@@ -507,21 +522,24 @@ Result<std::vector<Record>> RStore::GetRange(VersionId version,
                                              const std::string& key_hi,
                                              QueryStats* stats) {
   RSTORE_RETURN_IF_ERROR(ProcessBatch());
-  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_);
+  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
+                    cache_.get(), cache_owner_);
   return qp.GetRange(version, key_lo, key_hi, stats);
 }
 
 Result<std::vector<Record>> RStore::GetHistory(const std::string& key,
                                                QueryStats* stats) {
   RSTORE_RETURN_IF_ERROR(ProcessBatch());
-  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_);
+  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
+                    cache_.get(), cache_owner_);
   return qp.GetHistory(key, stats);
 }
 
 Result<Record> RStore::GetRecord(const std::string& key, VersionId version,
                                  QueryStats* stats) {
   RSTORE_RETURN_IF_ERROR(ProcessBatch());
-  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_);
+  QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
+                    cache_.get(), cache_owner_);
   return qp.GetRecord(key, version, stats);
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/chunk_cache.h"
 #include "core/delta_store.h"
 #include "core/options.h"
 #include "core/placement.h"
@@ -129,6 +130,10 @@ class RStore {
   LayoutKind layout() const { return layout_; }
   const Options& options() const { return options_; }
 
+  /// The decoded-chunk cache serving this store's reads (own or shared via
+  /// Options::chunk_cache), or nullptr when caching is disabled.
+  ChunkCache* chunk_cache() const { return cache_.get(); }
+
   /// Σ_v |chunks(v)| under the live projections — the paper's total version
   /// span metric, adjusted for the baseline layouts' retrieval rules.
   uint64_t TotalVersionSpan() const;
@@ -163,6 +168,10 @@ class RStore {
 
   StoreCatalog catalog_;
   DeltaStore delta_store_;
+  /// Shared ownership: Options::chunk_cache may outlive (and span) stores.
+  std::shared_ptr<ChunkCache> cache_;
+  /// This store's namespace within cache_ (see ChunkCacheKey::owner).
+  uint64_t cache_owner_ = 0;
   ChunkId next_chunk_id_ = 0;
   uint64_t stored_chunk_bytes_ = 0;
   uint64_t stored_record_bytes_ = 0;

@@ -82,6 +82,15 @@ Result<ChunkMap> StoreCatalog::BuildChunkMap(ChunkId id) const {
   return map;
 }
 
+uint64_t StoreCatalog::ChunkMapGeneration(ChunkId id) const {
+  auto it = map_generation_.find(id);
+  return it == map_generation_.end() ? 0 : it->second;
+}
+
+void StoreCatalog::BumpChunkMapGeneration(ChunkId id) {
+  ++map_generation_[id];
+}
+
 uint64_t StoreCatalog::VersionSpan(VersionId version) const {
   auto it = version_chunks_.find(version);
   return it == version_chunks_.end() ? 0 : it->second.size();

@@ -67,6 +67,15 @@ class StoreCatalog {
   /// indexes around due to its small memory footprint").
   Result<ChunkMap> BuildChunkMap(ChunkId id) const;
 
+  /// Monotone counter of how many times chunk `id`'s map has been rewritten
+  /// in the backend since the chunk was written (0 for a fresh chunk). The
+  /// chunk cache keys entries by (chunk, generation): bumping the generation
+  /// when the online partitioner rewrites a map (paper §4) makes every
+  /// cached copy of the stale decoded chunk unreachable, which is the whole
+  /// invalidation story — bodies are immutable, ids are never reused.
+  uint64_t ChunkMapGeneration(ChunkId id) const;
+  void BumpChunkMapGeneration(ChunkId id);
+
   /// Per-version span: |ChunksOfVersion(v)|, the §2.5 retrieval-cost metric,
   /// as maintained by the live projections.
   uint64_t VersionSpan(VersionId version) const;
@@ -93,6 +102,8 @@ class StoreCatalog {
   std::unordered_map<VersionId, std::vector<ChunkId>> version_chunks_;
   std::unordered_map<std::string, std::vector<ChunkId>> key_chunks_;
   std::unordered_map<VersionId, std::vector<ChunkId>> origin_chunks_;
+  /// Sparse: only chunks whose map has been rewritten at least once.
+  std::unordered_map<ChunkId, uint64_t> map_generation_;
 };
 
 }  // namespace rstore

@@ -69,6 +69,20 @@ class SubChunk {
   /// budget chunk capacity against this.
   uint64_t serialized_size() const;
 
+  /// Approximate heap footprint of the decoded in-memory form (for cache
+  /// charging).
+  uint64_t ApproximateMemoryBytes() const {
+    uint64_t bytes = sizeof(SubChunk) + blob_.size() +
+                     parent_index_.size() * sizeof(uint32_t);
+    for (const CompositeKey& ck : keys_) {
+      bytes += sizeof(CompositeKey) + ck.key.size();
+    }
+    for (const CompositeKey& ck : external_parents_) {
+      bytes += sizeof(CompositeKey) + ck.key.size();
+    }
+    return bytes;
+  }
+
   /// True if any member deltas against a record outside this sub-chunk
   /// (extraction then requires a resolver).
   bool HasExternalParents() const;

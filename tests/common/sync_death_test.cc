@@ -1,0 +1,65 @@
+// Death tests for the debug lock-rank registry (common/sync.h): rank
+// violations and re-entrant self-locks must abort the process. Kept in
+// their own tier-2 binary — death tests fork, which makes them by far the
+// slowest part of the common suite and useless under sanitizer presets
+// that already intercept aborts.
+
+#include <gtest/gtest.h>
+
+#include "common/sync.h"
+
+namespace rstore {
+namespace {
+
+#ifndef NDEBUG
+
+TEST(SyncDeathTest, EqualRankNestingIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a(kLockRankLeaf, "leaf_a");
+  Mutex b(kLockRankLeaf, "leaf_b");
+  MutexLock lock_a(a);
+  EXPECT_DEATH({ MutexLock lock_b(b); }, "lock-rank violation");
+}
+
+TEST(SyncDeathTest, IncreasingRankAcquisitionIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex inner(kLockRankMemoryStore, "inner");
+  Mutex outer(kLockRankCluster, "outer");
+  MutexLock inner_lock(inner);
+  EXPECT_DEATH({ MutexLock outer_lock(outer); }, "lock-rank violation");
+}
+
+// The double-acquire is the point of the test; hide it from the static
+// analysis (which would reject it at compile time under Clang) so the
+// runtime rank registry gets to catch it.
+void LockAgain(Mutex& mu) RSTORE_NO_THREAD_SAFETY_ANALYSIS { mu.Lock(); }
+
+TEST(SyncDeathTest, ReentrantSelfLockIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex mu(kLockRankMemoryStore, "self");
+  MutexLock lock(mu);
+  // Caught by the rank check (equal rank) before the thread would block on
+  // itself forever.
+  EXPECT_DEATH({ LockAgain(mu); }, "lock-rank violation");
+}
+
+TEST(SyncDeathTest, CacheRankMustNestBelowStorageRanks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Storage-then-cache is the read path's legal order ...
+  {
+    Mutex store_mu(kLockRankMemoryStore, "store_mu");
+    Mutex cache_mu(kLockRankChunkCache, "cache_mu");
+    MutexLock store_lock(store_mu);
+    MutexLock cache_lock(cache_mu);
+  }
+  // ... and a cache shard calling back into a backend is fatal.
+  Mutex cache_mu(kLockRankChunkCache, "cache_mu");
+  Mutex store_mu(kLockRankMemoryStore, "store_mu");
+  MutexLock cache_lock(cache_mu);
+  EXPECT_DEATH({ MutexLock store_lock(store_mu); }, "lock-rank violation");
+}
+
+#endif  // !NDEBUG
+
+}  // namespace
+}  // namespace rstore

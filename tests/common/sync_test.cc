@@ -147,35 +147,9 @@ TEST(SyncTest, CondVarWaitReleasesTheRankSlot) {
   EXPECT_EQ(sync_internal::HeldLockCount(), 0);
 }
 
-TEST(SyncDeathTest, EqualRankNestingIsFatal) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  Mutex a(kLockRankLeaf, "leaf_a");
-  Mutex b(kLockRankLeaf, "leaf_b");
-  MutexLock lock_a(a);
-  EXPECT_DEATH({ MutexLock lock_b(b); }, "lock-rank violation");
-}
-
-TEST(SyncDeathTest, IncreasingRankAcquisitionIsFatal) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  Mutex inner(kLockRankMemoryStore, "inner");
-  Mutex outer(kLockRankCluster, "outer");
-  MutexLock inner_lock(inner);
-  EXPECT_DEATH({ MutexLock outer_lock(outer); }, "lock-rank violation");
-}
-
-// The double-acquire is the point of the test; hide it from the static
-// analysis (which would reject it at compile time under Clang) so the
-// runtime rank registry gets to catch it.
-void LockAgain(Mutex& mu) RSTORE_NO_THREAD_SAFETY_ANALYSIS { mu.Lock(); }
-
-TEST(SyncDeathTest, ReentrantSelfLockIsFatal) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  Mutex mu(kLockRankMemoryStore, "self");
-  MutexLock lock(mu);
-  // Caught by the rank check (equal rank) before the thread would block on
-  // itself forever.
-  EXPECT_DEATH({ LockAgain(mu); }, "lock-rank violation");
-}
+// The SyncDeathTest cases (rank violations abort) live in
+// sync_death_test.cc, a separate tier-2 binary: death tests fork and
+// dominate this suite's runtime.
 
 #endif  // !NDEBUG
 

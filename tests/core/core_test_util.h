@@ -4,8 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "core/record.h"
+#include "core/rstore.h"
 #include "version/dataset.h"
+#include "workload/query_workload.h"
 
 namespace rstore {
 namespace testing {
@@ -83,6 +86,73 @@ inline ExampleData MakeChain(uint32_t versions, uint32_t keys,
   for (const VersionDelta& delta : ds.deltas) {
     for (const CompositeKey& ck : delta.added) {
       out.payloads[ck] = PayloadFor(ck);
+    }
+  }
+  return out;
+}
+
+/// Canonical byte serialization of a query result. Query results are
+/// deterministically ordered, so two stores that agree record for record
+/// produce identical bytes.
+inline std::string SerializeRecords(const std::vector<Record>& records) {
+  std::string out;
+  for (const Record& r : records) {
+    out += r.key.key;
+    out += '\x1f';
+    out += std::to_string(r.key.version);
+    out += '\x1f';
+    out += r.payload;
+    out += '\x1e';
+  }
+  return out;
+}
+
+/// The outcome of replaying a fixed query workload against one store: one
+/// canonical serialization per executed query, plus the accumulated
+/// QueryStats. Two stores configured differently (e.g. cache on vs. off)
+/// replayed with the same seed must produce byte-identical `results`.
+struct WorkloadReplay {
+  std::vector<std::string> results;
+  QueryStats stats;
+};
+
+/// Replays the deterministic mixed query workload derived from `seed`
+/// against `store`: full-version, range, evolution and point queries,
+/// `passes` times over the same query list so a cache on the read path sees
+/// genuine re-use (the first pass cold, later passes warm).
+inline Result<WorkloadReplay> ReplayQueryWorkload(
+    RStore* store, const VersionedDataset& dataset, uint64_t seed,
+    int passes = 2) {
+  workload::QueryWorkloadGenerator qgen(&dataset, seed);
+  const std::vector<workload::Query> full = qgen.FullVersionQueries(3);
+  const std::vector<workload::Query> ranges = qgen.RangeQueries(3, 0.2);
+  const std::vector<workload::Query> evolutions = qgen.EvolutionQueries(3);
+  const std::vector<workload::Query> points = qgen.PointQueries(5);
+  WorkloadReplay out;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const workload::Query& q : full) {
+      auto got = store->GetVersion(q.version, &out.stats);
+      if (!got.ok()) return got.status();
+      out.results.push_back("v:" + SerializeRecords(*got));
+    }
+    for (const workload::Query& q : ranges) {
+      auto got = store->GetRange(q.version, q.key_lo, q.key_hi, &out.stats);
+      if (!got.ok()) return got.status();
+      out.results.push_back("r:" + SerializeRecords(*got));
+    }
+    for (const workload::Query& q : evolutions) {
+      auto got = store->GetHistory(q.key, &out.stats);
+      if (!got.ok()) return got.status();
+      out.results.push_back("h:" + SerializeRecords(*got));
+    }
+    for (const workload::Query& q : points) {
+      auto got = store->GetRecord(q.key, q.version, &out.stats);
+      if (got.status().IsNotFound()) {
+        out.results.push_back("p:notfound");
+      } else {
+        if (!got.ok()) return got.status();
+        out.results.push_back("p:" + SerializeRecords({*got}));
+      }
     }
   }
   return out;

@@ -11,6 +11,7 @@
 #include "core/partitioner.h"
 #include "core/rstore.h"
 #include "core/sub_chunk_builder.h"
+#include "core_test_util.h"
 #include "kvstore/memory_store.h"
 #include "workload/dataset_generator.h"
 #include "workload/query_workload.h"
@@ -184,6 +185,130 @@ TEST_P(RandomizedDatasetTest, ChunkCapacityInvariantHolds) {
       for (uint32_t item : chunk) bytes += built->items[item].bytes;
       EXPECT_LE(bytes, hard_limit) << PartitionAlgorithmName(algorithm);
     }
+  }
+}
+
+// The cached-vs-uncached equivalence harness: for every layout and
+// partitioner, the same seeded workload replayed against an uncached store
+// and against one with a deliberately tiny cache (constant eviction churn)
+// must produce byte-identical results, with the cache counters partitioning
+// the span exactly.
+TEST_P(RandomizedDatasetTest, CachedQueriesMatchUncachedAcrossAllAlgorithms) {
+  GeneratedDataset gen = GenerateDataset(RandomConfig(GetParam()));
+  const PartitionAlgorithm algorithms[] = {
+      PartitionAlgorithm::kBottomUp, PartitionAlgorithm::kShingle,
+      PartitionAlgorithm::kDepthFirst, PartitionAlgorithm::kBreadthFirst,
+      PartitionAlgorithm::kDeltaBaseline,
+      PartitionAlgorithm::kSubChunkBaseline,
+      PartitionAlgorithm::kSingleAddressSpace};
+  for (PartitionAlgorithm algorithm : algorithms) {
+    SCOPED_TRACE(std::string("algorithm=") +
+                 PartitionAlgorithmName(algorithm));
+    Options options;
+    options.algorithm = algorithm;
+    options.chunk_capacity_bytes = 4096;
+
+    MemoryStore uncached_backend;
+    auto uncached = RStore::Open(&uncached_backend, options);
+    ASSERT_TRUE(uncached.ok());
+    ASSERT_TRUE((*uncached)->BulkLoad(gen.dataset, gen.payloads).ok());
+    auto base = testing::ReplayQueryWorkload(uncached->get(), gen.dataset,
+                                             GetParam());
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    // No cache attached: the cache counters must stay untouched.
+    EXPECT_EQ(base->stats.cache_hits, 0u);
+    EXPECT_EQ(base->stats.cache_misses, 0u);
+
+    // A cache far smaller than the working set forces eviction churn on
+    // every query; correctness must be unaffected.
+    Options cached_options = options;
+    cached_options.cache_capacity_bytes = 16 << 10;
+    cached_options.cache_shards = 2;
+    MemoryStore cached_backend;
+    auto cached = RStore::Open(&cached_backend, cached_options);
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE((*cached)->BulkLoad(gen.dataset, gen.payloads).ok());
+    auto replay = testing::ReplayQueryWorkload(cached->get(), gen.dataset,
+                                               GetParam());
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+
+    EXPECT_EQ(replay->results, base->results);
+    // The span is cache-independent, and every chunk resolution is exactly
+    // one hit or one miss.
+    EXPECT_EQ(replay->stats.chunks_fetched, base->stats.chunks_fetched);
+    EXPECT_EQ(replay->stats.cache_hits + replay->stats.cache_misses,
+              replay->stats.chunks_fetched);
+    ASSERT_NE((*cached)->chunk_cache(), nullptr);
+    Status valid = (*cached)->chunk_cache()->Validate();
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+  }
+}
+
+// Online invalidation: a cache warmed before a commit must never serve a
+// chunk whose map the online partitioner has since rewritten (paper §4). The
+// cache is sized to hold everything, so without the generation-keyed
+// invalidation the stale entries WOULD be served.
+TEST_P(RandomizedDatasetTest, CacheInvalidatedByOnlineMapRewrites) {
+  GeneratedDataset gen = GenerateDataset(RandomConfig(GetParam()));
+  Options options;
+  options.cache_capacity_bytes = 64 << 20;  // everything stays resident
+  options.online_batch_size = 1;            // every commit partitions at once
+  MemoryStore backend;
+  auto store = RStore::Open(&backend, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(gen.dataset, gen.payloads).ok());
+
+  // Warm the cache over every version, twice — the second pass must hit.
+  QueryStats warm_stats;
+  VersionId num_versions = gen.dataset.graph.size();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (VersionId v = 0; v < num_versions; ++v) {
+      ASSERT_TRUE((*store)->GetVersion(v, &warm_stats).ok());
+    }
+  }
+  EXPECT_GT(warm_stats.cache_hits, 0u);
+
+  // Commit an update to every key of the latest version: the new records
+  // land in fresh chunks, but the *maps* of every chunk holding a carried-
+  // over record are rewritten (and their cached copies invalidated).
+  VersionId parent = num_versions - 1;
+  VersionMembership members = gen.dataset.MaterializeVersion(parent);
+  CommitDelta delta;
+  std::map<std::string, std::string> expected;
+  size_t updates = 0;
+  for (const CompositeKey& ck : members) {
+    if (updates < 5) {
+      std::string payload = "updated-" + ck.key;
+      delta.upserts.push_back(Record{CompositeKey(ck.key, 0), payload});
+      expected[ck.key] = payload;
+      ++updates;
+    } else {
+      expected[ck.key] = gen.payloads.at(ck);
+    }
+  }
+  ASSERT_GT(updates, 0u);
+  auto committed = (*store)->Commit(parent, std::move(delta));
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+
+  // The new version reads correctly — carried-over records are only visible
+  // through the rewritten maps, so a stale cached chunk would drop them.
+  auto got = (*store)->GetVersion(*committed);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  std::map<std::string, std::string> actual;
+  for (const Record& r : *got) actual[r.key.key] = r.payload;
+  EXPECT_EQ(actual, expected);
+
+  // Pre-existing versions still read correctly through the new maps.
+  for (VersionId v = 0; v < num_versions; ++v) {
+    auto old_got = (*store)->GetVersion(v);
+    ASSERT_TRUE(old_got.ok());
+    std::map<std::string, std::string> old_actual;
+    for (const Record& r : *old_got) old_actual[r.key.key] = r.payload;
+    std::map<std::string, std::string> old_expected;
+    for (const CompositeKey& ck : gen.dataset.MaterializeVersion(v)) {
+      old_expected[ck.key] = gen.payloads.at(ck);
+    }
+    EXPECT_EQ(old_actual, old_expected) << "V" << v;
   }
 }
 

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over llvm-cov / gcov output.
+
+Reads one or more coverage reports, aggregates line coverage per source
+file, and fails (exit 1) when any file matching a --require pattern falls
+below the threshold — or when a required pattern matches no file at all,
+so silently-uninstrumented code cannot pass the gate.
+
+Accepted input formats (auto-detected per file):
+
+  llvm-json   `llvm-cov export -format=text` JSON (the CI coverage job).
+  gcov-json   `gcov --json-format` output, optionally .gz (the GCC
+              fallback used by local RSTORE_COVERAGE=ON builds).
+  lcov        lcov tracefile (.info): SF:/DA:/end_of_record records.
+
+When the same source file appears in several reports (one gcov JSON per
+object file, or several llvm-cov exports), a line counts as covered if ANY
+report saw it executed, matching how lcov merges tracefiles.
+
+Usage:
+  tools/coverage_gate.py --require src/core/chunk_cache --threshold 90 \
+      coverage.json
+  tools/coverage_gate.py --require chunk_cache *.gcov.json.gz
+  tools/coverage_gate.py --list coverage.json        # show all files
+
+Exit status: 0 when every required pattern is matched and meets the
+threshold, 1 otherwise (including unreadable/unparseable inputs).
+"""
+
+import argparse
+import gzip
+import json
+import os
+import re
+import sys
+
+
+def read_text(path):
+    """Return the decoded contents of path, transparently un-gzipping."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    if raw[:2] == b"\x1f\x8b":
+        raw = gzip.decompress(raw)
+    return raw.decode("utf-8", errors="replace")
+
+
+def parse_llvm_json(doc, lines_by_file):
+    """llvm-cov export: data[].files[].segments describe regions; the
+    per-file `summary.lines` block is an aggregate, but segments give the
+    per-line detail needed for cross-report merging. llvm-cov also emits a
+    simpler per-line form under files[].branches/expansions; the stable
+    parts across LLVM versions are `filename` and `segments`, so lines are
+    reconstructed from segments: [line, col, count, has_count, is_region_entry,
+    ...]."""
+    for datum in doc.get("data", []):
+        for entry in datum.get("files", []):
+            filename = entry.get("filename", "")
+            lines = lines_by_file.setdefault(filename, {})
+            # Segment list -> executable line hit counts. A line is
+            # executable if any segment with has_count starts on it; its
+            # count is the max over those segments (llvm-cov's own line
+            # summary uses region-entry semantics; max over segments is a
+            # faithful reconstruction for gating purposes).
+            for seg in entry.get("segments", []):
+                if len(seg) < 5:
+                    continue
+                line, _col, count, has_count, is_region_entry = seg[:5]
+                if not has_count or not is_region_entry:
+                    continue
+                lines[line] = max(lines.get(line, 0), count)
+
+
+def parse_gcov_json(doc, lines_by_file):
+    """`gcov --json-format`: {files: [{file, lines: [{line_number, count,
+    unexecuted_block...}]}]}."""
+    for entry in doc.get("files", []):
+        filename = entry.get("file", "")
+        lines = lines_by_file.setdefault(filename, {})
+        for rec in entry.get("lines", []):
+            line = rec.get("line_number")
+            if line is None:
+                continue
+            lines[line] = max(lines.get(line, 0), rec.get("count", 0))
+
+
+def parse_lcov(text, lines_by_file):
+    current = None
+    for raw_line in text.splitlines():
+        record = raw_line.strip()
+        if record.startswith("SF:"):
+            current = lines_by_file.setdefault(record[3:], {})
+        elif record.startswith("DA:") and current is not None:
+            fields = record[3:].split(",")
+            if len(fields) >= 2:
+                try:
+                    line, hits = int(fields[0]), int(fields[1])
+                except ValueError:
+                    continue
+                current[line] = max(current.get(line, 0), hits)
+        elif record == "end_of_record":
+            current = None
+
+
+def parse_report(path, lines_by_file):
+    text = read_text(path)
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        doc = json.loads(stripped)
+        if "data" in doc:
+            parse_llvm_json(doc, lines_by_file)
+        elif "files" in doc:
+            parse_gcov_json(doc, lines_by_file)
+        else:
+            raise ValueError("unrecognised JSON coverage schema")
+    elif "SF:" in text:
+        parse_lcov(text, lines_by_file)
+    else:
+        raise ValueError("unrecognised coverage format")
+
+
+def normalise(path):
+    """Collapse absolute build paths so --require patterns written against
+    repo-relative paths (src/core/chunk_cache.cc) match."""
+    return os.path.normpath(path).replace("\\", "/")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when required files fall below a line-coverage "
+        "threshold.")
+    parser.add_argument("reports", nargs="+",
+                        help="llvm-cov export JSON, gcov --json-format "
+                        "(.gz ok), or lcov .info files")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="REGEX",
+                        help="pattern (regex, searched against the source "
+                        "path) that must meet the threshold; repeatable")
+    parser.add_argument("--threshold", type=float, default=90.0,
+                        help="minimum line coverage percent (default 90)")
+    parser.add_argument("--list", action="store_true",
+                        help="print coverage for every file seen")
+    args = parser.parse_args()
+
+    lines_by_file = {}
+    for report in args.reports:
+        try:
+            parse_report(report, lines_by_file)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"coverage_gate: cannot read {report}: {err}",
+                  file=sys.stderr)
+            return 1
+
+    coverage = {}  # path -> (covered, total, percent)
+    for path, lines in lines_by_file.items():
+        total = len(lines)
+        if total == 0:
+            continue
+        covered = sum(1 for hits in lines.values() if hits > 0)
+        coverage[normalise(path)] = (covered, total, 100.0 * covered / total)
+
+    if args.list:
+        for path in sorted(coverage):
+            covered, total, pct = coverage[path]
+            print(f"{pct:6.1f}%  {covered:5d}/{total:<5d}  {path}")
+
+    failed = False
+    for pattern in args.require:
+        regex = re.compile(pattern)
+        matches = {p: v for p, v in coverage.items() if regex.search(p)}
+        if not matches:
+            print(f"coverage_gate: FAIL: no instrumented file matches "
+                  f"'{pattern}'", file=sys.stderr)
+            failed = True
+            continue
+        for path in sorted(matches):
+            covered, total, pct = matches[path]
+            verdict = "ok" if pct >= args.threshold else "FAIL"
+            print(f"coverage_gate: {verdict}: {path} line coverage "
+                  f"{pct:.1f}% ({covered}/{total}, threshold "
+                  f"{args.threshold:.0f}%)")
+            if pct < args.threshold:
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
