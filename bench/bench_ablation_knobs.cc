@@ -23,8 +23,19 @@ using namespace rstore;
 using namespace rstore::workload;
 using namespace rstore::bench;
 
-void ChunkCapacitySweep() {
-  auto config = *CatalogConfig("B1");
+/// Smoke mode shrinks every sweep's dataset the same way.
+DatasetConfig SweepConfig(const char* name) {
+  auto config = *CatalogConfig(name);
+  if (SmokeMode()) {
+    config.num_versions = std::min<uint32_t>(config.num_versions, 12);
+    config.records_per_version =
+        std::min<uint32_t>(config.records_per_version, 60);
+  }
+  return config;
+}
+
+void ChunkCapacitySweep(BenchReport* report) {
+  auto config = SweepConfig("B1");
   GeneratedDataset gen = GenerateDataset(config);
   uint64_t version_bytes = ScaledChunkCapacity(gen) * 10;
   std::printf("--- Ablation 1: chunk capacity C (dataset B1, BOTTOM-UP, "
@@ -51,13 +62,15 @@ void ChunkCapacitySweep() {
                 static_cast<double>(stats.chunks_fetched) / kQueries,
                 HumanBytes(stats.bytes_fetched / kQueries).c_str(),
                 stats.simulated_micros / 1e6 / kQueries);
+    report->Add(StringPrintf("capacity_frac%g_q1_sim_seconds", fraction),
+                stats.simulated_micros / 1e6 / kQueries);
   }
   std::printf("Expected U-shape: latency worst at the extremes, best near "
               "C ~ version/10 (the paper's 1 MB regime).\n\n");
 }
 
-void ShingleCountSweep() {
-  auto config = *CatalogConfig("A1");
+void ShingleCountSweep(BenchReport* report) {
+  auto config = SweepConfig("A1");
   GeneratedDataset gen = GenerateDataset(config);
   std::printf("--- Ablation 2: min-hash count l (dataset A1, SHINGLE) ---\n");
   std::printf("%-6s %14s %16s\n", "l", "total span", "partition time");
@@ -70,13 +83,15 @@ void ShingleCountSweep() {
     SpanResult r = RunPartitioning(gen, PartitionAlgorithm::kShingle, options);
     std::printf("%-6u %14llu %15.3fs\n", l,
                 (unsigned long long)r.total_span, r.partition_seconds);
+    report->Add(StringPrintf("shingles_%u_total_span", l),
+                static_cast<double>(r.total_span));
   }
   std::printf("More hashes refine the ordering with diminishing returns; "
               "time grows ~linearly in l.\n\n");
 }
 
-void OverflowToleranceSweep() {
-  auto config = *CatalogConfig("B1");
+void OverflowToleranceSweep(BenchReport* report) {
+  auto config = SweepConfig("B1");
   GeneratedDataset gen = GenerateDataset(config);
   std::printf("--- Ablation 3: chunk overflow tolerance (dataset B1, "
               "BOTTOM-UP) ---\n");
@@ -92,6 +107,9 @@ void OverflowToleranceSweep() {
     std::printf("%-12.2f %10llu %14llu\n", tolerance,
                 (unsigned long long)r.num_chunks,
                 (unsigned long long)r.total_span);
+    report->Add(StringPrintf("tolerance_%d_total_span",
+                             static_cast<int>(tolerance * 100)),
+                static_cast<double>(r.total_span));
   }
   std::printf("Looser tolerance lets records that belong together stay "
               "together; the paper's 25%% captures most of the benefit.\n");
@@ -101,8 +119,10 @@ void OverflowToleranceSweep() {
 
 int main() {
   std::printf("=== Ablations for the paper's fixed design choices ===\n\n");
-  ChunkCapacitySweep();
-  ShingleCountSweep();
-  OverflowToleranceSweep();
+  BenchReport report("ablation_knobs");
+  ChunkCapacitySweep(&report);
+  ShingleCountSweep(&report);
+  OverflowToleranceSweep(&report);
+  report.Write();
   return 0;
 }

@@ -80,6 +80,10 @@ int main() {
   config.record_size_bytes = 420;
   config.pd = 0.05;
   config.seed = 7;
+  if (SmokeMode()) {
+    config.num_versions = 8;
+    config.records_per_version = 40;
+  }
   GeneratedDataset gen = GenerateDataset(config);
 
   Options base;
@@ -120,6 +124,7 @@ int main() {
               kQ1Queries, kQ3Queries, kPasses);
   std::printf("%-10s %10s %10s %10s %8s %10s %9s\n", "cache", "pass1_ms",
               "pass2_ms", "pass3_ms", "hit%", "chunks", "speedup");
+  BenchReport bench_report("cache_ablation");
   for (const Point& point : points) {
     Options options = base;
     options.cache_capacity_bytes = point.capacity;
@@ -140,6 +145,15 @@ int main() {
     } else {
       std::printf("%9s\n", "inf");
     }
+    // Labels like "stored/8" are not identifier-friendly; index instead.
+    const std::string prefix =
+        StringPrintf("point%d_", static_cast<int>(&point - points));
+    bench_report.Add(prefix + "capacity_bytes",
+                     static_cast<double>(point.capacity));
+    bench_report.Add(prefix + "cold_ms", passes.front().ms);
+    bench_report.Add(prefix + "warm_ms", warm);
+    bench_report.Add(prefix + "hit_rate", hit_rate);
   }
+  bench_report.Write();
   return 0;
 }

@@ -68,12 +68,17 @@ QueryLatencies Measure(RStore* store, const GeneratedDataset& gen,
   return out;
 }
 
-void RunDataset(const char* name) {
+void RunDataset(const char* name, BenchReport* report) {
   auto config = *CatalogConfig(name);
   // Compressible records, fewer versions (as in the Fig. 10 setup).
   config.record_size_bytes = 1600;
   config.num_versions = config.num_versions / 2;
   config.pd = 0.05;
+  if (SmokeMode()) {
+    config.num_versions = std::min<uint32_t>(config.num_versions, 10);
+    config.records_per_version =
+        std::min<uint32_t>(config.records_per_version, 60);
+  }
   if (config.branch_probability > 0.1) {
     // DELTA's chain-replay cost depends on the ABSOLUTE tree depth; the
     // paper's C0 averages depth 143 while the scaled catalog entry shrinks
@@ -85,7 +90,7 @@ void RunDataset(const char* name) {
   Options base;
   base.chunk_capacity_bytes = ScaledChunkCapacity(gen);
 
-  const size_t kQueries = 12;
+  const size_t kQueries = SmokeMode() ? 4 : 12;
   std::printf("\n--- Dataset %s: avg simulated latency per query (s) ---\n",
               name);
   std::printf("%-6s | %-26s | %-26s | %-26s\n", "", "Q1 full version",
@@ -93,6 +98,7 @@ void RunDataset(const char* name) {
   std::printf("%-6s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s\n", "k", "B-UP",
               "DFS", "SHNGL", "B-UP", "DFS", "SHNGL", "B-UP", "DFS", "SHNGL");
   for (uint32_t k : {1u, 5u, 25u, 50u}) {
+    if (SmokeMode() && k > 5) continue;
     Options options = base;
     options.max_sub_chunk_records = k;
     QueryLatencies lat[3];
@@ -108,6 +114,10 @@ void RunDataset(const char* name) {
                 k, lat[0].q1_seconds, lat[1].q1_seconds, lat[2].q1_seconds,
                 lat[0].q2_seconds, lat[1].q2_seconds, lat[2].q2_seconds,
                 lat[0].q3_seconds, lat[1].q3_seconds, lat[2].q3_seconds);
+    const std::string prefix = StringPrintf("%s_k%u_", name, k);
+    report->Add(prefix + "bottom_up_q1_seconds", lat[0].q1_seconds);
+    report->Add(prefix + "bottom_up_q2_seconds", lat[0].q2_seconds);
+    report->Add(prefix + "bottom_up_q3_seconds", lat[0].q3_seconds);
   }
   // Baselines at k=1 (DELTA cannot compress across versions; SUBCHUNK is the
   // caption line in the paper).
@@ -119,6 +129,7 @@ void RunDataset(const char* name) {
     QueryLatencies dl = Measure(delta.store.get(), gen, kQueries);
     std::printf("DELTA  | %8.3f %17s | %8.3f %17s | %8.3f\n", dl.q1_seconds,
                 "", dl.q2_seconds, "", dl.q3_seconds);
+    report->Add(std::string(name) + "_delta_q1_seconds", dl.q1_seconds);
     Options sub_options = base;
     sub_options.max_sub_chunk_records = 1000000;  // whole key history
     LoadedStore sub =
@@ -133,10 +144,12 @@ void RunDataset(const char* name) {
 
 int main() {
   std::printf("=== Paper Fig. 11: query processing performance ===\n");
-  RunDataset("A0");
-  RunDataset("C0");
+  BenchReport report("fig11_query");
+  RunDataset("A0", &report);
+  if (!SmokeMode()) RunDataset("C0", &report);
   std::printf(
       "\nPaper shape: BOTTOM-UP best on Q1/Q2; DELTA Q2 > DELTA Q1; Q3 falls "
       "as k grows; SUBCHUNK worst Q1/Q2, best Q3.\n");
+  report.Write();
   return 0;
 }

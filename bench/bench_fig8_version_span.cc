@@ -28,11 +28,13 @@ int main() {
   std::printf("%-8s %12s %12s %12s %12s %12s %18s\n", "Dataset", "BOTTOM-UP",
               "SHINGLE", "DFS", "BFS", "DELTA", "DELTA/BOTTOM-UP");
 
+  BenchReport report("fig8_version_span");
   double worst_ratio = 0, ratio_sum = 0;
   int rows = 0;
   for (const CatalogEntry& entry : DatasetCatalog()) {
     std::string name = entry.name;
     if (name == "E" || name == "F") continue;  // Fig. 8 covers A*-D*
+    if (SmokeMode() && rows >= 2) break;
     GeneratedDataset gen = GenerateDataset(entry.config);
     Options options;
     options.chunk_capacity_bytes = ScaledChunkCapacity(gen);
@@ -52,9 +54,15 @@ int main() {
                 (unsigned long long)spans[1], (unsigned long long)spans[2],
                 (unsigned long long)spans[3], (unsigned long long)spans[4],
                 ratio);
+    report.Add(name + "_bottom_up_span", static_cast<double>(spans[0]));
+    report.Add(name + "_delta_span", static_cast<double>(spans[4]));
+    report.Add(name + "_delta_over_bottom_up", ratio);
   }
   std::printf("\nDELTA vs BOTTOM-UP: max %.2fx, average %.2fx  (paper: up to "
               "8.21x, avg ~3.56x)\n",
               worst_ratio, ratio_sum / rows);
+  report.Add("max_delta_over_bottom_up", worst_ratio);
+  report.Add("avg_delta_over_bottom_up", ratio_sum / rows);
+  report.Write();
   return 0;
 }

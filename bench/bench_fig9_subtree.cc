@@ -17,6 +17,11 @@ int main() {
   using namespace rstore::bench;
 
   auto config = CatalogConfig("B0");
+  if (SmokeMode()) {
+    config->num_versions = std::min<uint32_t>(config->num_versions, 16);
+    config->records_per_version =
+        std::min<uint32_t>(config->records_per_version, 60);
+  }
   GeneratedDataset gen = GenerateDataset(*config);
   Options base;
   base.chunk_capacity_bytes = ScaledChunkCapacity(gen);
@@ -30,6 +35,7 @@ int main() {
 
   // Beta values mirroring the paper's x-axis {5,10,20,40,80,160,301},
   // with 0 = unlimited standing in for the full-depth setting.
+  BenchReport report("fig9_subtree");
   for (uint32_t beta : {5u, 10u, 20u, 40u, 80u, 160u, 0u}) {
     Options options = base;
     options.subtree_limit = beta;
@@ -47,8 +53,13 @@ int main() {
     std::printf("%-10s %14llu %16llu %14.3fs\n", beta_label,
                 (unsigned long long)result.total_span,
                 (unsigned long long)q2_span, result.partition_seconds);
+    const std::string prefix =
+        "beta_" + std::string(beta == 0 ? "unlimited" : std::to_string(beta));
+    report.Add(prefix + "_q1_span", static_cast<double>(result.total_span));
+    report.Add(prefix + "_partition_seconds", result.partition_seconds);
   }
   std::printf("\nPaper shape: span increases as beta decreases; total time "
               "dips then rises for beta < 20.\n");
+  report.Write();
   return 0;
 }

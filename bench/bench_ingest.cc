@@ -23,12 +23,14 @@ int main() {
   auto config = *CatalogConfig("B1");
   GeneratedDataset gen = GenerateDataset(config);
   uint32_t versions = gen.dataset.graph.size();
+  if (SmokeMode()) versions = std::min<uint32_t>(versions, 24);
   std::printf("=== Ingest throughput vs online batch size (dataset B1, "
               "%u versions, BOTTOM-UP) ===\n\n",
               versions);
   std::printf("%-8s %14s %14s %14s %12s\n", "Batch", "commits/s",
               "ingest total", "total span", "#chunks");
 
+  BenchReport report("ingest");
   for (uint32_t batch : {1u, 8u, 32u, 128u, versions}) {
     MemoryStore backend;
     Options options;
@@ -66,7 +68,12 @@ int main() {
                 versions / seconds, seconds,
                 (unsigned long long)(*store)->TotalVersionSpan(),
                 (unsigned long long)(*store)->NumChunks());
+    const std::string prefix = StringPrintf("batch_%u_", batch);
+    report.Add(prefix + "commits_per_sec", versions / seconds);
+    report.Add(prefix + "total_span",
+               static_cast<double>((*store)->TotalVersionSpan()));
   }
+  report.Write();
   std::printf(
       "\nShape: tiny batches re-run the partitioner constantly (slow ingest, "
       "worse span); large batches amortize it and approach offline layout "

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
+
 #include "bench_util.h"
 #include "common/hash.h"
 #include "common/random.h"
@@ -168,4 +170,48 @@ BENCHMARK(BM_Partitioner)
 }  // namespace
 }  // namespace rstore
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console output plus the repo-standard flat BENCH_micro.json: one
+/// "<name>_real_ns" entry per benchmark run, with the run name sanitized to
+/// an identifier ("BM_LzCompressJson/256" -> "BM_LzCompressJson_256").
+class FlatJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit FlatJsonReporter(rstore::bench::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      report_->Add(name + "_real_ns", run.GetAdjustedRealTime());
+    }
+  }
+
+ private:
+  rstore::bench::BenchReport* report_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Smoke mode: cut per-benchmark measuring time so CI can validate the
+  // binary and its JSON output in seconds.
+  std::vector<char*> args(argv, argv + argc);
+  char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (rstore::bench::SmokeMode()) args.push_back(min_time_flag);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  rstore::bench::BenchReport report("micro");
+  FlatJsonReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.Write();
+  return 0;
+}

@@ -44,6 +44,10 @@ int main() {
   config.insert_fraction = 0;
   config.delete_fraction = 0;
   config.pd = 0.05;                 // high intra-record overlap => c << 1
+  if (SmokeMode()) {
+    config.num_versions = 10;
+    config.records_per_version = 50;
+  }
   GeneratedDataset gen = GenerateDataset(config);
   std::printf("n=%u versions, mv=%u records, s=%uB, d=%.2f\n\n",
               config.num_versions, config.records_per_version,
@@ -62,6 +66,7 @@ int main() {
   auto version_queries = qgen.FullVersionQueries(8);
   auto point_queries = qgen.PointQueries(16);
 
+  BenchReport report("table1_costs");
   for (const Row& row : rows) {
     Options options;
     options.chunk_capacity_bytes = ScaledChunkCapacity(gen);
@@ -95,7 +100,20 @@ int main() {
                 HumanBytes(pt.bytes_fetched / point_queries.size()).c_str(),
                 static_cast<double>(pt.chunks_fetched) /
                     point_queries.size());
+    const std::string prefix =
+        StringPrintf("row%d_", static_cast<int>(&row - rows));
+    report.Add(prefix + "storage_bytes", static_cast<double>(storage));
+    report.Add(prefix + "q1_avg_bytes",
+               static_cast<double>(q1.bytes_fetched) /
+                   version_queries.size());
+    report.Add(prefix + "q1_avg_chunks",
+               static_cast<double>(q1.chunks_fetched) /
+                   version_queries.size());
+    report.Add(prefix + "point_avg_chunks",
+               static_cast<double>(pt.chunks_fetched) /
+                   point_queries.size());
   }
+  report.Write();
   std::printf(
       "\nPaper shape: chunked layout pays n*mv*s storage (no dedup benefit "
       "beyond sharing) but answers Q1 with mv*s/sc queries;\nDELTA/SUBCHUNK "

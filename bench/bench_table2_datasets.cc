@@ -3,15 +3,21 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
+
 #include "common/stopwatch.h"
 #include "workload/dataset_catalog.h"
 
 int main() {
   using namespace rstore;
   using namespace rstore::workload;
+  using namespace rstore::bench;
   std::printf("=== Paper Table 2: dataset descriptions (scaled catalog) ===\n\n");
   std::printf("%s\n", StatsHeader().c_str());
+  BenchReport report("table2_datasets");
+  int generated = 0;
   for (const CatalogEntry& entry : DatasetCatalog()) {
+    if (SmokeMode() && generated >= 2) break;
     Stopwatch timer;
     GeneratedDataset gen = GenerateDataset(entry.config);
     Status s = gen.dataset.Validate();
@@ -22,7 +28,13 @@ int main() {
     }
     std::printf("%s   (generated+validated in %.2fs)\n",
                 FormatStatsRow(gen.stats).c_str(), timer.ElapsedSeconds());
+    const std::string prefix = std::string(entry.name) + "_";
+    report.Add(prefix + "unique_records",
+               static_cast<double>(gen.stats.unique_records));
+    report.Add(prefix + "generate_seconds", timer.ElapsedSeconds());
+    ++generated;
   }
+  report.Write();
   std::printf(
       "\nPaper reference rows (unscaled): A0: 300 versions, depth 300, 100K "
       "recs/ver, 50%% random;\n  C0: 10001 versions, depth 143, 20K recs/ver, "

@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "kvstore/cluster.h"
@@ -31,21 +32,26 @@ constexpr uint32_t kUniqueRecords = 100000;
 constexpr uint32_t kRecordBytes = 100;
 
 void Run() {
+  const uint32_t records_per_version =
+      bench::SmokeMode() ? 500 : kRecordsPerVersion;
+  const uint32_t unique_records =
+      bench::SmokeMode() ? 5000 : kUniqueRecords;
   std::printf("=== Paper section 2.3: version reconstruction time vs chunk "
               "size ===\n");
   std::printf("(%u-record version, %u unique %u-byte records, random "
               "record->chunk assignment, 4-node cluster)\n\n",
-              kRecordsPerVersion, kUniqueRecords, kRecordBytes);
+              records_per_version, unique_records, kRecordBytes);
   std::printf("%-12s %-10s %-14s %-14s\n", "Chunk size", "#chunks",
               "Sim. time (s)", "Data fetched");
 
   Random rng(42);
   // The version's records: a random subset of the unique-record space.
-  std::vector<uint32_t> version_records(kRecordsPerVersion);
-  for (uint32_t i = 0; i < kRecordsPerVersion; ++i) {
-    version_records[i] = static_cast<uint32_t>(rng.Uniform(kUniqueRecords));
+  std::vector<uint32_t> version_records(records_per_version);
+  for (uint32_t i = 0; i < records_per_version; ++i) {
+    version_records[i] = static_cast<uint32_t>(rng.Uniform(unique_records));
   }
 
+  bench::BenchReport report("too_many_queries");
   for (uint32_t chunk_size : {1u, 10u, 100u, 1000u, 10000u}) {
     ClusterOptions options;
     options.num_nodes = 4;
@@ -53,11 +59,11 @@ void Run() {
     (void)cluster.CreateTable("chunks");
 
     // Random assignment of records to chunks (paper §2.3).
-    uint32_t num_chunks = (kUniqueRecords + chunk_size - 1) / chunk_size;
-    std::vector<uint32_t> chunk_of_record(kUniqueRecords);
+    uint32_t num_chunks = (unique_records + chunk_size - 1) / chunk_size;
+    std::vector<uint32_t> chunk_of_record(unique_records);
     std::vector<uint32_t> fill(num_chunks, 0);
     Random assign_rng(7);
-    for (uint32_t r = 0; r < kUniqueRecords; ++r) {
+    for (uint32_t r = 0; r < unique_records; ++r) {
       uint32_t c;
       do {
         c = static_cast<uint32_t>(assign_rng.Uniform(num_chunks));
@@ -99,10 +105,15 @@ void Run() {
     std::printf("%-12u %-10zu %-14.2f %-14s\n", chunk_size, fetched,
                 stats.simulated_micros / 1e6,
                 HumanBytes(stats.bytes_read).c_str());
+    const std::string prefix = "chunk_size_" + std::to_string(chunk_size);
+    report.Add(prefix + "_sim_seconds", stats.simulated_micros / 1e6);
+    report.Add(prefix + "_bytes_read",
+               static_cast<double>(stats.bytes_read));
   }
   std::printf(
       "\nPaper reference (physical Cassandra, 10x scale): 65.42 / 14.18 / "
       "3.10 / 1.07 / 0.56 s\n");
+  report.Write();
 }
 
 }  // namespace

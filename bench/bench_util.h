@@ -1,11 +1,14 @@
 #ifndef RSTORE_BENCH_BENCH_UTIL_H_
 #define RSTORE_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/partitioner.h"
 #include "core/placement.h"
 #include "core/rstore.h"
@@ -15,6 +18,50 @@
 
 namespace rstore {
 namespace bench {
+
+/// True when RSTORE_BENCH_SMOKE is set (and not "0"): benches shrink their
+/// datasets/iteration counts so the whole binary finishes in seconds. CI
+/// uses this to validate that every bench still runs and emits parseable
+/// BENCH_*.json; the numbers themselves are meaningless in smoke mode.
+inline bool SmokeMode() {
+  const char* env = std::getenv("RSTORE_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Machine-readable companion to a bench's human output: flat metric-name ->
+/// value pairs written as BENCH_<name>.json in the working directory, the
+/// per-PR perf trajectory CI tracks. Add() as results materialize, Write()
+/// once at the end of main.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& metric, double value) {
+    entries_.emplace_back(metric, std::isfinite(value) ? value : 0.0);
+  }
+
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::string out = "{";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out += StringPrintf("%s\n  \"%s\": %.17g", i == 0 ? "" : ",",
+                          entries_[i].first.c_str(), entries_[i].second);
+    }
+    out += "\n}\n";
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 /// Chunk capacity preserving the paper's regime: ~1 MB chunks against
 /// ~10 MB versions means roughly 10+ chunks per full version, so scale the

@@ -12,6 +12,9 @@
 //   tag <name> @<vers|br>         create a tag
 //   log                           version graph summary
 //   stats                         storage/span/index statistics
+//   metrics [json]                process metrics (Prometheus text or JSON)
+//   trace [-o file] <query...>    run a query, print its span tree; with
+//                                 -o, also write Chrome trace JSON
 //   verify                        offline integrity check (fsck)
 //   repartition                   full offline repartition
 //   help / quit
@@ -26,7 +29,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "core/branch_manager.h"
 #include "core/report.h"
 #include "core/rstore.h"
@@ -88,6 +93,73 @@ class Shell {
     std::printf("(%zu records)\n", records.size());
   }
 
+  /// `trace [-o file] <checkout|get|range|history> <args...>`: runs the
+  /// query with a TraceContext attached, prints the span tree, and (with
+  /// -o) writes Chrome trace-event JSON loadable in Perfetto.
+  void RunTrace(std::istringstream& in) {
+    std::string token, out_file;
+    in >> token;
+    if (token == "-o") {
+      in >> out_file >> token;
+    }
+    TraceContext trace;
+    Status status = Status::OK();
+    if (token == "checkout") {
+      std::string at;
+      in >> at;
+      auto version = Resolve(at);
+      if (!version.ok()) {
+        Report(version.status());
+        return;
+      }
+      status = store_->GetVersion(*version, nullptr, &trace).status();
+    } else if (token == "get") {
+      std::string key, at;
+      in >> key >> at;
+      auto version = Resolve(at);
+      if (!version.ok()) {
+        Report(version.status());
+        return;
+      }
+      status = store_->GetRecord(key, *version, nullptr, &trace).status();
+    } else if (token == "range") {
+      std::string lo, hi, at;
+      in >> lo >> hi >> at;
+      auto version = Resolve(at);
+      if (!version.ok()) {
+        Report(version.status());
+        return;
+      }
+      status =
+          store_->GetRange(*version, lo, hi, nullptr, &trace).status();
+    } else if (token == "history") {
+      std::string key;
+      in >> key;
+      status = store_->GetHistory(key, nullptr, &trace).status();
+    } else {
+      std::printf("usage: trace [-o file] <checkout|get|range|history> "
+                  "<args...>\n");
+      return;
+    }
+    if (!status.ok()) {
+      Report(status);
+      return;
+    }
+    std::printf("%s", trace.ToDebugString().c_str());
+    if (!out_file.empty()) {
+      FILE* f = std::fopen(out_file.c_str(), "w");
+      if (f == nullptr) {
+        std::printf("error: cannot write %s\n", out_file.c_str());
+        return;
+      }
+      std::string json = trace.ToChromeTraceJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %zu bytes of Chrome trace JSON to %s\n",
+                  json.size(), out_file.c_str());
+    }
+  }
+
   bool Dispatch(const std::string& line) {
     std::istringstream in(line);
     std::string command;
@@ -98,7 +170,7 @@ class Shell {
     if (command == "help") {
       std::printf(
           "commands: put del get checkout range history branch tag log "
-          "stats report verify repartition quit\n");
+          "stats metrics trace report verify repartition quit\n");
     } else if (command == "put") {
       std::string branch, key;
       in >> branch >> key;
@@ -235,6 +307,17 @@ class Shell {
                   (unsigned long long)kv.puts, (unsigned long long)kv.gets,
                   (unsigned long long)kv.multiget_batches,
                   HumanBytes(kv.bytes_read).c_str());
+    } else if (command == "metrics") {
+      std::string format;
+      in >> format;
+      if (format == "json") {
+        std::printf("%s\n",
+                    MetricsRegistry::Default().JsonSnapshot().c_str());
+      } else {
+        std::printf("%s", MetricsRegistry::Default().PrometheusText().c_str());
+      }
+    } else if (command == "trace") {
+      RunTrace(in);
     } else if (command == "report") {
       auto report = BuildStoreReport(*store_, &cluster_);
       if (report.ok()) {

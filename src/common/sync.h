@@ -98,6 +98,11 @@ enum LockRank : int {
   /// ParallelFor first-error capture; taken by a worker after its user fn
   /// has thrown (and therefore released whatever it held).
   kLockRankParallelError = 100,
+  /// MetricsRegistry name->metric map. Below every subsystem rank: metric
+  /// registration may happen on first touch from anywhere (including under a
+  /// cache shard lock), and the registry never calls out while holding it.
+  /// Updates to registered metrics are lock-free and never take this mutex.
+  kLockRankMetrics = 50,
   /// Locks that never nest with anything (two leaf locks cannot nest).
   kLockRankLeaf = 0,
 };

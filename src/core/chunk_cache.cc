@@ -1,6 +1,7 @@
 #include "core/chunk_cache.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace rstore {
 
@@ -12,6 +13,30 @@ uint32_t RoundUpToPowerOfTwo(uint32_t n) {
   while (p < n) p <<= 1;
   return p;
 }
+
+/// Process-wide cache traffic counters (all shards, all caches). Updated
+/// lock-free; registration happens once even though Lookup runs under a
+/// shard lock (kLockRankMetrics sits below kLockRankChunkCache).
+struct CacheMetrics {
+  Counter* hits_total;
+  Counter* misses_total;
+  Counter* insertions_total;
+  Counter* evictions_total;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Default();
+      CacheMetrics m;
+      m.hits_total = registry.GetCounter("rstore_cache_hits_total");
+      m.misses_total = registry.GetCounter("rstore_cache_misses_total");
+      m.insertions_total =
+          registry.GetCounter("rstore_cache_insertions_total");
+      m.evictions_total = registry.GetCounter("rstore_cache_evictions_total");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -31,9 +56,11 @@ std::shared_ptr<const Chunk> ChunkCache::Lookup(const ChunkCacheKey& key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    CacheMetrics::Get().misses_total->Increment();
     return nullptr;
   }
   ++shard.hits;
+  CacheMetrics::Get().hits_total->Increment();
   // Promote to most-recently-used.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->chunk;
@@ -48,6 +75,7 @@ void ChunkCache::EvictToFit(Shard& shard, uint64_t incoming) {
     shard.index.erase(victim.key);
     shard.lru.pop_back();
     ++shard.evictions;
+    CacheMetrics::Get().evictions_total->Increment();
   }
 }
 
@@ -74,6 +102,7 @@ void ChunkCache::Insert(const ChunkCacheKey& key,
   shard.index.emplace(key, shard.lru.begin());
   shard.charged += charge;
   ++shard.insertions;
+  CacheMetrics::Get().insertions_total->Increment();
   RSTORE_DCHECK(shard.charged <= shard_capacity_);
   RSTORE_DCHECK(shard.index.size() == shard.lru.size());
 }

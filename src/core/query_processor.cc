@@ -2,11 +2,41 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace rstore {
 
 namespace {
+
+/// Read-path registry handles, resolved once per process.
+struct QueryMetrics {
+  Counter* queries_total;
+  Counter* chunks_fetched_total;
+  Counter* bytes_fetched_total;
+  Counter* simulated_micros_total;
+  Histogram* span_chunks;
+
+  static const QueryMetrics& Get() {
+    static const QueryMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Default();
+      QueryMetrics m;
+      m.queries_total = registry.GetCounter("rstore_query_queries_total");
+      m.chunks_fetched_total =
+          registry.GetCounter("rstore_query_chunks_fetched_total");
+      m.bytes_fetched_total =
+          registry.GetCounter("rstore_query_bytes_fetched_total");
+      m.simulated_micros_total =
+          registry.GetCounter("rstore_query_simulated_micros_total");
+      // Chunks per query — the paper's span metric (§2.5).
+      m.span_chunks = registry.GetHistogram(
+          "rstore_query_span_chunks", ExponentialBoundaries(1, 4.0, 8));
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 std::string MapKey(ChunkId id) {
   std::string key = "m";
@@ -34,13 +64,16 @@ QueryProcessor::QueryProcessor(KVStore* kvs, const StoreCatalog* catalog,
       cache_owner_(cache_owner) {}
 
 Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
-    const std::vector<ChunkId>& ids, QueryStats* stats) {
+    const std::vector<ChunkId>& ids, QueryStats* stats, TraceContext* trace) {
+  ScopedSpan fetch_span(trace, "query.fetch_chunks");
+  fetch_span.Annotate("chunks", std::to_string(ids.size()));
   std::vector<ChunkRef> chunks(ids.size());
   // Cache pass: resolve each id against the cache under its *current* map
   // generation, so entries decoded before a map rewrite can never be served.
   std::vector<ChunkCacheKey> cache_keys;
   std::vector<size_t> miss;  // indices into `ids` needing a backend fetch
   if (cache_ != nullptr) {
+    ScopedSpan lookup_span(trace, "cache.lookup");
     cache_keys.resize(ids.size());
     for (size_t i = 0; i < ids.size(); ++i) {
       cache_keys[i] = ChunkCacheKey{cache_owner_, ids[i],
@@ -48,6 +81,8 @@ Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
       chunks[i] = cache_->Lookup(cache_keys[i]);
       if (chunks[i] == nullptr) miss.push_back(i);
     }
+    lookup_span.Annotate("hits", std::to_string(ids.size() - miss.size()));
+    lookup_span.Annotate("misses", std::to_string(miss.size()));
   } else {
     miss.resize(ids.size());
     for (size_t i = 0; i < ids.size(); ++i) miss[i] = i;
@@ -64,11 +99,13 @@ Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
       map_keys.push_back(MapKey(ids[i]));
     }
     std::map<std::string, std::string> chunk_values, map_values;
+    RSTORE_RETURN_IF_ERROR(kvs_->MultiGet(options_.chunk_table, chunk_keys,
+                                          &chunk_values, trace));
     RSTORE_RETURN_IF_ERROR(
-        kvs_->MultiGet(options_.chunk_table, chunk_keys, &chunk_values));
-    RSTORE_RETURN_IF_ERROR(
-        kvs_->MultiGet(options_.index_table, map_keys, &map_values));
+        kvs_->MultiGet(options_.index_table, map_keys, &map_values, trace));
 
+    ScopedSpan decode_span(trace, "query.decode");
+    decode_span.Annotate("chunks", std::to_string(miss.size()));
     std::vector<Status> statuses(miss.size());
     auto decode_one = [&](size_t m) {
       size_t i = miss[m];
@@ -120,10 +157,10 @@ Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
       }
     }
   }
+  // chunks_fetched stays the query's span (paper §2.5) regardless of the
+  // cache; bytes/latency only count traffic that reached the backend.
+  KVStats after = kvs_->stats();
   if (stats != nullptr) {
-    // chunks_fetched stays the query's span (paper §2.5) regardless of the
-    // cache; bytes/latency only count traffic that reached the backend.
-    KVStats after = kvs_->stats();
     stats->chunks_fetched += ids.size();
     stats->bytes_fetched += after.bytes_read - before.bytes_read;
     stats->simulated_micros += after.simulated_micros -
@@ -133,6 +170,12 @@ Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
       stats->cache_misses += miss.size();
     }
   }
+  const QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.chunks_fetched_total->Increment(ids.size());
+  metrics.bytes_fetched_total->Increment(after.bytes_read - before.bytes_read);
+  metrics.simulated_micros_total->Increment(after.simulated_micros -
+                                            before.simulated_micros);
+  metrics.span_chunks->Observe(ids.size());
   return chunks;
 }
 
@@ -182,7 +225,7 @@ Result<std::vector<Record>> QueryProcessor::ExtractVersionRecords(
 
 Result<std::vector<Record>> QueryProcessor::GetVersionDeltaChain(
     VersionId version, bool use_range, const std::string& key_lo,
-    const std::string& key_hi, QueryStats* stats) {
+    const std::string& key_hi, QueryStats* stats, TraceContext* trace) {
   // DELTA layout: retrieve every delta object on root->version and replay.
   // (Partial retrieval still reconstructs the full version first, then
   // filters — the paper's worst case for this baseline.)
@@ -192,7 +235,7 @@ Result<std::vector<Record>> QueryProcessor::GetVersionDeltaChain(
   }
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  auto chunks = FetchChunks(ids, stats);
+  auto chunks = FetchChunks(ids, stats, trace);
   if (!chunks.ok()) return chunks.status();
 
   // The chain must be replayed in full: every record of every delta object
@@ -239,23 +282,28 @@ Result<std::vector<Record>> QueryProcessor::GetVersionDeltaChain(
 }
 
 Result<std::vector<Record>> QueryProcessor::GetVersion(VersionId version,
-                                                       QueryStats* stats) {
+                                                       QueryStats* stats,
+                                                       TraceContext* trace) {
   if (version >= dataset_->graph.size()) {
     return Status::InvalidArgument("unknown version");
   }
+  ScopedSpan span(trace, "query.get_version");
+  span.Annotate("version", std::to_string(version));
+  QueryMetrics::Get().queries_total->Increment();
   switch (layout_) {
     case LayoutKind::kChunked: {
-      auto chunks = FetchChunks(catalog_->ChunksOfVersion(version), stats);
+      auto chunks =
+          FetchChunks(catalog_->ChunksOfVersion(version), stats, trace);
       if (!chunks.ok()) return chunks.status();
       return ExtractVersionRecords(chunks.value(), version,
                                    /*use_range=*/false, "", "");
     }
     case LayoutKind::kDeltaChain:
       return GetVersionDeltaChain(version, /*use_range=*/false, "", "",
-                                  stats);
+                                  stats, trace);
     case LayoutKind::kSubChunkPerKey: {
       // No version->chunk index: every chunk must be retrieved (paper §2.2).
-      auto chunks = FetchChunks(catalog_->AllChunks(), stats);
+      auto chunks = FetchChunks(catalog_->AllChunks(), stats, trace);
       if (!chunks.ok()) return chunks.status();
       return ExtractVersionRecords(chunks.value(), version,
                                    /*use_range=*/false, "", "");
@@ -267,13 +315,17 @@ Result<std::vector<Record>> QueryProcessor::GetVersion(VersionId version,
 Result<std::vector<Record>> QueryProcessor::GetRange(VersionId version,
                                                      const std::string& key_lo,
                                                      const std::string& key_hi,
-                                                     QueryStats* stats) {
+                                                     QueryStats* stats,
+                                                     TraceContext* trace) {
   if (version >= dataset_->graph.size()) {
     return Status::InvalidArgument("unknown version");
   }
   if (key_lo > key_hi) {
     return Status::InvalidArgument("empty key range");
   }
+  ScopedSpan span(trace, "query.get_range");
+  span.Annotate("version", std::to_string(version));
+  QueryMetrics::Get().queries_total->Increment();
   switch (layout_) {
     case LayoutKind::kChunked: {
       // Index-ANDing: chunks of the version INTERSECT chunks holding any key
@@ -294,14 +346,14 @@ Result<std::vector<Record>> QueryProcessor::GetRange(VersionId version,
           }
         }
       }
-      auto chunks = FetchChunks(ids, stats);
+      auto chunks = FetchChunks(ids, stats, trace);
       if (!chunks.ok()) return chunks.status();
       return ExtractVersionRecords(chunks.value(), version,
                                    /*use_range=*/true, key_lo, key_hi);
     }
     case LayoutKind::kDeltaChain:
       return GetVersionDeltaChain(version, /*use_range=*/true, key_lo,
-                                  key_hi, stats);
+                                  key_hi, stats, trace);
     case LayoutKind::kSubChunkPerKey: {
       // One chunk per key: fetch the chunks whose key falls in the range.
       std::vector<ChunkId> ids;
@@ -313,7 +365,7 @@ Result<std::vector<Record>> QueryProcessor::GetRange(VersionId version,
           ids.push_back(id);
         }
       }
-      auto chunks = FetchChunks(ids, stats);
+      auto chunks = FetchChunks(ids, stats, trace);
       if (!chunks.ok()) return chunks.status();
       return ExtractVersionRecords(chunks.value(), version,
                                    /*use_range=*/true, key_lo, key_hi);
@@ -323,7 +375,11 @@ Result<std::vector<Record>> QueryProcessor::GetRange(VersionId version,
 }
 
 Result<std::vector<Record>> QueryProcessor::GetHistory(const std::string& key,
-                                                       QueryStats* stats) {
+                                                       QueryStats* stats,
+                                                       TraceContext* trace) {
+  ScopedSpan span(trace, "query.get_history");
+  span.Annotate("key", key);
+  QueryMetrics::Get().queries_total->Increment();
   std::vector<ChunkId> ids;
   switch (layout_) {
     case LayoutKind::kChunked:
@@ -337,7 +393,7 @@ Result<std::vector<Record>> QueryProcessor::GetHistory(const std::string& key,
       ids = catalog_->AllChunks();
       break;
   }
-  auto chunks = FetchChunks(ids, stats);
+  auto chunks = FetchChunks(ids, stats, trace);
   if (!chunks.ok()) return chunks.status();
   std::vector<Record> out;
   if (layout_ == LayoutKind::kDeltaChain) {
@@ -389,10 +445,15 @@ Result<std::vector<Record>> QueryProcessor::GetHistory(const std::string& key,
 
 Result<Record> QueryProcessor::GetRecord(const std::string& key,
                                          VersionId version,
-                                         QueryStats* stats) {
+                                         QueryStats* stats,
+                                         TraceContext* trace) {
   if (version >= dataset_->graph.size()) {
     return Status::InvalidArgument("unknown version");
   }
+  ScopedSpan span(trace, "query.get_record");
+  span.Annotate("key", key);
+  span.Annotate("version", std::to_string(version));
+  QueryMetrics::Get().queries_total->Increment();
   std::vector<ChunkId> ids;
   switch (layout_) {
     case LayoutKind::kChunked: {
@@ -406,7 +467,7 @@ Result<Record> QueryProcessor::GetRecord(const std::string& key,
     }
     case LayoutKind::kDeltaChain: {
       auto records = GetVersionDeltaChain(version, /*use_range=*/true, key,
-                                          key, stats);
+                                          key, stats, trace);
       if (!records.ok()) return records.status();
       if (records->empty()) {
         return Status::NotFound("no record " + key + " in version " +
@@ -418,7 +479,7 @@ Result<Record> QueryProcessor::GetRecord(const std::string& key,
       ids = catalog_->ChunksOfKey(key);
       break;
   }
-  auto chunks = FetchChunks(ids, stats);
+  auto chunks = FetchChunks(ids, stats, trace);
   if (!chunks.ok()) return chunks.status();
   for (const ChunkRef& chunk_ref : chunks.value()) {
     const Chunk& chunk = *chunk_ref;

@@ -1,6 +1,7 @@
 #ifndef RSTORE_CORE_QUERY_PROCESSOR_H_
 #define RSTORE_CORE_QUERY_PROCESSOR_H_
 
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,6 +52,13 @@ inline constexpr QueryStats::Field kQueryStatsFields[] = {
     {"cache_misses", &QueryStats::cache_misses},
 };
 
+/// Every QueryStats field is a uint64_t, so the struct's size is exactly one
+/// table entry per field; this trips the moment someone adds a field without
+/// registering it (and aggregation/reporting would silently drop it).
+static_assert(sizeof(QueryStats) ==
+                  std::size(kQueryStatsFields) * sizeof(uint64_t),
+              "QueryStats field added without a kQueryStatsFields entry");
+
 inline QueryStats& QueryStats::operator+=(const QueryStats& other) {
   for (const Field& field : kQueryStatsFields) {
     this->*field.member += other.*field.member;
@@ -88,25 +96,35 @@ class QueryProcessor {
                  uint64_t cache_owner = 0);
 
   /// Q1 — full version retrieval: every record of `version`.
+  ///
+  /// All four query methods accept an optional TraceContext: when non-null,
+  /// the query records a span tree ("query.*" around the whole query,
+  /// "query.fetch_chunks" / "cache.lookup" / "query.decode" around the read
+  /// path, plus the backend's own "kvs.multiget" spans) stamped with both
+  /// wall-clock and simulated time.
   Result<std::vector<Record>> GetVersion(VersionId version,
-                                         QueryStats* stats = nullptr);
+                                         QueryStats* stats = nullptr,
+                                         TraceContext* trace = nullptr);
 
   /// Q2 — range retrieval: records of `version` with key in
   /// [key_lo, key_hi] (inclusive).
   Result<std::vector<Record>> GetRange(VersionId version,
                                        const std::string& key_lo,
                                        const std::string& key_hi,
-                                       QueryStats* stats = nullptr);
+                                       QueryStats* stats = nullptr,
+                                       TraceContext* trace = nullptr);
 
   /// Q3 — record evolution: every record (across all versions) with the
   /// given primary key, sorted by origin version.
   Result<std::vector<Record>> GetHistory(const std::string& key,
-                                         QueryStats* stats = nullptr);
+                                         QueryStats* stats = nullptr,
+                                         TraceContext* trace = nullptr);
 
   /// Point query: the record with `key` as visible in `version`.
   /// kNotFound if the version has no such key.
   Result<Record> GetRecord(const std::string& key, VersionId version,
-                           QueryStats* stats = nullptr);
+                           QueryStats* stats = nullptr,
+                           TraceContext* trace = nullptr);
 
  private:
   /// A decoded chunk on the read path: cached entries are shared with the
@@ -116,7 +134,8 @@ class QueryProcessor {
   /// Fetches and decodes chunks (bodies + their maps) by id, consulting the
   /// cache first when attached, accounting stats.
   Result<std::vector<ChunkRef>> FetchChunks(const std::vector<ChunkId>& ids,
-                                            QueryStats* stats);
+                                            QueryStats* stats,
+                                            TraceContext* trace);
 
   /// Extracts the records of `version` from fetched chunks via chunk maps,
   /// optionally restricted to [key_lo, key_hi].
@@ -128,7 +147,8 @@ class QueryProcessor {
                                                    bool use_range,
                                                    const std::string& key_lo,
                                                    const std::string& key_hi,
-                                                   QueryStats* stats);
+                                                   QueryStats* stats,
+                                                   TraceContext* trace);
 
   KVStore* kvs_;
   const StoreCatalog* catalog_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace rstore {
@@ -80,6 +81,33 @@ Result<StoreReport> BuildStoreReport(const RStore& store, KVStore* backend) {
         {"bytes", cs.charged_bytes},
         {"capacity", cs.capacity_bytes},
     };
+    report.layers.push_back(std::move(layer));
+  }
+
+  // Fold the process-wide registry counters in, one layer block per
+  // subsystem token ("rstore_kvs_bytes_read_total" -> layer "metrics/kvs",
+  // counter "bytes_read_total"). Note these are process-wide totals: with
+  // several stores in one process the blocks aggregate across all of them.
+  MetricsSnapshot snapshot = MetricsRegistry::Default().Snapshot();
+  std::vector<StoreReport::LayerCounters> metric_layers;
+  constexpr char kPrefix[] = "rstore_";
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const size_t subsystem_start = sizeof(kPrefix) - 1;
+    const size_t subsystem_end = name.find('_', subsystem_start);
+    if (subsystem_end == std::string::npos) continue;
+    const std::string layer_name =
+        "metrics/" + name.substr(subsystem_start,
+                                 subsystem_end - subsystem_start);
+    if (metric_layers.empty() || metric_layers.back().layer != layer_name) {
+      // Snapshot counters are sorted by name, so a subsystem's counters are
+      // contiguous: a new layer starts exactly when the prefix changes.
+      metric_layers.push_back(StoreReport::LayerCounters{layer_name, {}});
+    }
+    metric_layers.back().counters.emplace_back(
+        name.substr(subsystem_end + 1), value);
+  }
+  for (StoreReport::LayerCounters& layer : metric_layers) {
     report.layers.push_back(std::move(layer));
   }
   return report;

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/coding.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/partitioner.h"
 #include "core/sub_chunk_builder.h"
 
@@ -16,6 +18,40 @@ std::string MapKey(ChunkId id) {
   PutVarint64(&key, id);
   return key;
 }
+
+/// Write-path registry handles, resolved once per process.
+struct WriteMetrics {
+  Counter* commits_total;
+  Counter* batches_total;
+  Counter* chunks_written_total;
+  Counter* chunk_bytes_total;
+  Counter* map_rewrites_total;
+  /// Staged-but-unpartitioned versions across every live store: +1 per
+  /// staged commit, decremented by the batch size when a batch drains, so
+  /// the exported value is the process-wide backlog.
+  Gauge* pending_versions;
+  Histogram* batch_versions;
+
+  static const WriteMetrics& Get() {
+    static const WriteMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Default();
+      WriteMetrics m;
+      m.commits_total = registry.GetCounter("rstore_write_commits_total");
+      m.batches_total = registry.GetCounter("rstore_write_batches_total");
+      m.chunks_written_total =
+          registry.GetCounter("rstore_write_chunks_written_total");
+      m.chunk_bytes_total =
+          registry.GetCounter("rstore_write_chunk_bytes_total");
+      m.map_rewrites_total =
+          registry.GetCounter("rstore_write_map_rewrites_total");
+      m.pending_versions = registry.GetGauge("rstore_write_pending_versions");
+      m.batch_versions = registry.GetHistogram(
+          "rstore_write_batch_versions", ExponentialBoundaries(1, 2.0, 10));
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -56,16 +92,24 @@ Status RStore::WriteChunk(Chunk* chunk) {
       backend_->Put(options_.index_table, MapKey(chunk->id()), map));
   stored_chunk_bytes_ += body.size();
   stored_record_bytes_ += chunk->uncompressed_bytes();
+  const WriteMetrics& metrics = WriteMetrics::Get();
+  metrics.chunks_written_total->Increment();
+  metrics.chunk_bytes_total->Increment(body.size());
   return Status::OK();
 }
 
 Status RStore::PartitionAndWrite(const VersionedDataset& placement_view,
-                                 const RecordPayloadMap& payloads) {
+                                 const RecordPayloadMap& payloads,
+                                 TraceContext* trace) {
+  ScopedSpan build_span(trace, "write.build_subchunks");
   auto built = BuildSubChunks(placement_view, payloads,
                               *catalog_.record_versions(), options_);
   if (!built.ok()) return built.status();
   SubChunkBuildResult& result = built.value();
+  build_span.Annotate("items", std::to_string(result.items.size()));
+  build_span.End();
 
+  ScopedSpan partition_span(trace, "write.partition");
   std::unique_ptr<Partitioner> partitioner =
       CreatePartitioner(options_.algorithm);
   if (partitioner == nullptr) {
@@ -78,7 +122,11 @@ Status RStore::PartitionAndWrite(const VersionedDataset& placement_view,
   auto partitioned = partitioner->Partition(input);
   if (!partitioned.ok()) return partitioned.status();
   layout_ = partitioned->layout;
+  partition_span.Annotate("chunks",
+                          std::to_string(partitioned->chunks.size()));
+  partition_span.End();
 
+  ScopedSpan write_span(trace, "write.encode_and_put");
   for (const std::vector<uint32_t>& item_indices : partitioned->chunks) {
     Chunk chunk(next_chunk_id_++);
     VersionId origin = kInvalidVersion;
@@ -203,6 +251,9 @@ Result<VersionId> RStore::Commit(VersionId parent, CommitDelta delta) {
   pending.version = version;
   pending.delta = std::move(membership_delta);
   delta_store_.Stage(std::move(pending), std::move(payload_records));
+  const WriteMetrics& metrics = WriteMetrics::Get();
+  metrics.commits_total->Increment();
+  metrics.pending_versions->Add(1);
 
   if (delta_store_.pending_versions() >= options_.online_batch_size) {
     RSTORE_RETURN_IF_ERROR(ProcessBatch());
@@ -241,12 +292,16 @@ Result<VersionId> RStore::CommitSnapshot(
   return Commit(parent, std::move(delta));
 }
 
-Status RStore::ProcessBatch() {
+Status RStore::ProcessBatch(TraceContext* trace) {
   if (delta_store_.empty()) return Status::OK();
+  const uint64_t batch_versions = delta_store_.pending_versions();
+  ScopedSpan batch_span(trace, "write.process_batch");
+  batch_span.Annotate("versions", std::to_string(batch_versions));
   RecordVersionMap& record_versions = *catalog_.record_versions();
 
   // Phase 1 (§4): extend the membership indexes with each staged version,
   // collecting the pre-existing chunks whose maps will need one rebuild.
+  ScopedSpan index_span(trace, "write.index_update");
   std::unordered_set<ChunkId> affected_chunks;
   for (const PendingCommit& commit : delta_store_.pending()) {
     VersionMembership members = tree_.MaterializeVersion(commit.version);
@@ -262,6 +317,10 @@ Status RStore::ProcessBatch() {
     }
   }
 
+  index_span.Annotate("affected_chunks",
+                      std::to_string(affected_chunks.size()));
+  index_span.End();
+
   // Phase 2: partition the batch's new records. The placement view shares
   // the full tree but exposes only the staged deltas, so the partitioning
   // algorithm sees exactly the batch sub-graph.
@@ -271,10 +330,13 @@ Status RStore::ProcessBatch() {
   for (const PendingCommit& commit : delta_store_.pending()) {
     view.deltas[commit.version] = commit.delta;
   }
-  RSTORE_RETURN_IF_ERROR(PartitionAndWrite(view, delta_store_.payloads()));
+  RSTORE_RETURN_IF_ERROR(
+      PartitionAndWrite(view, delta_store_.payloads(), trace));
 
   // Phase 3: rewrite each affected old chunk map exactly once, rebuilt from
   // the in-memory indexes — no chunk fetches (§4).
+  ScopedSpan rewrite_span(trace, "write.map_rewrite");
+  rewrite_span.Annotate("maps", std::to_string(affected_chunks.size()));
   for (ChunkId id : affected_chunks) {
     auto map = catalog_.BuildChunkMap(id);
     if (!map.ok()) return map.status();
@@ -288,6 +350,11 @@ Status RStore::ProcessBatch() {
     catalog_.BumpChunkMapGeneration(id);
   }
   delta_store_.Clear();
+  const WriteMetrics& metrics = WriteMetrics::Get();
+  metrics.batches_total->Increment();
+  metrics.map_rewrites_total->Increment(affected_chunks.size());
+  metrics.pending_versions->Add(-static_cast<int64_t>(batch_versions));
+  metrics.batch_versions->Observe(batch_versions);
   return Status::OK();
 }
 
@@ -510,37 +577,40 @@ Status RStore::Flush() {
 }
 
 Result<std::vector<Record>> RStore::GetVersion(VersionId version,
-                                               QueryStats* stats) {
-  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+                                               QueryStats* stats,
+                                               TraceContext* trace) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
                     cache_.get(), cache_owner_);
-  return qp.GetVersion(version, stats);
+  return qp.GetVersion(version, stats, trace);
 }
 
 Result<std::vector<Record>> RStore::GetRange(VersionId version,
                                              const std::string& key_lo,
                                              const std::string& key_hi,
-                                             QueryStats* stats) {
-  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+                                             QueryStats* stats,
+                                             TraceContext* trace) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
                     cache_.get(), cache_owner_);
-  return qp.GetRange(version, key_lo, key_hi, stats);
+  return qp.GetRange(version, key_lo, key_hi, stats, trace);
 }
 
 Result<std::vector<Record>> RStore::GetHistory(const std::string& key,
-                                               QueryStats* stats) {
-  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+                                               QueryStats* stats,
+                                               TraceContext* trace) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
                     cache_.get(), cache_owner_);
-  return qp.GetHistory(key, stats);
+  return qp.GetHistory(key, stats, trace);
 }
 
 Result<Record> RStore::GetRecord(const std::string& key, VersionId version,
-                                 QueryStats* stats) {
-  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+                                 QueryStats* stats, TraceContext* trace) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
                     cache_.get(), cache_owner_);
-  return qp.GetRecord(key, version, stats);
+  return qp.GetRecord(key, version, stats, trace);
 }
 
 Result<VersionDelta> RStore::Diff(VersionId from, VersionId to) const {

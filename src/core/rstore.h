@@ -98,17 +98,22 @@ class RStore {
   Status VerifyIntegrity();
 
   // -- Queries (see QueryProcessor). Staged-but-unflushed versions are
-  //    flushed on demand before being queried.
+  //    flushed on demand before being queried. Pass a TraceContext to
+  //    capture the query's span tree (exportable as Chrome trace JSON).
   Result<std::vector<Record>> GetVersion(VersionId version,
-                                         QueryStats* stats = nullptr);
+                                         QueryStats* stats = nullptr,
+                                         TraceContext* trace = nullptr);
   Result<std::vector<Record>> GetRange(VersionId version,
                                        const std::string& key_lo,
                                        const std::string& key_hi,
-                                       QueryStats* stats = nullptr);
+                                       QueryStats* stats = nullptr,
+                                       TraceContext* trace = nullptr);
   Result<std::vector<Record>> GetHistory(const std::string& key,
-                                         QueryStats* stats = nullptr);
+                                         QueryStats* stats = nullptr,
+                                         TraceContext* trace = nullptr);
   Result<Record> GetRecord(const std::string& key, VersionId version,
-                           QueryStats* stats = nullptr);
+                           QueryStats* stats = nullptr,
+                           TraceContext* trace = nullptr);
 
   /// Membership difference between two arbitrary versions — the general
   /// form of the paper's ∆ (symmetric: Diff(a,b) is the inverse of
@@ -147,14 +152,19 @@ class RStore {
 
   /// Runs sub-chunking + partitioning over `dataset` restricted to
   /// `delta_source` and writes the resulting chunks; shared by BulkLoad
-  /// (whole graph) and ProcessBatch (batch subgraph).
+  /// (whole graph) and ProcessBatch (batch subgraph). When `trace` is
+  /// non-null, the sub-chunk build / partition / encode+write phases each
+  /// get a "write.*" span.
   Status PartitionAndWrite(const VersionedDataset& placement_view,
-                           const RecordPayloadMap& payloads);
+                           const RecordPayloadMap& payloads,
+                           TraceContext* trace = nullptr);
 
   /// Drains the delta store: updates membership indexes, partitions the
   /// batch's new records, writes new chunks, and rewrites the chunk maps of
-  /// every affected pre-existing chunk once (§4).
-  Status ProcessBatch();
+  /// every affected pre-existing chunk once (§4). Traced when `trace` is
+  /// non-null (queries forward their context here because a query against a
+  /// staged version flushes the batch first).
+  Status ProcessBatch(TraceContext* trace = nullptr);
 
   Status WriteChunk(Chunk* chunk);
 

@@ -45,9 +45,17 @@ class Cluster : public KVStore {
   Status CreateTable(const std::string& table) override;
   Status Put(const std::string& table, Slice key, Slice value) override;
   Result<std::string> Get(const std::string& table, Slice key) override;
+  /// When `trace` is non-null, records a "kvs.multiget" span with one
+  /// "node<N>" child per contacted node covering [batch start, batch start +
+  /// that node's service time] on the simulated clock — the children all
+  /// start at the same simulated instant because the nodes serve their
+  /// shares in parallel — and advances the trace's simulated clock by
+  /// exactly the micros charged to stats().simulated_micros.
+  using KVStore::MultiGet;
   Status MultiGet(const std::string& table,
                   const std::vector<std::string>& keys,
-                  std::map<std::string, std::string>* out) override;
+                  std::map<std::string, std::string>* out,
+                  TraceContext* trace) override;
   Status Delete(const std::string& table, Slice key) override;
   Status Scan(const std::string& table,
               const std::function<void(Slice key, Slice value)>& fn) override;

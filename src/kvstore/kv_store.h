@@ -13,6 +13,8 @@
 
 namespace rstore {
 
+class TraceContext;
+
 /// Aggregate counters for traffic against a KV store. RStore's evaluation
 /// metrics (number of queries issued to the backend, bytes moved, simulated
 /// latency) are read from here.
@@ -67,9 +69,25 @@ class KVStore {
   /// Batched lookup. Returns one entry per found key in `*out` (missing keys
   /// are simply absent, not errors). Implementations issue the per-key reads
   /// in parallel across the nodes that own them.
+  ///
+  /// `trace` may be null (the common case). When set, implementations that
+  /// model distribution record one child span per contacted node covering
+  /// that node's simulated service interval, and advance the context's
+  /// simulated clock by exactly the micros they charge to stats() — the
+  /// contract the observability tests reconcile. Implementations that
+  /// override only the traced form inherit the untraced convenience overload
+  /// via `using KVStore::MultiGet;`.
   virtual Status MultiGet(const std::string& table,
                           const std::vector<std::string>& keys,
-                          std::map<std::string, std::string>* out) = 0;
+                          std::map<std::string, std::string>* out,
+                          TraceContext* trace) = 0;
+
+  /// Untraced convenience form.
+  Status MultiGet(const std::string& table,
+                  const std::vector<std::string>& keys,
+                  std::map<std::string, std::string>* out) {
+    return MultiGet(table, keys, out, nullptr);
+  }
 
   virtual Status Delete(const std::string& table, Slice key) = 0;
 

@@ -20,9 +20,11 @@ class MemoryStore : public KVStore {
   Status CreateTable(const std::string& table) override;
   Status Put(const std::string& table, Slice key, Slice value) override;
   Result<std::string> Get(const std::string& table, Slice key) override;
+  using KVStore::MultiGet;
   Status MultiGet(const std::string& table,
                   const std::vector<std::string>& keys,
-                  std::map<std::string, std::string>* out) override;
+                  std::map<std::string, std::string>* out,
+                  TraceContext* trace) override;
   Status Delete(const std::string& table, Slice key) override;
   /// Iterates a point-in-time snapshot of the table; the store lock is NOT
   /// held while `fn` runs, so the callback may call back into this store

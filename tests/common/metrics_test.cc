@@ -1,0 +1,177 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "json/json_parser.h"
+
+namespace rstore {
+namespace {
+
+TEST(CounterTest, IncrementsMonotonically) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.ResetForTest();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-25);
+  EXPECT_EQ(gauge.value(), -15);
+}
+
+TEST(HistogramTest, LeBucketSemantics) {
+  Histogram histogram({10, 100});
+  histogram.Observe(5);    // <= 10
+  histogram.Observe(10);   // <= 10 (le semantics: boundary is inclusive)
+  histogram.Observe(50);   // <= 100
+  histogram.Observe(1000); // +Inf
+  std::vector<uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.sum(), 5u + 10u + 50u + 1000u);
+}
+
+TEST(HistogramTest, ExponentialBoundariesStrictlyIncrease) {
+  // factor close to 1 forces the rounding-collision path.
+  std::vector<uint64_t> bounds = ExponentialBoundaries(1, 1.1, 12);
+  ASSERT_EQ(bounds.size(), 12u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_EQ(bounds[0], 1u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("rstore_test_ops_total");
+  Counter* b = registry.GetCounter("rstore_test_ops_total");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->value(), 3u);
+  // First histogram registration wins; later boundaries are ignored.
+  Histogram* h1 = registry.GetHistogram("rstore_test_sizes", {1, 2, 3});
+  Histogram* h2 = registry.GetHistogram("rstore_test_sizes", {99});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->boundaries().size(), 3u);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("rstore_b_total")->Increment();
+  registry.GetCounter("rstore_a_total")->Increment(2);
+  registry.GetGauge("rstore_depth")->Set(-7);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "rstore_a_total");
+  EXPECT_EQ(snapshot.counters[0].second, 2u);
+  EXPECT_EQ(snapshot.counters[1].first, "rstore_b_total");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, -7);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("rstore_reqs_total")->Increment(42);
+  registry.GetGauge("rstore_queue_depth")->Set(-3);
+  Histogram* h = registry.GetHistogram("rstore_batch_keys", {10, 100});
+  h->Observe(5);
+  h->Observe(50);
+  h->Observe(500);
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE rstore_reqs_total counter\n"
+                      "rstore_reqs_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rstore_queue_depth gauge\n"
+                      "rstore_queue_depth -3\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end in +Inf == count.
+  EXPECT_NE(text.find("rstore_batch_keys_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rstore_batch_keys_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rstore_batch_keys_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rstore_batch_keys_sum 555\n"), std::string::npos);
+  EXPECT_NE(text.find("rstore_batch_keys_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("rstore_reqs_total")->Increment(42);
+  registry.GetGauge("rstore_queue_depth")->Set(-3);
+  Histogram* h = registry.GetHistogram("rstore_batch_keys", {10, 100});
+  h->Observe(5);
+  h->Observe(500);
+
+  auto parsed = json::Parse(registry.JsonSnapshot());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const json::Value* reqs = counters->Find("rstore_reqs_total");
+  ASSERT_NE(reqs, nullptr);
+  EXPECT_EQ(reqs->as_int(), 42);
+  const json::Value* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("rstore_queue_depth")->as_int(), -3);
+  const json::Value* histograms = parsed->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* batch = histograms->Find("rstore_batch_keys");
+  ASSERT_NE(batch, nullptr);
+  ASSERT_NE(batch->Find("boundaries"), nullptr);
+  EXPECT_EQ(batch->Find("boundaries")->as_array().size(), 2u);
+  // counts carries the +Inf bucket as its last entry.
+  ASSERT_NE(batch->Find("counts"), nullptr);
+  const json::Value::Array& counts = batch->Find("counts")->as_array();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0].as_int(), 1);
+  EXPECT_EQ(counts[2].as_int(), 1);
+  EXPECT_EQ(batch->Find("count")->as_int(), 2);
+  EXPECT_EQ(batch->Find("sum")->as_int(), 505);
+}
+
+TEST(MetricsRegistryTest, ResetForTestPreservesHandles) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("rstore_x_total");
+  Histogram* h = registry.GetHistogram("rstore_y_us", {8});
+  counter->Increment(9);
+  h->Observe(1);
+  registry.ResetForTest();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  counter->Increment();  // old handle still updates the registered metric
+  EXPECT_EQ(registry.Snapshot().counters[0].second, 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesDontLose) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("rstore_contended_total");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter->Increment();
+        // Re-resolving concurrently must return the same handle.
+        registry.GetCounter("rstore_contended_total");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+}  // namespace
+}  // namespace rstore

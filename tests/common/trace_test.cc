@@ -1,0 +1,136 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "json/json_parser.h"
+
+namespace rstore {
+namespace {
+
+TEST(TraceContextTest, NestingAndSimClock) {
+  TraceContext trace;
+  EXPECT_EQ(trace.sim_now_us(), 0u);
+  {
+    ScopedSpan outer(&trace, "outer");
+    trace.AdvanceSim(100);
+    {
+      ScopedSpan inner(&trace, "inner");
+      trace.AdvanceSim(50);
+      inner.Annotate("keys", "7");
+    }
+    trace.AdvanceSim(25);
+  }
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const TraceSpan& outer = trace.spans()[0];
+  const TraceSpan& inner = trace.spans()[1];
+  EXPECT_EQ(outer.parent, TraceSpan::kNoParent);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(outer.sim_duration_us(), 175u);
+  EXPECT_EQ(inner.sim_start_us, 100u);
+  EXPECT_EQ(inner.sim_duration_us(), 50u);
+  // Parent interval contains the child's on the simulated clock.
+  EXPECT_GE(inner.sim_start_us, outer.sim_start_us);
+  EXPECT_LE(inner.sim_end_us, outer.sim_end_us);
+  ASSERT_EQ(inner.attributes.size(), 1u);
+  EXPECT_EQ(inner.attributes[0].first, "keys");
+  EXPECT_EQ(inner.attributes[0].second, "7");
+}
+
+TEST(TraceContextTest, NullContextIsNoOp) {
+  ScopedSpan span(nullptr, "nothing");
+  span.Annotate("ignored", "too");
+  span.End();  // must not crash
+  EXPECT_EQ(span.context(), nullptr);
+}
+
+TEST(TraceContextTest, ScopedSpanEndIsIdempotent) {
+  TraceContext trace;
+  {
+    ScopedSpan span(&trace, "phase");
+    trace.AdvanceSim(10);
+    span.End();
+    trace.AdvanceSim(90);  // after End(): not charged to the span
+    span.End();            // destructor will be the third no-op close
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].sim_duration_us(), 10u);
+}
+
+TEST(TraceContextTest, SimulatedSiblingsShareStart) {
+  TraceContext trace;
+  {
+    ScopedSpan batch(&trace, "kvs.multiget");
+    const uint64_t start = trace.sim_now_us();
+    trace.AddSimulatedSpan("node0", start, start + 300);
+    trace.AddSimulatedSpan("node1", start, start + 120);
+    trace.AdvanceSim(200 + 300);  // coordinator + slowest node
+  }
+  ASSERT_EQ(trace.spans().size(), 3u);
+  const TraceSpan& batch = trace.spans()[0];
+  const TraceSpan& node0 = trace.spans()[1];
+  const TraceSpan& node1 = trace.spans()[2];
+  EXPECT_EQ(node0.parent, batch.id);
+  EXPECT_EQ(node1.parent, batch.id);
+  // Simulated-parallel: both children start at the same simulated instant
+  // and stay within the parent interval even though they were recorded
+  // serially.
+  EXPECT_EQ(node0.sim_start_us, node1.sim_start_us);
+  EXPECT_LE(node0.sim_end_us, batch.sim_end_us);
+  EXPECT_LE(node1.sim_end_us, batch.sim_end_us);
+  EXPECT_EQ(batch.sim_duration_us(), 500u);
+}
+
+TEST(TraceContextTest, DebugStringRendersTree) {
+  TraceContext trace;
+  {
+    ScopedSpan outer(&trace, "query.get_version");
+    ScopedSpan inner(&trace, "kvs.multiget");
+    inner.Annotate("keys", "3");
+  }
+  std::string text = trace.ToDebugString();
+  EXPECT_NE(text.find("query.get_version"), std::string::npos);
+  EXPECT_NE(text.find("  kvs.multiget"), std::string::npos);  // indented
+  EXPECT_NE(text.find("keys=3"), std::string::npos);
+}
+
+TEST(TraceContextTest, ChromeTraceJsonIsValid) {
+  TraceContext trace;
+  {
+    ScopedSpan outer(&trace, "query \"quoted\"\n");
+    trace.AdvanceSim(10);
+    ScopedSpan inner(&trace, "inner");
+    trace.AdvanceSim(5);
+  }
+  auto parsed = json::Parse(trace.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 2 metadata events (wall + simulated track names) + 2 events per span.
+  EXPECT_EQ(events->as_array().size(), 2u + 2 * trace.spans().size());
+  int metadata = 0, complete = 0;
+  for (const json::Value& event : events->as_array()) {
+    const std::string& ph = event.Find("ph")->as_string();
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++complete;
+    // Complete events carry non-negative timestamps and durations on one of
+    // the two clock tracks.
+    EXPECT_GE(event.Find("ts")->as_int(), 0);
+    EXPECT_GE(event.Find("dur")->as_int(), 0);
+    const int64_t pid = event.Find("pid")->as_int();
+    EXPECT_TRUE(pid == 1 || pid == 2);
+    ASSERT_NE(event.Find("args"), nullptr);
+    EXPECT_NE(event.Find("args")->Find("span_id"), nullptr);
+  }
+  EXPECT_EQ(metadata, 2);
+  EXPECT_EQ(complete, 4);
+}
+
+}  // namespace
+}  // namespace rstore

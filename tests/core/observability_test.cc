@@ -1,0 +1,180 @@
+// End-to-end observability: a traced full-version query over the simulated
+// cluster must produce a span tree whose simulated durations reconcile
+// exactly with the latency model's charges (KVStats::simulated_micros), and
+// whose Chrome trace-event export is schema-valid JSON. This is the
+// contract that makes `trace <query>` output trustworthy: the trace is not
+// a parallel bookkeeping system, it is the same numbers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/report.h"
+#include "core_test_util.h"
+#include "json/json_parser.h"
+#include "kvstore/cluster.h"
+
+namespace rstore {
+namespace {
+
+using testing::ExampleData;
+using testing::MakeChain;
+
+struct TracedQuery {
+  Cluster cluster;
+  std::unique_ptr<RStore> store;
+  QueryStats stats;
+  TraceContext trace;
+  uint64_t charged_micros = 0;
+
+  TracedQuery() : cluster(ClusterOptions()) {}
+};
+
+/// Loads a chain dataset into a 4-node cluster and runs one traced
+/// full-version query, capturing the cluster-side charge alongside.
+std::unique_ptr<TracedQuery> RunTracedGetVersion() {
+  auto out = std::make_unique<TracedQuery>();
+  ExampleData data = MakeChain(12, 8, 3);
+  Options options;
+  options.chunk_capacity_bytes = 600;
+  auto store = RStore::Open(&out->cluster, options);
+  EXPECT_TRUE(store.ok());
+  out->store = std::move(*store);
+  EXPECT_TRUE(out->store->BulkLoad(data.dataset, data.payloads).ok());
+
+  const uint64_t before = out->cluster.stats().simulated_micros;
+  auto records =
+      out->store->GetVersion(11, &out->stats, &out->trace);
+  EXPECT_TRUE(records.ok());
+  EXPECT_FALSE(records->empty());
+  out->charged_micros = out->cluster.stats().simulated_micros - before;
+  return out;
+}
+
+TEST(ObservabilityTest, TraceReconcilesWithClusterCharges) {
+  auto q = RunTracedGetVersion();
+  const std::vector<TraceSpan>& spans = q->trace.spans();
+  ASSERT_FALSE(spans.empty());
+
+  // The root span covers the whole query and its simulated duration is
+  // exactly what the cluster charged during the call.
+  EXPECT_EQ(spans[0].name, "query.get_version");
+  EXPECT_EQ(spans[0].parent, TraceSpan::kNoParent);
+  EXPECT_GT(q->charged_micros, 0u);
+  EXPECT_EQ(spans[0].sim_duration_us(), q->charged_micros);
+  EXPECT_EQ(q->stats.simulated_micros, q->charged_micros);
+
+  // Each kvs.multiget span charges coordinator overhead plus the slowest of
+  // its per-node children, which all start at the batch's simulated instant.
+  const LatencyModel latency = ClusterOptions().latency;
+  uint64_t multiget_micros = 0;
+  size_t multigets = 0, node_spans = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.name != "kvs.multiget") continue;
+    ++multigets;
+    multiget_micros += span.sim_duration_us();
+    uint64_t slowest_child = 0;
+    for (const TraceSpan& child : spans) {
+      if (child.parent != span.id) continue;
+      ASSERT_EQ(child.name.rfind("node", 0), 0u) << child.name;
+      ++node_spans;
+      EXPECT_EQ(child.sim_start_us, span.sim_start_us);
+      slowest_child = std::max(slowest_child, child.sim_duration_us());
+    }
+    EXPECT_GT(slowest_child, 0u);
+    EXPECT_EQ(span.sim_duration_us(),
+              latency.coordinator_overhead_us + slowest_child);
+  }
+  EXPECT_GT(multigets, 0u);
+  EXPECT_GT(node_spans, 0u);
+  // All of the query's simulated cost is attributed to multiget batches —
+  // the trace does not invent or drop charges.
+  EXPECT_EQ(multiget_micros, q->charged_micros);
+}
+
+TEST(ObservabilityTest, SpanTreeIsWellFormed) {
+  auto q = RunTracedGetVersion();
+  const std::vector<TraceSpan>& spans = q->trace.spans();
+  for (const TraceSpan& span : spans) {
+    // Closed spans have coherent stamps on both clocks.
+    EXPECT_GE(span.wall_end_us, span.wall_start_us) << span.name;
+    EXPECT_GE(span.sim_end_us, span.sim_start_us) << span.name;
+    if (span.parent == TraceSpan::kNoParent) continue;
+    ASSERT_LT(span.parent, span.id) << "parents precede children";
+    const TraceSpan& parent = spans[span.parent];
+    EXPECT_EQ(span.depth, parent.depth + 1);
+    // Parent/child simulated-time containment.
+    EXPECT_GE(span.sim_start_us, parent.sim_start_us) << span.name;
+    EXPECT_LE(span.sim_end_us, parent.sim_end_us) << span.name;
+  }
+}
+
+TEST(ObservabilityTest, ChromeTraceExportIsSchemaValid) {
+  auto q = RunTracedGetVersion();
+  auto parsed = json::Parse(q->trace.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(events->as_array().size(),
+            2u + 2 * q->trace.spans().size());
+  size_t simulated_events = 0;
+  for (const json::Value& event : events->as_array()) {
+    ASSERT_NE(event.Find("ph"), nullptr);
+    const std::string& ph = event.Find("ph")->as_string();
+    if (ph == "M") continue;  // track-name metadata
+    ASSERT_EQ(ph, "X");
+    EXPECT_GE(event.Find("ts")->as_int(), 0);
+    EXPECT_GE(event.Find("dur")->as_int(), 0);
+    const int64_t pid = event.Find("pid")->as_int();
+    ASSERT_TRUE(pid == 1 || pid == 2);
+    if (pid == 2) ++simulated_events;
+    const json::Value* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    const json::Value* span_id = args->Find("span_id");
+    ASSERT_NE(span_id, nullptr);
+    ASSERT_LT(span_id->as_int(),
+              static_cast<int64_t>(q->trace.spans().size()));
+    // Non-root events name their parent, closing the loop for tools that
+    // rebuild the tree from the flat event list.
+    const TraceSpan& span = q->trace.spans()[span_id->as_int()];
+    if (span.parent != TraceSpan::kNoParent) {
+      ASSERT_NE(args->Find("parent_id"), nullptr);
+      EXPECT_EQ(args->Find("parent_id")->as_int(), span.parent);
+    }
+  }
+  EXPECT_EQ(simulated_events, q->trace.spans().size());
+}
+
+TEST(ObservabilityTest, RegistryCountersFoldIntoStoreReport) {
+  MetricsRegistry::Default().ResetForTest();
+  auto q = RunTracedGetVersion();
+
+  // The instrumentation points fired during load + query.
+  MetricsSnapshot snapshot = MetricsRegistry::Default().Snapshot();
+  auto counter = [&snapshot](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : snapshot.counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  };
+  EXPECT_EQ(counter("rstore_query_queries_total"), 1u);
+  EXPECT_GT(counter("rstore_kvs_multiget_batches_total"), 0u);
+  EXPECT_EQ(counter("rstore_kvs_simulated_micros_total"),
+            q->cluster.stats().simulated_micros);
+
+  // And the report surfaces them as metrics/<subsystem> layers.
+  auto report = BuildStoreReport(*q->store, &q->cluster);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  std::string text = report->ToString();
+  EXPECT_NE(text.find("metrics/kvs:"), std::string::npos);
+  EXPECT_NE(text.find("metrics/query:"), std::string::npos);
+  EXPECT_NE(text.find("metrics/write:"), std::string::npos);
+  EXPECT_NE(text.find("queries_total=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rstore

@@ -65,5 +65,26 @@ TEST(StoreReportTest, ToStringIsRenderable) {
   EXPECT_NE(text.find("span histogram:"), std::string::npos);
 }
 
+// Golden rendering for the generic per-layer counter blocks: fixed-width
+// layer label, space-separated name=value pairs, one line per layer.
+TEST(StoreReportTest, LayerCountersGoldenRendering) {
+  StoreReport report;
+  report.layers.push_back(StoreReport::LayerCounters{
+      "metrics/kvs",
+      {{"requests_total", 42}, {"bytes_read_total", 1024}}});
+  report.layers.push_back(StoreReport::LayerCounters{
+      "chunk-cache", {{"hits", 7}}});
+  std::string text = report.ToString();
+  EXPECT_NE(
+      text.find(
+          "metrics/kvs:       requests_total=42 bytes_read_total=1024\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("chunk-cache:       hits=7\n"), std::string::npos)
+      << text;
+  // Layers render in insertion order.
+  EXPECT_LT(text.find("metrics/kvs:"), text.find("chunk-cache:"));
+}
+
 }  // namespace
 }  // namespace rstore

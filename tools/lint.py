@@ -22,6 +22,11 @@ Enforced rules (over src/ by default):
                   Clang -Wthread-safety and the lock-rank registry see every
                   acquisition. Append `// lint:allow-raw-sync` to a line to
                   suppress (e.g. interop with an external API).
+  raw-timing      No ad-hoc std::chrono in src/core or src/kvstore; time flows
+                  through common/stopwatch.h (wall time) and common/trace.h
+                  (span clocks) so measurements stay exportable and the
+                  simulated clock cannot be confused with the real one.
+                  Append `// lint:allow-raw-timing` to a line to suppress.
 
 Usage:
   tools/lint.py [paths...]      # default: src/
@@ -218,12 +223,47 @@ def check_raw_sync(rel_path, text, stripped):
     return violations
 
 
+# The core and kvstore layers must not read clocks ad hoc: wall time goes
+# through common/stopwatch.h, per-query time through common/trace.h (both
+# live in src/common and may use std::chrono freely). This keeps every
+# measurement exportable through the metrics/trace machinery and prevents
+# real-clock reads from leaking into simulated-time accounting.
+RAW_TIMING_RE = re.compile(r"std\s*::\s*chrono\b")
+
+RAW_TIMING_DIRS = (
+    os.path.join("src", "core") + os.sep,
+    os.path.join("src", "kvstore") + os.sep,
+)
+
+RAW_TIMING_SUPPRESSION = "lint:allow-raw-timing"
+
+
+def check_raw_timing(rel_path, text, stripped):
+    if not rel_path.replace("/", os.sep).startswith(RAW_TIMING_DIRS):
+        return []
+    violations = []
+    original_lines = text.splitlines()
+    for idx, line in enumerate(stripped.splitlines()):
+        if not RAW_TIMING_RE.search(line):
+            continue
+        if idx < len(original_lines) and \
+                RAW_TIMING_SUPPRESSION in original_lines[idx]:
+            continue
+        violations.append(
+            (idx + 1, "raw-timing",
+             "ad-hoc std::chrono — use Stopwatch (common/stopwatch.h) or "
+             "TraceContext (common/trace.h); append `// %s` to suppress"
+             % RAW_TIMING_SUPPRESSION))
+    return violations
+
+
 CHECKS = [
     ("include-guard", check_include_guard),
     ("naked-new", check_naked_new),
     ("stream-logging", check_stream_logging),
     ("assert", check_assert),
     ("raw-sync", check_raw_sync),
+    ("raw-timing", check_raw_timing),
 ]
 
 
