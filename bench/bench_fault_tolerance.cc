@@ -1,0 +1,172 @@
+// Fault-tolerance sweep: availability, degraded-read coverage, and simulated
+// latency as a function of the injected transient-error rate.
+//
+// Three series over one generated dataset, all on the same seeded fault
+// timeline (the sweep is exactly reproducible):
+//
+//   strict/rf=1   No redundancy: a query fails as soon as any chunk's only
+//                 replica exhausts its retry budget, so availability decays
+//                 visibly with the fault rate. This is the baseline the
+//                 paper-style "replicate or degrade" argument starts from.
+//   strict/rf=2   One extra replica: exhausted chains fail over, hedges
+//                 absorb latency spikes, and availability stays near 1.0
+//                 at every swept rate — the retry/hedge/handoff machinery
+//                 converts most faults into latency instead of errors.
+//   effort/rf=1   Same outages as strict/rf=1 but in best-effort read mode:
+//                 queries keep succeeding and report partial coverage
+//                 (records returned / records expected) plus the chunks
+//                 they could not fetch.
+//
+// Reported per rate: availability (ok fraction), coverage, average simulated
+// micros per query, and the retry/hedge/timeout counters. The *_micros
+// metrics feed tools/bench_diff.py's regression gate.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace rstore;
+using namespace rstore::workload;
+using namespace rstore::bench;
+
+struct SweepPoint {
+  double availability = 0.0;  // ok queries / all queries
+  double coverage = 0.0;      // records returned / records expected
+  double avg_micros = 0.0;    // simulated micros per query (backend charge)
+  uint64_t retries = 0;
+  uint64_t hedges = 0;
+  uint64_t timeouts = 0;
+};
+
+SweepPoint RunSweep(const GeneratedDataset& gen, double error_rate,
+                    uint32_t replication_factor, ReadMode read_mode,
+                    uint64_t load_ticks) {
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 4;
+  cluster_options.replication_factor = replication_factor;
+  cluster_options.faults.seed = 0xBE7C * 1000 + 7;
+  cluster_options.faults.default_profile.transient_error_rate = error_rate;
+  cluster_options.faults.default_profile.slow_rate = error_rate / 2;
+  cluster_options.faults.default_profile.slow_multiplier = 8.0;
+  // Faults spare the bulk load (its op count was measured by a fault-free
+  // dry run) and hit only the measured query phase.
+  cluster_options.faults.default_profile.active_from_tick = load_ticks;
+  cluster_options.latency.hedge_threshold_us = 3000;
+  // Two attempts keeps retry exhaustion (p = rate^2 per chain) frequent
+  // enough at the swept rates that the rf=1 availability decay is visible;
+  // rf=2 still recovers it by failing over to the second replica.
+  cluster_options.retry.max_attempts = 2;
+  Cluster cluster(cluster_options);
+
+  Options options;
+  options.chunk_capacity_bytes = ScaledChunkCapacity(gen);
+  options.read_mode = read_mode;
+  auto store = RStore::Open(&cluster, options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 store.status().ToString().c_str());
+    std::exit(1);
+  }
+  Status loaded = (*store)->BulkLoad(gen.dataset, gen.payloads);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n", loaded.ToString().c_str());
+    std::exit(1);
+  }
+
+  const KVStats before = cluster.stats();
+  const uint64_t num_versions = gen.dataset.graph.size();
+  uint64_t queries = 0, ok = 0, returned = 0, expected = 0;
+  for (VersionId v = 0; v < num_versions; ++v) {
+    ++queries;
+    expected += gen.dataset.MaterializeVersion(v).size();
+    QueryDegradation report;
+    auto records = (*store)->GetVersion(v, nullptr, nullptr, &report);
+    if (records.ok()) {
+      ++ok;
+      returned += records->size();
+    }
+  }
+  const KVStats after = cluster.stats();
+
+  SweepPoint point;
+  point.availability = queries ? static_cast<double>(ok) / queries : 0.0;
+  point.coverage =
+      expected ? static_cast<double>(returned) / expected : 0.0;
+  point.avg_micros =
+      queries
+          ? static_cast<double>(after.simulated_micros -
+                                before.simulated_micros) /
+                queries
+          : 0.0;
+  point.retries = after.retries - before.retries;
+  point.hedges = after.hedges - before.hedges;
+  point.timeouts = after.timeouts - before.timeouts;
+  return point;
+}
+
+void ReportPoint(const char* series, double rate, const SweepPoint& point,
+                 BenchReport* report) {
+  std::printf("%-11s %6.2f %14.3f %10.3f %14.0f %9llu %8llu %9llu\n", series,
+              rate, point.availability, point.coverage, point.avg_micros,
+              static_cast<unsigned long long>(point.retries),
+              static_cast<unsigned long long>(point.hedges),
+              static_cast<unsigned long long>(point.timeouts));
+  const std::string prefix =
+      std::string(series) + "_rate" + StringPrintf("%03d",
+                                                   static_cast<int>(rate * 100));
+  report->Add(prefix + "_availability", point.availability);
+  report->Add(prefix + "_coverage", point.coverage);
+  report->Add(prefix + "_avg_micros", point.avg_micros);
+  report->Add(prefix + "_retries", static_cast<double>(point.retries));
+  report->Add(prefix + "_hedges", static_cast<double>(point.hedges));
+}
+
+}  // namespace
+
+int main() {
+  DatasetConfig config;
+  config.name = "fault_sweep";
+  config.num_versions = SmokeMode() ? 8 : 40;
+  config.records_per_version = SmokeMode() ? 60 : 400;
+  config.record_size_bytes = 200;
+  config.update_fraction = 0.10;
+  config.branch_probability = 0.15;
+  config.seed = 4242;
+  GeneratedDataset gen = GenerateDataset(config);
+
+  // Fault-free dry run: count the coordinator operations the load issues so
+  // the sweep's fault schedules can activate exactly when queries start.
+  uint64_t load_ticks = 0;
+  {
+    ClusterOptions dry_options;
+    dry_options.num_nodes = 4;
+    Cluster dry(dry_options);
+    Options options;
+    options.chunk_capacity_bytes = ScaledChunkCapacity(gen);
+    auto store = RStore::Open(&dry, options);
+    if (!store.ok() || !(*store)->BulkLoad(gen.dataset, gen.payloads).ok()) {
+      std::fprintf(stderr, "dry-run load failed\n");
+      return 1;
+    }
+    const KVStats s = dry.stats();
+    load_ticks = s.puts + s.gets + s.deletes + s.multiget_batches;
+  }
+
+  BenchReport report("fault_tolerance");
+  std::printf("%-11s %6s %14s %10s %14s %9s %8s %9s\n", "series", "rate",
+              "availability", "coverage", "avg us/query", "retries", "hedges",
+              "timeouts");
+  for (double rate : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+    SweepPoint strict1 = RunSweep(gen, rate, 1, ReadMode::kStrict, load_ticks);
+    ReportPoint("strict_rf1", rate, strict1, &report);
+    SweepPoint strict2 = RunSweep(gen, rate, 2, ReadMode::kStrict, load_ticks);
+    ReportPoint("strict_rf2", rate, strict2, &report);
+    SweepPoint effort1 =
+        RunSweep(gen, rate, 1, ReadMode::kBestEffort, load_ticks);
+    ReportPoint("effort_rf1", rate, effort1, &report);
+  }
+  report.Write();
+  return 0;
+}

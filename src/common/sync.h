@@ -84,6 +84,11 @@ namespace rstore {
 // ---------------------------------------------------------------------------
 
 enum LockRank : int {
+  /// Cluster hinted-handoff queues. Above the stats lock: hint staging /
+  /// replay may update stats afterwards, but never the reverse. Never held
+  /// across node calls — replay swaps the queue out under the lock, then
+  /// writes to nodes with it released.
+  kLockRankClusterHints = 410,
   /// Cluster coordinator state (stats); never held across node calls.
   kLockRankCluster = 400,
   /// FileStore table/log state.

@@ -37,6 +37,18 @@ enum class PartitionAlgorithm {
 
 const char* PartitionAlgorithmName(PartitionAlgorithm algorithm);
 
+/// How queries behave when the backend cannot serve some chunks (replicas
+/// down, retries exhausted, requests timed out).
+enum class ReadMode {
+  /// Any unfetchable chunk fails the whole query (the default: queries are
+  /// exact or they are errors).
+  kStrict,
+  /// GetVersion/GetRange return the records of every chunk that could be
+  /// fetched and report the rest in the QueryDegradation out-param and the
+  /// missing_chunks stat. Point and history queries stay strict.
+  kBestEffort,
+};
+
 /// Tuning knobs of the RStore layer (paper §2.4-§2.5). The defaults mirror
 /// the paper's main configuration: 1 MB chunks, 25 % allowed overflow, no
 /// record-level compression (k = 1), BOTTOM-UP partitioning.
@@ -99,6 +111,10 @@ struct Options {
   /// store namespaces its entries with a distinct owner id, so sharing is
   /// safe even across stores reusing chunk ids.
   std::shared_ptr<ChunkCache> chunk_cache;
+
+  /// Degradation policy for queries over a partially available backend
+  /// (see ReadMode). Strict by default.
+  ReadMode read_mode = ReadMode::kStrict;
 
   /// Seed for all randomized components (shingle hash family).
   uint64_t seed = 0x5253746f7265ull;  // "RStore"

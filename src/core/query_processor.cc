@@ -16,6 +16,7 @@ struct QueryMetrics {
   Counter* chunks_fetched_total;
   Counter* bytes_fetched_total;
   Counter* simulated_micros_total;
+  Counter* missing_chunks_total;
   Histogram* span_chunks;
 
   static const QueryMetrics& Get() {
@@ -29,6 +30,8 @@ struct QueryMetrics {
           registry.GetCounter("rstore_query_bytes_fetched_total");
       m.simulated_micros_total =
           registry.GetCounter("rstore_query_simulated_micros_total");
+      m.missing_chunks_total =
+          registry.GetCounter("rstore_query_missing_chunks_total");
       // Chunks per query — the paper's span metric (§2.5).
       m.span_chunks = registry.GetHistogram(
           "rstore_query_span_chunks", ExponentialBoundaries(1, 4.0, 8));
@@ -64,7 +67,8 @@ QueryProcessor::QueryProcessor(KVStore* kvs, const StoreCatalog* catalog,
       cache_owner_(cache_owner) {}
 
 Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
-    const std::vector<ChunkId>& ids, QueryStats* stats, TraceContext* trace) {
+    const std::vector<ChunkId>& ids, QueryStats* stats, TraceContext* trace,
+    QueryDegradation* degradation) {
   ScopedSpan fetch_span(trace, "query.fetch_chunks");
   fetch_span.Annotate("chunks", std::to_string(ids.size()));
   std::vector<ChunkRef> chunks(ids.size());
@@ -99,27 +103,61 @@ Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
       map_keys.push_back(MapKey(ids[i]));
     }
     std::map<std::string, std::string> chunk_values, map_values;
-    RSTORE_RETURN_IF_ERROR(kvs_->MultiGet(options_.chunk_table, chunk_keys,
-                                          &chunk_values, trace));
-    RSTORE_RETURN_IF_ERROR(
-        kvs_->MultiGet(options_.index_table, map_keys, &map_values, trace));
+    std::vector<KeyReadFailure> chunk_failures, map_failures;
+    if (degradation != nullptr) {
+      // Best-effort: keys on unavailable replicas land in the failure lists
+      // instead of failing the batch.
+      RSTORE_RETURN_IF_ERROR(kvs_->MultiGetPartial(options_.chunk_table,
+                                                   chunk_keys, &chunk_values,
+                                                   &chunk_failures, trace));
+      RSTORE_RETURN_IF_ERROR(kvs_->MultiGetPartial(options_.index_table,
+                                                   map_keys, &map_values,
+                                                   &map_failures, trace));
+    } else {
+      RSTORE_RETURN_IF_ERROR(kvs_->MultiGet(options_.chunk_table, chunk_keys,
+                                            &chunk_values, trace));
+      RSTORE_RETURN_IF_ERROR(
+          kvs_->MultiGet(options_.index_table, map_keys, &map_values, trace));
+    }
+    // Index failed keys by name so decode can tell "the backend could not
+    // serve it" (degrade) apart from "it does not exist" (corruption). Body
+    // and map keys live in different prefixes, so one map fits both.
+    std::map<std::string, const Status*> unavailable;
+    for (const KeyReadFailure& f : chunk_failures) {
+      unavailable[f.key] = &f.status;
+    }
+    for (const KeyReadFailure& f : map_failures) {
+      unavailable[f.key] = &f.status;
+    }
 
     ScopedSpan decode_span(trace, "query.decode");
     decode_span.Annotate("chunks", std::to_string(miss.size()));
     std::vector<Status> statuses(miss.size());
+    // Per-miss degradation marks; distinct indices, safe under ParallelFor.
+    std::vector<uint8_t> unfetchable(miss.size(), 0);
+    std::vector<std::string> unfetchable_reason(miss.size());
+    auto degrade_or_corrupt = [&](size_t m, const std::string& key,
+                                  const std::string& what) {
+      auto fit = unavailable.find(key);
+      if (fit != unavailable.end()) {
+        unfetchable[m] = 1;
+        unfetchable_reason[m] = fit->second->ToString();
+        return;  // status stays OK; the chunk ref stays null
+      }
+      statuses[m] = Status::Corruption(what + " " +
+                                       std::to_string(ids[miss[m]]) +
+                                       " missing from backend");
+    };
     auto decode_one = [&](size_t m) {
       size_t i = miss[m];
       auto cit = chunk_values.find(chunk_keys[m]);
       if (cit == chunk_values.end()) {
-        statuses[m] = Status::Corruption("chunk " + std::to_string(ids[i]) +
-                                         " missing from backend");
+        degrade_or_corrupt(m, chunk_keys[m], "chunk");
         return;
       }
       auto mit = map_values.find(map_keys[m]);
       if (mit == map_values.end()) {
-        statuses[m] = Status::Corruption("chunk map " +
-                                         std::to_string(ids[i]) +
-                                         " missing from backend");
+        degrade_or_corrupt(m, map_keys[m], "chunk map");
         return;
       }
       auto decoded = std::make_shared<Chunk>();
@@ -148,14 +186,29 @@ Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
     for (const Status& s : statuses) {
       RSTORE_RETURN_IF_ERROR(s);
     }
+    if (degradation != nullptr) {
+      for (size_t m = 0; m < miss.size(); ++m) {
+        if (unfetchable[m] == 0) continue;
+        degradation->missing_chunks.push_back(ids[miss[m]]);
+        degradation->messages.push_back(std::move(unfetchable_reason[m]));
+      }
+    }
     if (cache_ != nullptr) {
       // Serial insert after the (possibly parallel) decode: the shards do
       // their own locking, this just keeps insertion order deterministic.
       for (size_t i : miss) {
+        if (chunks[i] == nullptr) continue;  // best-effort casualty
         cache_->Insert(cache_keys[i], chunks[i],
                        chunks[i]->ApproximateMemoryBytes());
       }
     }
+  }
+  uint64_t n_missing = 0;
+  for (const ChunkRef& chunk : chunks) {
+    if (chunk == nullptr) ++n_missing;
+  }
+  if (n_missing > 0) {
+    fetch_span.Annotate("missing", std::to_string(n_missing));
   }
   // chunks_fetched stays the query's span (paper §2.5) regardless of the
   // cache; bytes/latency only count traffic that reached the backend.
@@ -169,12 +222,14 @@ Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
       stats->cache_hits += hits;
       stats->cache_misses += miss.size();
     }
+    stats->missing_chunks += n_missing;
   }
   const QueryMetrics& metrics = QueryMetrics::Get();
   metrics.chunks_fetched_total->Increment(ids.size());
   metrics.bytes_fetched_total->Increment(after.bytes_read - before.bytes_read);
   metrics.simulated_micros_total->Increment(after.simulated_micros -
                                             before.simulated_micros);
+  if (n_missing > 0) metrics.missing_chunks_total->Increment(n_missing);
   metrics.span_chunks->Observe(ids.size());
   return chunks;
 }
@@ -185,6 +240,7 @@ Result<std::vector<Record>> QueryProcessor::ExtractVersionRecords(
   std::vector<std::vector<Record>> per_chunk(chunks.size());
   std::vector<Status> statuses(chunks.size());
   auto extract_one = [&](size_t c) {
+    if (chunks[c] == nullptr) return;  // best-effort fetch casualty
     const Chunk& chunk = *chunks[c];
     std::vector<uint32_t> indices = chunk.chunk_map().RecordsOf(version);
     if (use_range) {
@@ -281,29 +337,39 @@ Result<std::vector<Record>> QueryProcessor::GetVersionDeltaChain(
   return out;
 }
 
-Result<std::vector<Record>> QueryProcessor::GetVersion(VersionId version,
-                                                       QueryStats* stats,
-                                                       TraceContext* trace) {
+Result<std::vector<Record>> QueryProcessor::GetVersion(
+    VersionId version, QueryStats* stats, TraceContext* trace,
+    QueryDegradation* degradation) {
   if (version >= dataset_->graph.size()) {
     return Status::InvalidArgument("unknown version");
   }
   ScopedSpan span(trace, "query.get_version");
   span.Annotate("version", std::to_string(version));
   QueryMetrics::Get().queries_total->Increment();
+  // Best-effort only when the options ask for it; the caller's report
+  // object is optional (the missing_chunks stat still counts casualties).
+  QueryDegradation local_degradation;
+  QueryDegradation* effective =
+      options_.read_mode == ReadMode::kBestEffort
+          ? (degradation != nullptr ? degradation : &local_degradation)
+          : nullptr;
   switch (layout_) {
     case LayoutKind::kChunked: {
-      auto chunks =
-          FetchChunks(catalog_->ChunksOfVersion(version), stats, trace);
+      auto chunks = FetchChunks(catalog_->ChunksOfVersion(version), stats,
+                                trace, effective);
       if (!chunks.ok()) return chunks.status();
       return ExtractVersionRecords(chunks.value(), version,
                                    /*use_range=*/false, "", "");
     }
     case LayoutKind::kDeltaChain:
+      // A delta chain with a hole cannot be replayed: this layout is always
+      // strict (documented in DESIGN.md "Fault tolerance").
       return GetVersionDeltaChain(version, /*use_range=*/false, "", "",
                                   stats, trace);
     case LayoutKind::kSubChunkPerKey: {
       // No version->chunk index: every chunk must be retrieved (paper §2.2).
-      auto chunks = FetchChunks(catalog_->AllChunks(), stats, trace);
+      auto chunks = FetchChunks(catalog_->AllChunks(), stats, trace,
+                                effective);
       if (!chunks.ok()) return chunks.status();
       return ExtractVersionRecords(chunks.value(), version,
                                    /*use_range=*/false, "", "");
@@ -312,11 +378,9 @@ Result<std::vector<Record>> QueryProcessor::GetVersion(VersionId version,
   return Status::InvalidArgument("bad layout");
 }
 
-Result<std::vector<Record>> QueryProcessor::GetRange(VersionId version,
-                                                     const std::string& key_lo,
-                                                     const std::string& key_hi,
-                                                     QueryStats* stats,
-                                                     TraceContext* trace) {
+Result<std::vector<Record>> QueryProcessor::GetRange(
+    VersionId version, const std::string& key_lo, const std::string& key_hi,
+    QueryStats* stats, TraceContext* trace, QueryDegradation* degradation) {
   if (version >= dataset_->graph.size()) {
     return Status::InvalidArgument("unknown version");
   }
@@ -326,6 +390,11 @@ Result<std::vector<Record>> QueryProcessor::GetRange(VersionId version,
   ScopedSpan span(trace, "query.get_range");
   span.Annotate("version", std::to_string(version));
   QueryMetrics::Get().queries_total->Increment();
+  QueryDegradation local_degradation;
+  QueryDegradation* effective =
+      options_.read_mode == ReadMode::kBestEffort
+          ? (degradation != nullptr ? degradation : &local_degradation)
+          : nullptr;
   switch (layout_) {
     case LayoutKind::kChunked: {
       // Index-ANDing: chunks of the version INTERSECT chunks holding any key
@@ -346,12 +415,13 @@ Result<std::vector<Record>> QueryProcessor::GetRange(VersionId version,
           }
         }
       }
-      auto chunks = FetchChunks(ids, stats, trace);
+      auto chunks = FetchChunks(ids, stats, trace, effective);
       if (!chunks.ok()) return chunks.status();
       return ExtractVersionRecords(chunks.value(), version,
                                    /*use_range=*/true, key_lo, key_hi);
     }
     case LayoutKind::kDeltaChain:
+      // Always strict: a delta chain with a hole cannot be replayed.
       return GetVersionDeltaChain(version, /*use_range=*/true, key_lo,
                                   key_hi, stats, trace);
     case LayoutKind::kSubChunkPerKey: {
@@ -365,7 +435,7 @@ Result<std::vector<Record>> QueryProcessor::GetRange(VersionId version,
           ids.push_back(id);
         }
       }
-      auto chunks = FetchChunks(ids, stats, trace);
+      auto chunks = FetchChunks(ids, stats, trace, effective);
       if (!chunks.ok()) return chunks.status();
       return ExtractVersionRecords(chunks.value(), version,
                                    /*use_range=*/true, key_lo, key_hi);

@@ -34,6 +34,9 @@ struct QueryStats {
   uint64_t simulated_micros = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Chunks a best-effort query could not fetch (always 0 in strict mode,
+  /// where an unfetchable chunk is an error instead).
+  uint64_t missing_chunks = 0;
 
   struct Field {
     const char* name;
@@ -50,6 +53,7 @@ inline constexpr QueryStats::Field kQueryStatsFields[] = {
     {"simulated_micros", &QueryStats::simulated_micros},
     {"cache_hits", &QueryStats::cache_hits},
     {"cache_misses", &QueryStats::cache_misses},
+    {"missing_chunks", &QueryStats::missing_chunks},
 };
 
 /// Every QueryStats field is a uint64_t, so the struct's size is exactly one
@@ -65,6 +69,17 @@ inline QueryStats& QueryStats::operator+=(const QueryStats& other) {
   }
   return *this;
 }
+
+/// What a best-effort query could not serve: the chunks whose body or map
+/// fetch failed, with the backend's reasons. An empty report means the
+/// result is complete (byte-identical to a strict run).
+struct QueryDegradation {
+  std::vector<ChunkId> missing_chunks;
+  /// One human-readable reason per missing chunk, index-aligned.
+  std::vector<std::string> messages;
+
+  bool degraded() const { return !missing_chunks.empty(); }
+};
 
 /// Executes the four retrieval query classes of paper §2.1 against the
 /// chunked store (paper §2.4, "Indexes and Query Processing Module").
@@ -102,9 +117,15 @@ class QueryProcessor {
   /// "query.fetch_chunks" / "cache.lookup" / "query.decode" around the read
   /// path, plus the backend's own "kvs.multiget" spans) stamped with both
   /// wall-clock and simulated time.
+  /// GetVersion and GetRange also honor Options::read_mode: under
+  /// ReadMode::kBestEffort, chunks the backend cannot serve are skipped and
+  /// reported via `degradation` (when non-null) and the missing_chunks stat
+  /// instead of failing the query. In strict mode `degradation` is ignored.
   Result<std::vector<Record>> GetVersion(VersionId version,
                                          QueryStats* stats = nullptr,
-                                         TraceContext* trace = nullptr);
+                                         TraceContext* trace = nullptr,
+                                         QueryDegradation* degradation =
+                                             nullptr);
 
   /// Q2 — range retrieval: records of `version` with key in
   /// [key_lo, key_hi] (inclusive).
@@ -112,7 +133,9 @@ class QueryProcessor {
                                        const std::string& key_lo,
                                        const std::string& key_hi,
                                        QueryStats* stats = nullptr,
-                                       TraceContext* trace = nullptr);
+                                       TraceContext* trace = nullptr,
+                                       QueryDegradation* degradation =
+                                           nullptr);
 
   /// Q3 — record evolution: every record (across all versions) with the
   /// given primary key, sorted by origin version.
@@ -132,13 +155,20 @@ class QueryProcessor {
   using ChunkRef = std::shared_ptr<const Chunk>;
 
   /// Fetches and decodes chunks (bodies + their maps) by id, consulting the
-  /// cache first when attached, accounting stats.
+  /// cache first when attached, accounting stats. With `degradation`
+  /// non-null the fetch is best-effort: chunks the backend reports
+  /// unavailable come back as null ChunkRefs (recorded in the report)
+  /// rather than failing the call; with it null, any unserved chunk is an
+  /// error (strict).
   Result<std::vector<ChunkRef>> FetchChunks(const std::vector<ChunkId>& ids,
                                             QueryStats* stats,
-                                            TraceContext* trace);
+                                            TraceContext* trace,
+                                            QueryDegradation* degradation =
+                                                nullptr);
 
   /// Extracts the records of `version` from fetched chunks via chunk maps,
-  /// optionally restricted to [key_lo, key_hi].
+  /// optionally restricted to [key_lo, key_hi]. Null chunk refs (best-effort
+  /// fetch casualties) are skipped.
   Result<std::vector<Record>> ExtractVersionRecords(
       const std::vector<ChunkRef>& chunks, VersionId version, bool use_range,
       const std::string& key_lo, const std::string& key_hi) const;

@@ -578,22 +578,24 @@ Status RStore::Flush() {
 
 Result<std::vector<Record>> RStore::GetVersion(VersionId version,
                                                QueryStats* stats,
-                                               TraceContext* trace) {
+                                               TraceContext* trace,
+                                               QueryDegradation* degradation) {
   RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
                     cache_.get(), cache_owner_);
-  return qp.GetVersion(version, stats, trace);
+  return qp.GetVersion(version, stats, trace, degradation);
 }
 
 Result<std::vector<Record>> RStore::GetRange(VersionId version,
                                              const std::string& key_lo,
                                              const std::string& key_hi,
                                              QueryStats* stats,
-                                             TraceContext* trace) {
+                                             TraceContext* trace,
+                                             QueryDegradation* degradation) {
   RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
                     cache_.get(), cache_owner_);
-  return qp.GetRange(version, key_lo, key_hi, stats, trace);
+  return qp.GetRange(version, key_lo, key_hi, stats, trace, degradation);
 }
 
 Result<std::vector<Record>> RStore::GetHistory(const std::string& key,

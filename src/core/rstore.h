@@ -100,14 +100,21 @@ class RStore {
   // -- Queries (see QueryProcessor). Staged-but-unflushed versions are
   //    flushed on demand before being queried. Pass a TraceContext to
   //    capture the query's span tree (exportable as Chrome trace JSON).
+  //    Under Options::read_mode == ReadMode::kBestEffort, GetVersion and
+  //    GetRange skip chunks the backend cannot serve and report them via
+  //    `degradation` (and QueryStats::missing_chunks) instead of failing.
   Result<std::vector<Record>> GetVersion(VersionId version,
                                          QueryStats* stats = nullptr,
-                                         TraceContext* trace = nullptr);
+                                         TraceContext* trace = nullptr,
+                                         QueryDegradation* degradation =
+                                             nullptr);
   Result<std::vector<Record>> GetRange(VersionId version,
                                        const std::string& key_lo,
                                        const std::string& key_hi,
                                        QueryStats* stats = nullptr,
-                                       TraceContext* trace = nullptr);
+                                       TraceContext* trace = nullptr,
+                                       QueryDegradation* degradation =
+                                           nullptr);
   Result<std::vector<Record>> GetHistory(const std::string& key,
                                          QueryStats* stats = nullptr,
                                          TraceContext* trace = nullptr);

@@ -1,6 +1,10 @@
 #include "kvstore/cluster.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -20,6 +24,12 @@ struct ClusterMetrics {
   Counter* bytes_read_total;
   Counter* bytes_written_total;
   Counter* simulated_micros_total;
+  Counter* retries_total;
+  Counter* hedges_total;
+  Counter* hedge_wins_total;
+  Counter* timeouts_total;
+  Counter* handoff_hints_total;
+  Counter* handoff_replays_total;
   Histogram* multiget_batch_keys;
 
   static const ClusterMetrics& Get() {
@@ -36,6 +46,14 @@ struct ClusterMetrics {
           registry.GetCounter("rstore_kvs_bytes_written_total");
       m.simulated_micros_total =
           registry.GetCounter("rstore_kvs_simulated_micros_total");
+      m.retries_total = registry.GetCounter("rstore_kvs_retries_total");
+      m.hedges_total = registry.GetCounter("rstore_kvs_hedges_total");
+      m.hedge_wins_total = registry.GetCounter("rstore_kvs_hedge_wins_total");
+      m.timeouts_total = registry.GetCounter("rstore_kvs_timeouts_total");
+      m.handoff_hints_total =
+          registry.GetCounter("rstore_kvs_handoff_hints_total");
+      m.handoff_replays_total =
+          registry.GetCounter("rstore_kvs_handoff_replays_total");
       m.multiget_batch_keys = registry.GetHistogram(
           "rstore_kvs_multiget_batch_keys",
           ExponentialBoundaries(1, 4.0, 8));  // 1..16384 keys
@@ -45,15 +63,36 @@ struct ClusterMetrics {
   }
 };
 
+/// Salt bases feeding FaultInjector::Decide/UniformAt so the different uses
+/// of one operation tick (primary read vs. write vs. hedge vs. backoff
+/// jitter) draw from independent deterministic streams. Failover rounds are
+/// decorrelated by striding the salt.
+constexpr uint32_t kSaltRead = 0;
+constexpr uint32_t kSaltWrite = 1;
+constexpr uint32_t kSaltDelete = 2;
+constexpr uint32_t kSaltHedge = 3;
+constexpr uint32_t kSaltJitter = 4;
+constexpr uint32_t kSaltStride = 8;
+
+/// Applies a latency-spike multiplier, rounding to whole micros.
+uint64_t ScaleMicros(uint64_t us, double multiplier) {
+  if (multiplier <= 1.0) return us;
+  return static_cast<uint64_t>(
+      std::llround(static_cast<double>(us) * multiplier));
+}
+
 }  // namespace
 
 Cluster::Cluster(const ClusterOptions& options)
     : options_(options),
       ring_(options.num_nodes, options.virtual_nodes_per_node,
             options.ring_seed),
-      alive_(options.num_nodes) {
+      alive_(options.num_nodes),
+      injector_(options.faults, options.num_nodes),
+      hints_(options.num_nodes) {
   RSTORE_CHECK(options.num_nodes >= 1);
   RSTORE_CHECK(options.replication_factor >= 1);
+  RSTORE_CHECK(options.retry.max_attempts >= 1);
   nodes_.reserve(options.num_nodes);
   for (uint32_t i = 0; i < options.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<MemoryStore>());
@@ -70,105 +109,445 @@ Status Cluster::CreateTable(const std::string& table) {
   return Status::OK();
 }
 
-int Cluster::FirstAlive(const std::vector<uint32_t>& replicas) const {
-  for (uint32_t node : replicas) {
-    if (alive_[node].load(std::memory_order_acquire)) {
-      return static_cast<int>(node);
-    }
+bool Cluster::NodeUp(uint32_t node, uint64_t tick) const {
+  return alive_[node].load(std::memory_order_acquire) &&
+         !injector_.Crashed(node, tick);
+}
+
+int Cluster::FirstUp(const std::vector<uint32_t>& replicas,
+                     uint64_t tick) const {
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    if (NodeUp(replicas[i], tick)) return static_cast<int>(i);
   }
   return -1;
 }
 
+int Cluster::NextUp(const std::vector<uint32_t>& replicas, size_t after,
+                    uint64_t tick) const {
+  for (size_t i = after + 1; i < replicas.size(); ++i) {
+    if (NodeUp(replicas[i], tick)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Cluster::AttemptChain Cluster::SimulateAttempts(uint32_t node, uint64_t tick,
+                                                uint32_t round,
+                                                uint32_t salt_base,
+                                                uint64_t start_us) const {
+  AttemptChain chain;
+  chain.start_us = start_us;
+  if (!injector_.enabled()) {
+    chain.served = true;
+    return chain;
+  }
+  const uint32_t salt = salt_base + kSaltStride * round;
+  for (uint32_t attempt = 0;; ++attempt) {
+    const FaultDecision d = injector_.Decide(node, tick, attempt, salt);
+    if (d.kind != FaultKind::kTransientError) {
+      chain.served = true;
+      chain.start_us = start_us;
+      chain.slow_multiplier = d.slow_multiplier;
+      return chain;
+    }
+    // A failed attempt costs the round trip that returned the error.
+    const uint64_t fail_at = start_us + options_.latency.request_overhead_us;
+    chain.failed_attempts.emplace_back(start_us, fail_at);
+    if (attempt + 1 >= options_.retry.max_attempts) {
+      chain.failure_us = fail_at;
+      return chain;
+    }
+    const double jitter = injector_.UniformAt(
+        node, tick, attempt, kSaltJitter + kSaltStride * round);
+    start_us = fail_at + options_.retry.BackoffMicros(attempt + 1, jitter);
+    ++chain.retries;
+  }
+}
+
 Status Cluster::Put(const std::string& table, Slice key, Slice value) {
+  const uint64_t tick = injector_.NextTick();
+  ReplayReadyHints(tick);
   const auto replicas = ring_.Replicas(key, options_.replication_factor);
+  const uint64_t timeout_us = options_.retry.request_timeout_us;
+  std::vector<std::pair<uint32_t, Hint>> staged;
   int wrote = 0;
+  uint64_t slowest_us = 0;
+  uint64_t n_retries = 0;
+  uint64_t n_timeouts = 0;
   for (uint32_t node : replicas) {
-    if (!alive_[node].load(std::memory_order_acquire)) {
-      continue;  // no hinted handoff
+    if (!NodeUp(node, tick)) {
+      // Hinted handoff: capture the write for replay when the node returns
+      // (the pre-fault-tolerance coordinator silently dropped it here).
+      staged.push_back(
+          {node, Hint{table, key.ToString(), value.ToString(), false}});
+      continue;
+    }
+    const AttemptChain chain =
+        SimulateAttempts(node, tick, /*round=*/0, kSaltWrite, /*start_us=*/0);
+    n_retries += chain.retries;
+    bool ok = chain.served;
+    uint64_t completion = chain.failure_us;
+    if (ok) {
+      completion = chain.start_us +
+                   ScaleMicros(options_.latency.NodeServiceMicros(
+                                   1, value.size()),
+                               chain.slow_multiplier);
+      if (timeout_us > 0 && completion > timeout_us) {
+        ok = false;
+        completion = timeout_us;
+        ++n_timeouts;
+      }
+    }
+    slowest_us = std::max(slowest_us, completion);
+    if (!ok) {
+      staged.push_back(
+          {node, Hint{table, key.ToString(), value.ToString(), false}});
+      continue;
     }
     RSTORE_RETURN_IF_ERROR(nodes_[node]->Put(table, key, value));
     ++wrote;
   }
-  if (wrote == 0) return Status::IOError("all replicas down");
-  // Replica writes proceed in parallel; charge one request's latency.
+  if (wrote == 0) {
+    // Nothing durable: fail the write loudly and drop the staged hints (a
+    // hint is a promise about a write that succeeded somewhere).
+    return Status::IOError("all replicas down");
+  }
+  const uint64_t hinted = staged.size();
+  CommitHints(std::move(staged));
+  // Replica writes proceed in parallel; charge the slowest replica's chain.
   const uint64_t micros = options_.latency.coordinator_overhead_us +
-                          options_.latency.NodeServiceMicros(1, value.size());
+                          slowest_us;
   const ClusterMetrics& metrics = ClusterMetrics::Get();
   metrics.requests_total->Increment();
   metrics.bytes_written_total->Increment(key.size() + value.size());
   metrics.simulated_micros_total->Increment(micros);
+  if (n_retries > 0) metrics.retries_total->Increment(n_retries);
+  if (n_timeouts > 0) metrics.timeouts_total->Increment(n_timeouts);
+  if (hinted > 0) metrics.handoff_hints_total->Increment(hinted);
   MutexLock lock(mu_);
   ++stats_.puts;
   stats_.bytes_written += key.size() + value.size();
   stats_.simulated_micros += micros;
+  stats_.retries += n_retries;
+  stats_.timeouts += n_timeouts;
+  stats_.handoff_hints += hinted;
   return Status::OK();
 }
 
 Result<std::string> Cluster::Get(const std::string& table, Slice key) {
+  const uint64_t tick = injector_.NextTick();
+  ReplayReadyHints(tick);
   const auto replicas = ring_.Replicas(key, options_.replication_factor);
-  const int node = FirstAlive(replicas);
-  if (node < 0) return Status::IOError("all replicas down");
-  Result<std::string> r = nodes_[node]->Get(table, key);
-  const uint64_t bytes = r.ok() ? r.value().size() : 0;
-  const uint64_t micros = options_.latency.coordinator_overhead_us +
-                          options_.latency.NodeServiceMicros(1, bytes);
-  const ClusterMetrics& metrics = ClusterMetrics::Get();
-  metrics.requests_total->Increment();
-  metrics.bytes_read_total->Increment(bytes);
-  metrics.simulated_micros_total->Increment(micros);
-  MutexLock lock(mu_);
-  ++stats_.gets;
-  ++stats_.keys_requested;
-  stats_.bytes_read += bytes;
-  stats_.simulated_micros += micros;
-  return r;
+  int pos = FirstUp(replicas, tick);
+  if (pos < 0) return Status::IOError("all replicas down");
+  const uint64_t timeout_us = options_.retry.request_timeout_us;
+  uint64_t start_us = 0;
+  uint32_t round = 0;
+  uint64_t n_retries = 0;
+  uint64_t n_timeouts = 0;
+  while (true) {
+    const uint32_t node = replicas[static_cast<size_t>(pos)];
+    Result<std::string> r = nodes_[node]->Get(table, key);
+    const uint64_t bytes = r.ok() ? r.value().size() : 0;
+    const AttemptChain chain =
+        SimulateAttempts(node, tick, round, kSaltRead, start_us);
+    n_retries += chain.retries;
+    bool failed = !chain.served;
+    uint64_t fail_time = chain.failure_us;
+    uint64_t completion = 0;
+    if (chain.served) {
+      completion = chain.start_us +
+                   ScaleMicros(options_.latency.NodeServiceMicros(1, bytes),
+                               chain.slow_multiplier);
+      if (timeout_us > 0 && completion > start_us + timeout_us) {
+        failed = true;
+        fail_time = start_us + timeout_us;
+        ++n_timeouts;
+      }
+    }
+    if (!failed) {
+      const uint64_t micros =
+          options_.latency.coordinator_overhead_us + completion;
+      const ClusterMetrics& metrics = ClusterMetrics::Get();
+      metrics.requests_total->Increment();
+      metrics.bytes_read_total->Increment(bytes);
+      metrics.simulated_micros_total->Increment(micros);
+      if (n_retries > 0) metrics.retries_total->Increment(n_retries);
+      if (n_timeouts > 0) metrics.timeouts_total->Increment(n_timeouts);
+      MutexLock lock(mu_);
+      ++stats_.gets;
+      ++stats_.keys_requested;
+      stats_.bytes_read += bytes;
+      stats_.simulated_micros += micros;
+      stats_.retries += n_retries;
+      stats_.timeouts += n_timeouts;
+      return r;
+    }
+    // Fail over to the next serving replica, resuming at the failure time.
+    pos = NextUp(replicas, static_cast<size_t>(pos), tick);
+    if (pos < 0) return Status::IOError("replicas exhausted");
+    start_us = fail_time;
+    ++round;
+  }
 }
 
 Status Cluster::MultiGet(const std::string& table,
                          const std::vector<std::string>& keys,
                          std::map<std::string, std::string>* out,
                          TraceContext* trace) {
+  return MultiGetInternal(table, keys, out, /*failures=*/nullptr, trace);
+}
+
+Status Cluster::MultiGetPartial(const std::string& table,
+                                const std::vector<std::string>& keys,
+                                std::map<std::string, std::string>* out,
+                                std::vector<KeyReadFailure>* failures,
+                                TraceContext* trace) {
+  RSTORE_CHECK(failures != nullptr);
+  return MultiGetInternal(table, keys, out, failures, trace);
+}
+
+Status Cluster::MultiGetInternal(const std::string& table,
+                                 const std::vector<std::string>& keys,
+                                 std::map<std::string, std::string>* out,
+                                 std::vector<KeyReadFailure>* failures,
+                                 TraceContext* trace) {
   ScopedSpan span(trace, "kvs.multiget");
   const uint64_t sim_batch_start = trace != nullptr ? trace->sim_now_us() : 0;
-  // Route each key to its serving node.
-  std::vector<std::vector<std::string>> per_node(nodes_.size());
-  for (const std::string& key : keys) {
-    auto replicas = ring_.Replicas(key, options_.replication_factor);
-    int node = FirstAlive(replicas);
-    if (node < 0) return Status::IOError("all replicas down for a key");
-    per_node[static_cast<size_t>(node)].push_back(key);
+  const uint64_t tick = injector_.NextTick();
+  ReplayReadyHints(tick);
+
+  // Route each key to its first serving replica. A routed key remembers its
+  // replica list and current position so retry exhaustion or a timeout can
+  // fail it over down the list.
+  struct Member {
+    size_t key_idx;
+    std::vector<uint32_t> replicas;
+    size_t pos;
+  };
+  struct Group {
+    uint32_t node;
+    uint64_t start_us;  // offset from the batch start on the simulated clock
+    uint32_t round;     // failover depth, decorrelates fault decisions
+    std::vector<Member> members;
+  };
+  std::vector<std::vector<Member>> initial(nodes_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto replicas = ring_.Replicas(keys[i], options_.replication_factor);
+    const int pos = FirstUp(replicas, tick);
+    if (pos < 0) {
+      Status down = Status::IOError("all replicas down for a key");
+      if (failures == nullptr) return down;
+      failures->push_back({keys[i], std::move(down)});
+      continue;
+    }
+    const uint32_t node = replicas[static_cast<size_t>(pos)];
+    initial[node].push_back(
+        Member{i, std::move(replicas), static_cast<size_t>(pos)});
   }
-  // Nodes serve their shares in parallel; the batch completes when the
-  // slowest node does. Each contacted node gets a simulated-clock sub-span
-  // starting at the shared batch start, so the trace shows the fan-out as
-  // overlapping bars rather than a serial chain.
-  uint64_t slowest_us = 0;
+  std::vector<Group> worklist;
+  for (size_t node = 0; node < initial.size(); ++node) {
+    if (initial[node].empty()) continue;
+    worklist.push_back(Group{static_cast<uint32_t>(node), /*start_us=*/0,
+                             /*round=*/0, std::move(initial[node])});
+  }
+
+  const uint64_t timeout_us = options_.retry.request_timeout_us;
+  const uint64_t hedge_threshold = options_.latency.hedge_threshold_us;
+  uint64_t slowest_us = 0;  // latest completion/failure event in the batch
   uint64_t total_bytes = 0;
   uint32_t nodes_contacted = 0;
-  for (size_t node = 0; node < nodes_.size(); ++node) {
-    if (per_node[node].empty()) continue;
+  uint64_t n_retries = 0;
+  uint64_t n_hedges = 0;
+  uint64_t n_hedge_wins = 0;
+  uint64_t n_timeouts = 0;
+
+  // Routes members that failed at `fail_us` to their next serving replicas,
+  // appending new groups (or recording per-key failures). Returns an error
+  // in strict mode when a key has no replica left.
+  auto fail_over = [&](std::vector<Member> failed, uint64_t fail_us,
+                       uint32_t next_round, const char* reason) -> Status {
+    std::map<uint32_t, std::vector<Member>> regrouped;
+    for (Member& m : failed) {
+      const int next = NextUp(m.replicas, m.pos, tick);
+      if (next < 0) {
+        Status exhausted = Status::IOError(reason);
+        if (failures == nullptr) return exhausted;
+        failures->push_back({keys[m.key_idx], std::move(exhausted)});
+        continue;
+      }
+      m.pos = static_cast<size_t>(next);
+      regrouped[m.replicas[m.pos]].push_back(std::move(m));
+    }
+    for (auto& [node, members] : regrouped) {
+      worklist.push_back(Group{node, fail_us, next_round, std::move(members)});
+    }
+    return Status::OK();
+  };
+
+  for (size_t gi = 0; gi < worklist.size(); ++gi) {
+    Group g = std::move(worklist[gi]);
+    // Physical read from the serving replica. Replicas hold identical data:
+    // down nodes are never routed to, and recovered ones are backfilled by
+    // ReplayReadyHints before routing (above).
+    std::vector<std::string> group_keys;
+    group_keys.reserve(g.members.size());
+    for (const Member& m : g.members) group_keys.push_back(keys[m.key_idx]);
     std::map<std::string, std::string> node_result;
     RSTORE_RETURN_IF_ERROR(
-        nodes_[node]->MultiGet(table, per_node[node], &node_result));
+        nodes_[g.node]->MultiGet(table, group_keys, &node_result));
     uint64_t node_bytes = 0;
-    for (auto& [key, value] : node_result) {
-      node_bytes += value.size();
-      (*out)[key] = std::move(value);
-    }
-    total_bytes += node_bytes;
-    ++nodes_contacted;
-    const uint64_t node_us =
-        options_.latency.NodeServiceMicros(per_node[node].size(), node_bytes);
-    slowest_us = std::max(slowest_us, node_us);
+    for (const auto& [key, value] : node_result) node_bytes += value.size();
+
+    // The group abandons all outstanding work at its simulated deadline:
+    // every span it records is clamped there, which keeps children inside
+    // the "kvs.multiget" parent interval (the parent ends at the charged
+    // time, and nothing past an abandonment is charged).
+    const uint64_t deadline =
+        timeout_us > 0 ? g.start_us + timeout_us
+                       : std::numeric_limits<uint64_t>::max();
+
+    const AttemptChain chain =
+        SimulateAttempts(g.node, tick, g.round, kSaltRead, g.start_us);
+    n_retries += chain.retries;
     if (trace != nullptr) {
+      for (size_t k = 0; k < chain.failed_attempts.size(); ++k) {
+        const uint64_t attempt_start =
+            std::min(chain.failed_attempts[k].first, deadline);
+        const uint64_t attempt_end =
+            std::min(chain.failed_attempts[k].second, deadline);
+        if (attempt_start >= attempt_end) continue;  // abandoned before issue
+        trace->AddSimulatedSpan(
+            StringPrintf("node%u.retry%zu", g.node, k + 1),
+            sim_batch_start + attempt_start, sim_batch_start + attempt_end);
+      }
+    }
+    if (!chain.served) {
+      const uint64_t fail_us = std::min(chain.failure_us, deadline);
+      slowest_us = std::max(slowest_us, fail_us);
+      RSTORE_RETURN_IF_ERROR(fail_over(std::move(g.members), fail_us,
+                                       g.round + 1,
+                                       "replicas exhausted for a key"));
+      continue;
+    }
+    if (chain.start_us >= deadline) {
+      // Retry backoff pushed the serving attempt past the deadline: the
+      // whole group times out without the attempt being issued.
+      ++n_timeouts;
+      slowest_us = std::max(slowest_us, deadline);
+      RSTORE_RETURN_IF_ERROR(fail_over(std::move(g.members), deadline,
+                                       g.round + 1, "request timed out"));
+      continue;
+    }
+
+    const uint64_t node_us =
+        ScaleMicros(options_.latency.NodeServiceMicros(group_keys.size(),
+                                                       node_bytes),
+                    chain.slow_multiplier);
+    const uint64_t primary_completion = chain.start_us + node_us;
+    ++nodes_contacted;
+
+    // Hedged reads: when the replica's modeled service time crosses the
+    // threshold, speculatively re-issue each key to its next serving replica
+    // and complete at whichever finishes first. The hedge reads the same
+    // bytes, so data still comes from the primary's result. No hedge fires
+    // once the deadline has passed its issue time.
+    std::vector<uint64_t> completion(g.members.size(), primary_completion);
+    struct HedgeEvent {
+      uint32_t target;
+      uint64_t end_us;
+      size_t num_members;
+      uint64_t latest_need;  // last effective completion among its members
+    };
+    std::vector<HedgeEvent> hedge_events;
+    const uint64_t hedge_issue = chain.start_us + hedge_threshold;
+    if (hedge_threshold > 0 && node_us > hedge_threshold &&
+        hedge_issue < deadline) {
+      std::map<uint32_t, std::vector<size_t>> by_target;  // member indexes
+      for (size_t mi = 0; mi < g.members.size(); ++mi) {
+        const Member& m = g.members[mi];
+        const int next = NextUp(m.replicas, m.pos, tick);
+        if (next >= 0) {
+          by_target[m.replicas[static_cast<size_t>(next)]].push_back(mi);
+        }
+      }
+      for (const auto& [target, member_idxs] : by_target) {
+        ++n_hedges;
+        const FaultDecision hd = injector_.Decide(
+            target, tick, /*attempt=*/0, kSaltHedge + kSaltStride * g.round);
+        const bool hedge_ok = hd.kind != FaultKind::kTransientError;
+        uint64_t hedge_end;
+        if (hedge_ok) {
+          uint64_t hedge_bytes = 0;
+          for (size_t mi : member_idxs) {
+            auto it = node_result.find(keys[g.members[mi].key_idx]);
+            if (it != node_result.end()) hedge_bytes += it->second.size();
+          }
+          hedge_end = hedge_issue +
+                      ScaleMicros(options_.latency.NodeServiceMicros(
+                                      member_idxs.size(), hedge_bytes),
+                                  hd.slow_multiplier);
+        } else {
+          hedge_end = hedge_issue + options_.latency.request_overhead_us;
+        }
+        if (hedge_ok && hedge_end < primary_completion) {
+          ++n_hedge_wins;
+          for (size_t mi : member_idxs) completion[mi] = hedge_end;
+        }
+        hedge_events.push_back(HedgeEvent{target, hedge_end,
+                                          member_idxs.size(), /*latest=*/0});
+        for (size_t mi : member_idxs) {
+          HedgeEvent& ev = hedge_events.back();
+          ev.latest_need = std::max(ev.latest_need,
+                                    std::min(completion[mi], deadline));
+        }
+      }
+    }
+
+    // Per-key deadline check, then serve whatever made it in time. A
+    // member's effective completion — when the coordinator stops waiting on
+    // it — is its (possibly hedged) completion, or the deadline.
+    std::vector<Member> timed_out;
+    uint64_t group_end = chain.start_us;  // last instant this node mattered
+    for (size_t mi = 0; mi < g.members.size(); ++mi) {
+      if (completion[mi] > deadline) {
+        group_end = std::max(group_end, deadline);
+        timed_out.push_back(std::move(g.members[mi]));
+        continue;
+      }
+      group_end = std::max(group_end, completion[mi]);
+      slowest_us = std::max(slowest_us, completion[mi]);
+      auto it = node_result.find(keys[g.members[mi].key_idx]);
+      if (it != node_result.end()) {
+        total_bytes += it->second.size();
+        (*out)[it->first] = it->second;
+      }
+    }
+    if (trace != nullptr) {
+      // The node's span ends when its last member resolved (completed,
+      // superseded by a hedge, or abandoned at the deadline) — not at the
+      // modeled completion of a request nobody waited for.
       const uint32_t node_span = trace->AddSimulatedSpan(
-          StringPrintf("node%zu", node), sim_batch_start,
-          sim_batch_start + node_us);
-      trace->Annotate(node_span, "keys",
-                      std::to_string(per_node[node].size()));
+          StringPrintf("node%u", g.node), sim_batch_start + chain.start_us,
+          sim_batch_start + std::min(group_end, primary_completion));
+      trace->Annotate(node_span, "keys", std::to_string(group_keys.size()));
       trace->Annotate(node_span, "bytes", std::to_string(node_bytes));
+      for (const HedgeEvent& ev : hedge_events) {
+        const uint32_t hedge_span = trace->AddSimulatedSpan(
+            StringPrintf("node%u.hedge", ev.target),
+            sim_batch_start + hedge_issue,
+            sim_batch_start + std::max(hedge_issue,
+                                       std::min(ev.end_us, ev.latest_need)));
+        trace->Annotate(hedge_span, "keys", std::to_string(ev.num_members));
+      }
+    }
+    if (!timed_out.empty()) {
+      ++n_timeouts;
+      slowest_us = std::max(slowest_us, deadline);
+      RSTORE_RETURN_IF_ERROR(fail_over(std::move(timed_out), deadline,
+                                       g.round + 1, "request timed out"));
     }
   }
+
   const uint64_t charged_us =
       options_.latency.coordinator_overhead_us + slowest_us;
   if (trace != nullptr) {
@@ -187,39 +566,89 @@ Status Cluster::MultiGet(const std::string& table,
   metrics.bytes_read_total->Increment(total_bytes);
   metrics.simulated_micros_total->Increment(charged_us);
   metrics.multiget_batch_keys->Observe(keys.size());
+  if (n_retries > 0) metrics.retries_total->Increment(n_retries);
+  if (n_hedges > 0) metrics.hedges_total->Increment(n_hedges);
+  if (n_hedge_wins > 0) metrics.hedge_wins_total->Increment(n_hedge_wins);
+  if (n_timeouts > 0) metrics.timeouts_total->Increment(n_timeouts);
   MutexLock lock(mu_);
   ++stats_.multiget_batches;
   stats_.keys_requested += keys.size();
   stats_.bytes_read += total_bytes;
   stats_.simulated_micros += charged_us;
+  stats_.retries += n_retries;
+  stats_.hedges += n_hedges;
+  stats_.hedge_wins += n_hedge_wins;
+  stats_.timeouts += n_timeouts;
   return Status::OK();
 }
 
 Status Cluster::Delete(const std::string& table, Slice key) {
-  auto replicas = ring_.Replicas(key, options_.replication_factor);
+  const uint64_t tick = injector_.NextTick();
+  ReplayReadyHints(tick);
+  const auto replicas = ring_.Replicas(key, options_.replication_factor);
+  const uint64_t timeout_us = options_.retry.request_timeout_us;
+  std::vector<std::pair<uint32_t, Hint>> staged;
   int deleted = 0;
+  uint64_t slowest_us = 0;
+  uint64_t n_retries = 0;
+  uint64_t n_timeouts = 0;
   for (uint32_t node : replicas) {
-    if (!alive_[node].load(std::memory_order_acquire)) continue;
+    if (!NodeUp(node, tick)) {
+      staged.push_back({node, Hint{table, key.ToString(), "", true}});
+      continue;
+    }
+    const AttemptChain chain =
+        SimulateAttempts(node, tick, /*round=*/0, kSaltDelete, /*start_us=*/0);
+    n_retries += chain.retries;
+    bool ok = chain.served;
+    uint64_t completion = chain.failure_us;
+    if (ok) {
+      completion =
+          chain.start_us + ScaleMicros(options_.latency.NodeServiceMicros(1, 0),
+                                       chain.slow_multiplier);
+      if (timeout_us > 0 && completion > timeout_us) {
+        ok = false;
+        completion = timeout_us;
+        ++n_timeouts;
+      }
+    }
+    slowest_us = std::max(slowest_us, completion);
+    if (!ok) {
+      staged.push_back({node, Hint{table, key.ToString(), "", true}});
+      continue;
+    }
     RSTORE_RETURN_IF_ERROR(nodes_[node]->Delete(table, key));
     ++deleted;
   }
   if (deleted == 0) return Status::IOError("all replicas down");
+  const uint64_t hinted = staged.size();
+  CommitHints(std::move(staged));
   MutexLock lock(mu_);
   ++stats_.deletes;
-  stats_.simulated_micros += options_.latency.coordinator_overhead_us +
-                             options_.latency.NodeServiceMicros(1, 0);
+  stats_.simulated_micros +=
+      options_.latency.coordinator_overhead_us + slowest_us;
+  stats_.retries += n_retries;
+  stats_.timeouts += n_timeouts;
+  stats_.handoff_hints += hinted;
   return Status::OK();
 }
 
 Status Cluster::Scan(const std::string& table,
                      const std::function<void(Slice key, Slice value)>& fn) {
+  const uint64_t tick = injector_.CurrentTick();
+  ReplayReadyHints(tick);
   // With replication a key lives on several nodes; dedupe by only emitting
-  // keys whose first alive replica is the node being scanned.
+  // keys whose first serving replica is the node being scanned. Keys whose
+  // replicas are all down are silently skipped — Scan is administrative and
+  // reports what the cluster can currently see.
   for (uint32_t node = 0; node < nodes_.size(); ++node) {
-    if (!alive_[node].load(std::memory_order_acquire)) continue;
+    if (!NodeUp(node, tick)) continue;
     Status s = nodes_[node]->Scan(table, [&](Slice key, Slice value) {
       auto replicas = ring_.Replicas(key, options_.replication_factor);
-      if (FirstAlive(replicas) == static_cast<int>(node)) fn(key, value);
+      const int pos = FirstUp(replicas, tick);
+      if (pos >= 0 && replicas[static_cast<size_t>(pos)] == node) {
+        fn(key, value);
+      }
     });
     RSTORE_RETURN_IF_ERROR(s);
   }
@@ -231,6 +660,51 @@ Result<uint64_t> Cluster::TableSize(const std::string& table) {
   Status s = Scan(table, [&](Slice, Slice) { ++count; });
   if (!s.ok()) return s;
   return count;
+}
+
+void Cluster::CommitHints(std::vector<std::pair<uint32_t, Hint>> staged) {
+  if (staged.empty()) return;
+  MutexLock lock(hints_mu_);
+  for (auto& [node, hint] : staged) {
+    hints_[node].push_back(std::move(hint));
+  }
+  hint_count_.fetch_add(staged.size(), std::memory_order_relaxed);
+}
+
+void Cluster::ReplayReadyHints(uint64_t tick) {
+  if (hint_count_.load(std::memory_order_relaxed) == 0) return;
+  std::vector<std::pair<uint32_t, std::vector<Hint>>> ready;
+  {
+    MutexLock lock(hints_mu_);
+    for (uint32_t node = 0; node < hints_.size(); ++node) {
+      if (hints_[node].empty() || !NodeUp(node, tick)) continue;
+      ready.emplace_back(node, std::move(hints_[node]));
+      hints_[node].clear();
+    }
+    uint64_t moved = 0;
+    for (const auto& [node, hints] : ready) moved += hints.size();
+    if (moved > 0) hint_count_.fetch_sub(moved, std::memory_order_relaxed);
+  }
+  if (ready.empty()) return;
+  uint64_t replayed = 0;
+  for (auto& [node, hints] : ready) {
+    for (Hint& hint : hints) {
+      if (hint.is_delete) {
+        // The key may never have reached this node; NotFound is fine.
+        Status s = nodes_[node]->Delete(hint.table, hint.key);
+        (void)s;
+      } else {
+        Status s = nodes_[node]->Put(hint.table, hint.key, hint.value);
+        RSTORE_CHECK(s.ok()) << "hint replay failed: " << s.ToString();
+      }
+      ++replayed;
+    }
+  }
+  // Replayed writes are repair traffic, not client latency: they charge no
+  // simulated micros, only the counter.
+  ClusterMetrics::Get().handoff_replays_total->Increment(replayed);
+  MutexLock lock(mu_);
+  stats_.handoff_replays += replayed;
 }
 
 KVStats Cluster::stats() const {
@@ -246,6 +720,9 @@ void Cluster::ResetStats() {
 void Cluster::SetNodeAlive(uint32_t node, bool alive) {
   RSTORE_CHECK(node < alive_.size());
   alive_[node].store(alive, std::memory_order_release);
+  // Recovery backfills the node from its hint queue right away, so a query
+  // issued immediately after the flip already sees the healed replica.
+  if (alive) ReplayReadyHints(injector_.CurrentTick());
 }
 
 bool Cluster::IsNodeAlive(uint32_t node) const {
@@ -256,6 +733,12 @@ bool Cluster::IsNodeAlive(uint32_t node) const {
 uint64_t Cluster::NodeBytes(uint32_t node) const {
   RSTORE_CHECK(node < nodes_.size());
   return nodes_[node]->TotalBytes();
+}
+
+size_t Cluster::PendingHints(uint32_t node) const {
+  RSTORE_CHECK(node < nodes_.size());
+  MutexLock lock(hints_mu_);
+  return hints_[node].size();
 }
 
 }  // namespace rstore

@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "common/sync.h"
+#include "kvstore/fault_injector.h"
 #include "kvstore/hash_ring.h"
 #include "kvstore/kv_store.h"
 #include "kvstore/latency_model.h"
 #include "kvstore/memory_store.h"
+#include "kvstore/retry_policy.h"
 
 namespace rstore {
 
@@ -18,11 +20,16 @@ namespace rstore {
 struct ClusterOptions {
   uint32_t num_nodes = 4;
   /// Copies of every key, Cassandra-style; writes go to all replicas, reads
-  /// are served by the first alive replica.
+  /// are served by the first alive replica, failing over down the replica
+  /// list on errors/timeouts and hedging per LatencyModel::hedge_threshold_us.
   uint32_t replication_factor = 1;
   uint32_t virtual_nodes_per_node = 64;
   LatencyModel latency = DefaultLatencyModel();
   uint64_t ring_seed = 0x5274537265ull;  // "RtSre"
+  /// Deterministic fault schedule (default: no faults injected).
+  FaultInjectorOptions faults;
+  /// Coordinator retry/backoff/timeout discipline (simulated clock).
+  RetryPolicy retry;
 };
 
 /// An in-process distributed key-value store: the Cassandra stand-in.
@@ -33,6 +40,14 @@ struct ClusterOptions {
 /// are executed for real; only the wall-clock is simulated (accumulated in
 /// stats().simulated_micros so callers can report "how long this would have
 /// taken" on the modeled hardware).
+///
+/// Fault tolerance: a seeded FaultInjector supplies transient errors, latency
+/// spikes, and crash windows per ClusterOptions::faults; the coordinator
+/// retries with deterministic exponential backoff (ClusterOptions::retry),
+/// hedges slow reads to the next alive replica, and stages hinted-handoff
+/// writes for down replicas, replaying them when the node returns. The same
+/// options therefore replay an exact fault timeline — same results, same
+/// retry/hedge counters — which the chaos suite exploits.
 ///
 /// MultiGet is the workhorse: RStore retrieves the chunks for a version "by
 /// issuing queries in parallel to the backend store" (paper §2.4), so the
@@ -50,12 +65,21 @@ class Cluster : public KVStore {
   /// that node's service time] on the simulated clock — the children all
   /// start at the same simulated instant because the nodes serve their
   /// shares in parallel — and advances the trace's simulated clock by
-  /// exactly the micros charged to stats().simulated_micros.
+  /// exactly the micros charged to stats(). Under faults, additional
+  /// "node<N>.retry<k>" / "node<N>.hedge" children record the failed
+  /// attempts and speculative reads, all contained in the parent interval.
   using KVStore::MultiGet;
   Status MultiGet(const std::string& table,
                   const std::vector<std::string>& keys,
                   std::map<std::string, std::string>* out,
                   TraceContext* trace) override;
+  /// Per-key degradation: unavailable keys land in `*failures` instead of
+  /// failing the batch (see KVStore::MultiGetPartial).
+  Status MultiGetPartial(const std::string& table,
+                         const std::vector<std::string>& keys,
+                         std::map<std::string, std::string>* out,
+                         std::vector<KeyReadFailure>* failures,
+                         TraceContext* trace) override;
   Status Delete(const std::string& table, Slice key) override;
   Status Scan(const std::string& table,
               const std::function<void(Slice key, Slice value)>& fn) override;
@@ -67,17 +91,75 @@ class Cluster : public KVStore {
   uint32_t num_nodes() const { return ring_.num_nodes(); }
 
   /// Failure injection: a down node rejects requests; reads fail over to the
-  /// next alive replica, writes skip it (and are therefore lost on it, as in
-  /// an eventually-consistent store without hinted handoff).
+  /// next alive replica, writes stage a hinted-handoff entry that is
+  /// replayed when the node comes back (SetNodeAlive(node, true) replays
+  /// synchronously; injector crash windows are backfilled at the next
+  /// coordinator operation after the window closes).
   void SetNodeAlive(uint32_t node, bool alive);
   bool IsNodeAlive(uint32_t node) const;
 
   /// Bytes resident on one node (for balance/skew inspection).
   uint64_t NodeBytes(uint32_t node) const;
 
+  /// Hinted-handoff entries currently staged for `node` (tests/inspection).
+  size_t PendingHints(uint32_t node) const;
+
  private:
-  /// First alive node in `replicas`, or -1 if all are down.
-  int FirstAlive(const std::vector<uint32_t>& replicas) const;
+  /// A write captured for a down replica, replayed on recovery.
+  struct Hint {
+    std::string table;
+    std::string key;
+    std::string value;
+    bool is_delete = false;
+  };
+
+  /// True when `node` serves requests at `tick`: the liveness flag is set
+  /// and no injector crash window covers the tick.
+  bool NodeUp(uint32_t node, uint64_t tick) const;
+
+  /// Position of the first serving replica in `replicas` at `tick`, or -1
+  /// if all are down.
+  int FirstUp(const std::vector<uint32_t>& replicas, uint64_t tick) const;
+  /// Position of the first serving replica strictly after `after`, or -1.
+  int NextUp(const std::vector<uint32_t>& replicas, size_t after,
+             uint64_t tick) const;
+
+  /// Simulated outcome of one request's attempt chain against one node:
+  /// transient errors consume attempts (with backoff between them) until an
+  /// attempt is served or the RetryPolicy is exhausted. Pure function of
+  /// (node, tick, round, salt_base) given the schedule — no state mutated.
+  struct AttemptChain {
+    bool served = false;
+    /// Issue time of the successful attempt (offset from the op start).
+    uint64_t start_us = 0;
+    double slow_multiplier = 1.0;
+    /// When the chain gave up (valid when !served).
+    uint64_t failure_us = 0;
+    uint32_t retries = 0;
+    /// [issue, error) intervals of the attempts that failed, for tracing.
+    std::vector<std::pair<uint64_t, uint64_t>> failed_attempts;
+  };
+  AttemptChain SimulateAttempts(uint32_t node, uint64_t tick, uint32_t round,
+                                uint32_t salt_base, uint64_t start_us) const;
+
+  /// Shared implementation of MultiGet / MultiGetPartial. With
+  /// `failures == nullptr` (strict) the first unavailable key fails the
+  /// batch; otherwise unavailable keys are reported and the rest served.
+  Status MultiGetInternal(const std::string& table,
+                          const std::vector<std::string>& keys,
+                          std::map<std::string, std::string>* out,
+                          std::vector<KeyReadFailure>* failures,
+                          TraceContext* trace);
+
+  /// Replays staged hints for every node that is up at `tick`. Called at
+  /// the start of each coordinator operation (before routing, so a write
+  /// issued after recovery can never be overwritten by an older hint) and
+  /// from SetNodeAlive. Replayed writes are charged zero simulated micros:
+  /// handoff replay is background repair traffic, not client latency.
+  void ReplayReadyHints(uint64_t tick);
+
+  /// Appends hints (collected during one write op) to the per-node queues.
+  void CommitHints(std::vector<std::pair<uint32_t, Hint>> staged);
 
   /// Routing state (ring_, nodes_, options_) is immutable after
   /// construction and alive_ is atomic, so requests route lock-free; mu_
@@ -90,6 +172,18 @@ class Cluster : public KVStore {
   /// with request routing without tearing; a std::vector<bool> here is a
   /// data race under TSan because neighbouring bits share a byte.
   std::vector<std::atomic<bool>> alive_;
+  /// Deterministic fault source; inert unless ClusterOptions::faults has
+  /// any fault configured.
+  FaultInjector injector_;
+
+  /// Staged hinted-handoff writes, one queue per node. hints_mu_ is never
+  /// held across a node call: replay swaps a queue out under the lock and
+  /// writes with it released. hint_count_ lets the per-operation replay
+  /// check skip the lock entirely while no hints are staged (the common,
+  /// fault-free case).
+  mutable Mutex hints_mu_{kLockRankClusterHints, "Cluster::hints_mu_"};
+  std::vector<std::vector<Hint>> hints_ RSTORE_GUARDED_BY(hints_mu_);
+  std::atomic<uint64_t> hint_count_{0};
 
   mutable Mutex mu_{kLockRankCluster, "Cluster::mu_"};
   KVStats stats_ RSTORE_GUARDED_BY(mu_);

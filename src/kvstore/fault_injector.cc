@@ -1,0 +1,77 @@
+#include "kvstore/fault_injector.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace rstore {
+
+FaultInjector::FaultInjector(const FaultInjectorOptions& options,
+                             uint32_t num_nodes)
+    : seed_(options.seed), enabled_(options.any_faults()) {
+  profiles_.reserve(num_nodes);
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    auto it = options.per_node.find(node);
+    const NodeFaultProfile& p =
+        it != options.per_node.end() ? it->second : options.default_profile;
+    RSTORE_CHECK(p.transient_error_rate >= 0.0 &&
+                 p.transient_error_rate <= 1.0)
+        << "transient_error_rate out of [0,1] for node " << node;
+    RSTORE_CHECK(p.slow_rate >= 0.0 && p.slow_rate <= 1.0)
+        << "slow_rate out of [0,1] for node " << node;
+    RSTORE_CHECK(p.slow_multiplier >= 1.0)
+        << "slow_multiplier < 1 for node " << node;
+    for (const CrashWindow& w : p.crash_windows) {
+      RSTORE_CHECK(w.start_tick <= w.end_tick)
+          << "inverted crash window for node " << node;
+    }
+    profiles_.push_back(p);
+  }
+}
+
+bool FaultInjector::Crashed(uint32_t node, uint64_t tick) const {
+  if (!enabled_) return false;
+  RSTORE_DCHECK(node < profiles_.size());
+  for (const CrashWindow& w : profiles_[node].crash_windows) {
+    if (w.Contains(tick)) return true;
+  }
+  return false;
+}
+
+double FaultInjector::UniformAt(uint32_t node, uint64_t tick, uint32_t attempt,
+                                uint32_t salt) const {
+  // Independent streams via iterated avalanche mixing; the coordinates are
+  // folded in one at a time so (node=1, tick=2) and (node=2, tick=1) land in
+  // unrelated parts of the output space.
+  uint64_t h = Mix64(seed_ ^ 0x9E3779B97F4A7C15ull);
+  h = Mix64(h ^ (uint64_t{node} + 1));
+  h = Mix64(h ^ (tick + 1));
+  h = Mix64(h ^ (uint64_t{attempt} + 1));
+  h = Mix64(h ^ (uint64_t{salt} + 1));
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultDecision FaultInjector::Decide(uint32_t node, uint64_t tick,
+                                    uint32_t attempt, uint32_t salt) const {
+  FaultDecision decision;
+  if (!enabled_) return decision;
+  RSTORE_DCHECK(node < profiles_.size());
+  const NodeFaultProfile& p = profiles_[node];
+  if (!p.any_faults()) return decision;
+  if (tick < p.active_from_tick) return decision;
+  // Two independent draws: an attempt can only be one of error/slow, with
+  // error taking priority (a request that never completes can't be "slow").
+  if (p.transient_error_rate > 0.0 &&
+      UniformAt(node, tick, attempt, salt * 2 + 0) < p.transient_error_rate) {
+    decision.kind = FaultKind::kTransientError;
+    return decision;
+  }
+  if (p.slow_rate > 0.0 &&
+      UniformAt(node, tick, attempt, salt * 2 + 1) < p.slow_rate) {
+    decision.kind = FaultKind::kSlow;
+    decision.slow_multiplier = p.slow_multiplier;
+  }
+  return decision;
+}
+
+}  // namespace rstore

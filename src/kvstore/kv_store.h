@@ -31,6 +31,21 @@ struct KVStats {
   /// plain in-memory stores).
   uint64_t simulated_micros = 0;
 
+  // Fault-tolerance counters (nonzero only for stores that model faults).
+  /// Attempts re-issued after a transient error (backoff charged to
+  /// simulated_micros).
+  uint64_t retries = 0;
+  /// Speculative reads issued because a replica exceeded the latency model's
+  /// hedge threshold, and how many of them completed first.
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+  /// Requests abandoned at the RetryPolicy's simulated deadline.
+  uint64_t timeouts = 0;
+  /// Writes staged for a down replica, and hints later replayed to a
+  /// recovered node (hinted handoff).
+  uint64_t handoff_hints = 0;
+  uint64_t handoff_replays = 0;
+
   KVStats& operator+=(const KVStats& other) {
     gets += other.gets;
     puts += other.puts;
@@ -40,8 +55,22 @@ struct KVStats {
     bytes_read += other.bytes_read;
     bytes_written += other.bytes_written;
     simulated_micros += other.simulated_micros;
+    retries += other.retries;
+    hedges += other.hedges;
+    hedge_wins += other.hedge_wins;
+    timeouts += other.timeouts;
+    handoff_hints += other.handoff_hints;
+    handoff_replays += other.handoff_replays;
     return *this;
   }
+};
+
+/// One key a partial batched read could not serve, with the reason (e.g. all
+/// replicas down, or attempts exhausted). Reported by MultiGetPartial so
+/// best-effort readers can degrade gracefully instead of failing the batch.
+struct KeyReadFailure {
+  std::string key;
+  Status status;
 };
 
 /// Abstract distributed key-value store interface.
@@ -87,6 +116,28 @@ class KVStore {
                   const std::vector<std::string>& keys,
                   std::map<std::string, std::string>* out) {
     return MultiGet(table, keys, out, nullptr);
+  }
+
+  /// Best-effort batched lookup: keys whose owning replicas are unavailable
+  /// are reported in `*failures` (with the reason) instead of failing the
+  /// whole batch. Only returns a non-OK status for errors unrelated to
+  /// individual keys. Keys absent from both `*out` and `*failures` were
+  /// served fine and simply do not exist. The default implementation
+  /// delegates to MultiGet and, on failure, attributes the batch error to
+  /// every key — stores without partial-failure modes degrade all-or-nothing.
+  virtual Status MultiGetPartial(const std::string& table,
+                                 const std::vector<std::string>& keys,
+                                 std::map<std::string, std::string>* out,
+                                 std::vector<KeyReadFailure>* failures,
+                                 TraceContext* trace) {
+    Status s = MultiGet(table, keys, out, trace);
+    if (!s.ok() && failures != nullptr) {
+      for (const std::string& key : keys) {
+        if (out->count(key) == 0) failures->push_back({key, s});
+      }
+      return Status::OK();
+    }
+    return s;
   }
 
   virtual Status Delete(const std::string& table, Slice key) = 0;

@@ -38,6 +38,13 @@ struct LatencyModel {
   /// average cost c is ceil(n / concurrency) * c.
   uint32_t node_concurrency = 4;
 
+  /// Hedged-read threshold ("tail at scale" speculation): when a node's
+  /// modeled service time for its share of a batch exceeds this, the
+  /// coordinator speculatively re-issues those keys to the next alive
+  /// replica and takes whichever finishes first. 0 disables hedging (the
+  /// default — hedges only help when replication_factor > 1 anyway).
+  uint64_t hedge_threshold_us = 0;
+
   /// Simulated cost in microseconds for one node servicing `keys` point
   /// lookups totalling `bytes` of values, accounting for node_concurrency.
   uint64_t NodeServiceMicros(uint64_t keys, uint64_t bytes) const;

@@ -1,0 +1,22 @@
+#include "kvstore/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rstore {
+
+uint64_t RetryPolicy::BackoffMicros(uint32_t retry, double jitter_token) const {
+  RSTORE_DCHECK(retry >= 1) << "backoff is only charged before a retry";
+  RSTORE_DCHECK(jitter_token >= 0.0 && jitter_token < 1.0);
+  double backoff = static_cast<double>(base_backoff_us) *
+                   std::pow(backoff_multiplier, static_cast<double>(retry - 1));
+  backoff = std::min(backoff, static_cast<double>(max_backoff_us));
+  // jitter_token in [0,1) -> factor in [1-jitter, 1+jitter).
+  const double factor = 1.0 + jitter_fraction * (2.0 * jitter_token - 1.0);
+  backoff = std::max(0.0, backoff * factor);
+  return static_cast<uint64_t>(std::llround(backoff));
+}
+
+}  // namespace rstore

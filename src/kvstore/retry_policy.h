@@ -1,0 +1,36 @@
+#ifndef RSTORE_KVSTORE_RETRY_POLICY_H_
+#define RSTORE_KVSTORE_RETRY_POLICY_H_
+
+#include <cstdint>
+
+namespace rstore {
+
+/// Coordinator-side retry discipline for requests against cluster nodes.
+/// All timing is charged to the *simulated* clock: a backoff of 500 us adds
+/// 500 us to stats().simulated_micros and zero wall time.
+struct RetryPolicy {
+  /// Total attempts per node including the first (1 = no retries).
+  uint32_t max_attempts = 3;
+
+  /// Simulated backoff before retry k (1-based) is
+  ///   min(base * multiplier^(k-1), max) * (1 +/- jitter)
+  /// with deterministic jitter derived from the fault injector's seed.
+  uint64_t base_backoff_us = 500;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_us = 50'000;
+  double jitter_fraction = 0.1;
+
+  /// Per-request deadline on the simulated clock: if a node's attempt would
+  /// complete later than start + timeout, the coordinator abandons it at the
+  /// deadline and fails over. 0 disables timeouts.
+  uint64_t request_timeout_us = 0;
+
+  /// Simulated backoff in micros before retry `retry` (1-based).
+  /// `jitter_token` is a deterministic uniform in [0, 1) — see
+  /// FaultInjector::UniformAt — mapped onto [-jitter, +jitter].
+  uint64_t BackoffMicros(uint32_t retry, double jitter_token) const;
+};
+
+}  // namespace rstore
+
+#endif  // RSTORE_KVSTORE_RETRY_POLICY_H_

@@ -81,6 +81,152 @@ TEST(FailureTest, CommitFailsWhenAllReplicasDown) {
   EXPECT_FALSE(r.ok());
 }
 
+// Best-effort mode: the same outage that fails strict queries loudly now
+// degrades gracefully — queries return every record the cluster can still
+// serve and name the chunks they could not fetch.
+TEST(FailureTest, BestEffortReadsReturnPartialResultsWithReport) {
+  ExampleData data = MakeChain(20, 10, 3);
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 4;
+  cluster_options.replication_factor = 1;  // no redundancy
+  Cluster cluster(cluster_options);
+  Options options = SmallOptions();
+  options.read_mode = ReadMode::kBestEffort;
+  auto store = RStore::Open(&cluster, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+
+  cluster.SetNodeAlive(1, false);
+  QueryStats stats;
+  int degraded = 0, shorter = 0;
+  for (VersionId v = 0; v < 20; ++v) {
+    QueryDegradation report;
+    auto r = (*store)->GetVersion(v, &stats, nullptr, &report);
+    ASSERT_TRUE(r.ok()) << "V" << v << ": " << r.status().ToString();
+    const size_t full = data.dataset.MaterializeVersion(v).size();
+    EXPECT_LE(r->size(), full);
+    if (report.degraded()) {
+      ++degraded;
+      EXPECT_EQ(report.messages.size(), report.missing_chunks.size());
+      if (r->size() < full) ++shorter;
+      // Whatever was returned is correct, just incomplete.
+      for (const Record& rec : *r) {
+        EXPECT_EQ(rec.payload, data.payloads.at(rec.key));
+      }
+    } else {
+      EXPECT_EQ(r->size(), full);
+    }
+  }
+  EXPECT_GT(degraded, 0);
+  EXPECT_GT(shorter, 0);
+  EXPECT_GT(stats.missing_chunks, 0u);
+
+  // Range queries degrade the same way.
+  QueryDegradation range_report;
+  auto range = (*store)->GetRange(19, "key1000", "key1009", nullptr, nullptr,
+                                  &range_report);
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+
+  // Recovery heals: reports come back empty and results complete.
+  cluster.SetNodeAlive(1, true);
+  for (VersionId v = 0; v < 20; ++v) {
+    QueryDegradation report;
+    auto r = (*store)->GetVersion(v, nullptr, nullptr, &report);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(report.degraded());
+    EXPECT_EQ(r->size(), data.dataset.MaterializeVersion(v).size());
+  }
+}
+
+// Point and history queries have no partial form: best-effort mode leaves
+// them strict (a point lookup is either the record or an error).
+TEST(FailureTest, PointAndHistoryQueriesStayStrictInBestEffortMode) {
+  ExampleData data = MakeChain(20, 10, 3);
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 4;
+  cluster_options.replication_factor = 1;
+  Cluster cluster(cluster_options);
+  Options options = SmallOptions();
+  options.read_mode = ReadMode::kBestEffort;
+  auto store = RStore::Open(&cluster, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+
+  cluster.SetNodeAlive(1, false);
+  int failures = 0;
+  for (int k = 0; k < 10; ++k) {
+    const std::string key = "key" + std::to_string(1000 + k);
+    for (VersionId v = 0; v < 20; v += 4) {
+      auto point = (*store)->GetRecord(key, v);
+      if (!point.ok() && !point.status().IsNotFound()) {
+        ++failures;
+        EXPECT_TRUE(point.status().IsIOError() ||
+                    point.status().IsCorruption())
+            << point.status().ToString();
+      }
+    }
+    // A key's history spans chunks across the whole version range, so the
+    // dead node's share is almost surely needed — and must fail loudly.
+    auto history = (*store)->GetHistory(key);
+    if (!history.ok()) {
+      ++failures;
+      EXPECT_TRUE(history.status().IsIOError() ||
+                  history.status().IsCorruption())
+          << history.status().ToString();
+    }
+  }
+  EXPECT_GT(failures, 0);
+}
+
+// Regression: a commit flushed while a replica was down used to lose those
+// chunk writes on that replica silently — after the other replica died, the
+// "recovered" node served a store with holes. Hinted handoff backfills the
+// recovering replica, so the full version must survive the second outage.
+TEST(FailureTest, CommitDuringReplicaOutageIsHealedByHintedHandoff) {
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 2;
+  cluster_options.replication_factor = 2;
+  Cluster cluster(cluster_options);
+  Options options = SmallOptions();
+  options.online_batch_size = 1;  // flush each commit immediately
+  auto store = RStore::Open(&cluster, options);
+  ASSERT_TRUE(store.ok());
+
+  CommitDelta base;
+  for (int k = 0; k < 8; ++k) {
+    base.upserts.push_back(
+        {{"doc" + std::to_string(k), 0}, "base" + std::to_string(k)});
+  }
+  auto v0 = (*store)->Commit(kInvalidVersion, std::move(base));
+  ASSERT_TRUE(v0.ok());
+
+  // Node 0 is down while the second commit's chunks are written.
+  cluster.SetNodeAlive(0, false);
+  CommitDelta update;
+  update.upserts.push_back({{"doc3", 0}, "updated"});
+  auto v1 = (*store)->Commit(*v0, std::move(update));
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  // Recovery replays the hints; then the *other* replica dies.
+  cluster.SetNodeAlive(0, true);
+  EXPECT_EQ(cluster.PendingHints(0), 0u);
+  cluster.SetNodeAlive(1, false);
+
+  auto records = (*store)->GetVersion(*v1);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ(records->size(), 8u);
+  bool found_updated = false;
+  for (const Record& rec : *records) {
+    if (rec.key.key == "doc3") {
+      found_updated = true;
+      EXPECT_EQ(rec.payload, "updated");
+    }
+  }
+  EXPECT_TRUE(found_updated);
+  EXPECT_GT(cluster.stats().handoff_replays, 0u);
+}
+
 TEST(FailureTest, QueriesOnUnknownVersionsRejected) {
   ExampleData data = MakeChain(5, 5, 1);
   ClusterOptions cluster_options;

@@ -149,6 +149,82 @@ TEST(ObservabilityTest, ChromeTraceExportIsSchemaValid) {
   EXPECT_EQ(simulated_events, q->trace.spans().size());
 }
 
+// Under an active fault schedule the trace gains node<N>.retry<k> and
+// node<N>.hedge children, and the reconciliation contract must still hold
+// exactly: the root's simulated duration is the cluster's charge, every
+// batch charges coordinator overhead plus its latest child event, and no
+// child escapes its parent's interval.
+TEST(ObservabilityTest, FaultPathTraceReconcilesWithCharges) {
+  ClusterOptions cluster_options;
+  cluster_options.replication_factor = 2;
+  cluster_options.faults.default_profile.transient_error_rate = 0.2;
+  // Every request is slow (x10), so every batch group crosses the hedge
+  // threshold deterministically — the hedge path is exercised on each run.
+  // (A one-key group models ~160us of pipelined service, 1600us slowed;
+  // the threshold sits between those, above any un-slowed group.)
+  cluster_options.faults.default_profile.slow_rate = 1.0;
+  cluster_options.faults.default_profile.slow_multiplier = 10.0;
+  cluster_options.latency.hedge_threshold_us = 1000;
+  cluster_options.retry.max_attempts = 4;
+  Cluster cluster(cluster_options);
+  ExampleData data = MakeChain(12, 8, 3);
+  Options options;
+  options.chunk_capacity_bytes = 600;
+  auto store = RStore::Open(&cluster, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+
+  QueryStats stats;
+  TraceContext trace;
+  const uint64_t before = cluster.stats().simulated_micros;
+  auto records = (*store)->GetVersion(11, &stats, &trace);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  const uint64_t charged = cluster.stats().simulated_micros - before;
+
+  const std::vector<TraceSpan>& spans = trace.spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans[0].sim_duration_us(), charged);
+  EXPECT_EQ(stats.simulated_micros, charged);
+
+  const LatencyModel& latency = cluster_options.latency;
+  uint64_t multiget_micros = 0;
+  size_t fault_spans = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.name != "kvs.multiget") continue;
+    multiget_micros += span.sim_duration_us();
+    uint64_t latest_child_end = span.sim_start_us;
+    size_t children = 0;
+    for (const TraceSpan& child : spans) {
+      if (child.parent != span.id) continue;
+      ++children;
+      ASSERT_EQ(child.name.rfind("node", 0), 0u) << child.name;
+      if (child.name.find(".retry") != std::string::npos ||
+          child.name.find(".hedge") != std::string::npos) {
+        ++fault_spans;
+      }
+      // Containment: retries, hedges and abandoned requests all close
+      // inside the batch's charged interval.
+      EXPECT_GE(child.sim_start_us, span.sim_start_us) << child.name;
+      EXPECT_LE(child.sim_end_us, span.sim_end_us) << child.name;
+      latest_child_end = std::max(latest_child_end, child.sim_end_us);
+    }
+    ASSERT_GT(children, 0u);
+    // Exactly coordinator overhead plus the batch's latest event — retry
+    // chains and hedges shift events later, but never invent time the
+    // cluster did not charge.
+    EXPECT_EQ(span.sim_duration_us(),
+              latency.coordinator_overhead_us +
+                  (latest_child_end - span.sim_start_us));
+  }
+  EXPECT_EQ(multiget_micros, charged);
+  // The schedule actually produced retry/hedge sub-spans (the cluster-side
+  // counters agree), so the assertions above covered the fault paths.
+  EXPECT_GT(fault_spans, 0u);
+  const KVStats kv = cluster.stats();
+  EXPECT_GT(kv.retries, 0u);
+  EXPECT_GT(kv.hedges, 0u);
+}
+
 TEST(ObservabilityTest, RegistryCountersFoldIntoStoreReport) {
   MetricsRegistry::Default().ResetForTest();
   auto q = RunTracedGetVersion();

@@ -1,0 +1,175 @@
+// The FaultInjector's contract is determinism: every decision is a pure
+// function of (seed, node, tick, attempt, salt), so a schedule replays the
+// identical fault timeline in every process and on every thread. The chaos
+// equivalence harness (tests/core/chaos_test.cc) stands on these properties.
+
+#include "kvstore/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace rstore {
+namespace {
+
+TEST(FaultInjectorTest, DefaultScheduleIsInert) {
+  FaultInjector injector(FaultInjectorOptions(), 4);
+  EXPECT_FALSE(injector.enabled());
+  for (uint32_t node = 0; node < 4; ++node) {
+    for (uint64_t tick = 0; tick < 16; ++tick) {
+      EXPECT_FALSE(injector.Crashed(node, tick));
+      const FaultDecision d = injector.Decide(node, tick, 0);
+      EXPECT_EQ(d.kind, FaultKind::kOk);
+      EXPECT_EQ(d.slow_multiplier, 1.0);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, AnyFaultEnablesInjection) {
+  FaultInjectorOptions options;
+  options.per_node[2].slow_rate = 0.5;
+  FaultInjector injector(options, 4);
+  EXPECT_TRUE(injector.enabled());
+}
+
+TEST(FaultInjectorTest, DecisionsAreDeterministicAcrossInstances) {
+  FaultInjectorOptions options;
+  options.seed = 0xC0FFEEull;
+  options.default_profile.transient_error_rate = 0.3;
+  options.default_profile.slow_rate = 0.3;
+  options.default_profile.slow_multiplier = 5.0;
+  FaultInjector a(options, 3);
+  FaultInjector b(options, 3);
+  for (uint32_t node = 0; node < 3; ++node) {
+    for (uint64_t tick = 0; tick < 64; ++tick) {
+      for (uint32_t attempt = 0; attempt < 3; ++attempt) {
+        for (uint32_t salt = 0; salt < 4; ++salt) {
+          const FaultDecision da = a.Decide(node, tick, attempt, salt);
+          const FaultDecision db = b.Decide(node, tick, attempt, salt);
+          EXPECT_EQ(da.kind, db.kind);
+          EXPECT_EQ(da.slow_multiplier, db.slow_multiplier);
+          EXPECT_EQ(a.UniformAt(node, tick, attempt, salt),
+                    b.UniformAt(node, tick, attempt, salt));
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultInjectorTest, SeedChangesTheTimeline) {
+  FaultInjectorOptions options;
+  options.default_profile.transient_error_rate = 0.5;
+  FaultInjector a(options, 1);
+  options.seed ^= 0xDEADBEEFull;
+  FaultInjector b(options, 1);
+  int differing = 0;
+  for (uint64_t tick = 0; tick < 256; ++tick) {
+    if (a.Decide(0, tick, 0).kind != b.Decide(0, tick, 0).kind) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, ErrorRateApproximatelyHonored) {
+  FaultInjectorOptions options;
+  options.default_profile.transient_error_rate = 0.25;
+  FaultInjector injector(options, 1);
+  int errors = 0;
+  const int kTrials = 20000;
+  for (int tick = 0; tick < kTrials; ++tick) {
+    if (injector.Decide(0, tick, 0).kind == FaultKind::kTransientError) {
+      ++errors;
+    }
+  }
+  const double rate = static_cast<double>(errors) / kTrials;
+  EXPECT_GT(rate, 0.22);
+  EXPECT_LT(rate, 0.28);
+}
+
+TEST(FaultInjectorTest, SlowDecisionsCarryTheMultiplier) {
+  FaultInjectorOptions options;
+  options.default_profile.slow_rate = 1.0;
+  options.default_profile.slow_multiplier = 8.0;
+  FaultInjector injector(options, 1);
+  for (uint64_t tick = 0; tick < 32; ++tick) {
+    const FaultDecision d = injector.Decide(0, tick, 0);
+    EXPECT_EQ(d.kind, FaultKind::kSlow);
+    EXPECT_EQ(d.slow_multiplier, 8.0);
+  }
+}
+
+TEST(FaultInjectorTest, TransientErrorTakesPriorityOverSlow) {
+  FaultInjectorOptions options;
+  options.default_profile.transient_error_rate = 1.0;
+  options.default_profile.slow_rate = 1.0;
+  options.default_profile.slow_multiplier = 8.0;
+  FaultInjector injector(options, 1);
+  EXPECT_EQ(injector.Decide(0, 0, 0).kind, FaultKind::kTransientError);
+}
+
+TEST(FaultInjectorTest, CrashWindowsAreHalfOpen) {
+  FaultInjectorOptions options;
+  options.default_profile.crash_windows = {{3, 5}, {9, 10}};
+  FaultInjector injector(options, 2);
+  EXPECT_TRUE(injector.enabled());
+  for (uint32_t node = 0; node < 2; ++node) {
+    EXPECT_FALSE(injector.Crashed(node, 2));
+    EXPECT_TRUE(injector.Crashed(node, 3));
+    EXPECT_TRUE(injector.Crashed(node, 4));
+    EXPECT_FALSE(injector.Crashed(node, 5));
+    EXPECT_TRUE(injector.Crashed(node, 9));
+    EXPECT_FALSE(injector.Crashed(node, 10));
+  }
+}
+
+TEST(FaultInjectorTest, ActiveFromTickSparesEarlierOperations) {
+  FaultInjectorOptions options;
+  options.default_profile.transient_error_rate = 1.0;
+  options.default_profile.slow_rate = 1.0;
+  options.default_profile.slow_multiplier = 4.0;
+  options.default_profile.active_from_tick = 100;
+  FaultInjector injector(options, 2);
+  EXPECT_TRUE(injector.enabled());
+  for (uint64_t tick = 0; tick < 100; ++tick) {
+    EXPECT_EQ(injector.Decide(0, tick, 0).kind, FaultKind::kOk) << tick;
+  }
+  // From the activation tick on, rate 1.0 means every attempt faults.
+  for (uint64_t tick = 100; tick < 120; ++tick) {
+    EXPECT_NE(injector.Decide(0, tick, 0).kind, FaultKind::kOk) << tick;
+  }
+}
+
+TEST(FaultInjectorTest, PerNodeProfileReplacesTheDefault) {
+  FaultInjectorOptions options;
+  options.default_profile.transient_error_rate = 1.0;
+  options.per_node[1] = NodeFaultProfile{};  // node 1 is healthy
+  FaultInjector injector(options, 2);
+  EXPECT_EQ(injector.Decide(0, 0, 0).kind, FaultKind::kTransientError);
+  EXPECT_EQ(injector.Decide(1, 0, 0).kind, FaultKind::kOk);
+  EXPECT_EQ(injector.profile(0).transient_error_rate, 1.0);
+  EXPECT_EQ(injector.profile(1).transient_error_rate, 0.0);
+}
+
+TEST(FaultInjectorTest, UniformIsInRangeAndVariesByCoordinate) {
+  FaultInjector injector(FaultInjectorOptions(), 2);
+  int distinct = 0;
+  double last = -1.0;
+  for (uint64_t tick = 0; tick < 128; ++tick) {
+    const double u = injector.UniformAt(0, tick, 0, 0);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    if (u != last) ++distinct;
+    last = u;
+  }
+  EXPECT_GT(distinct, 100);
+  // Salt decorrelates streams at the same (node, tick, attempt).
+  EXPECT_NE(injector.UniformAt(0, 7, 0, 0), injector.UniformAt(0, 7, 0, 1));
+}
+
+TEST(FaultInjectorTest, TickCounterIsMonotonic) {
+  FaultInjector injector(FaultInjectorOptions(), 1);
+  EXPECT_EQ(injector.CurrentTick(), 0u);
+  EXPECT_EQ(injector.NextTick(), 0u);
+  EXPECT_EQ(injector.NextTick(), 1u);
+  EXPECT_EQ(injector.CurrentTick(), 2u);
+}
+
+}  // namespace
+}  // namespace rstore

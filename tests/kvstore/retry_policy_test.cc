@@ -1,0 +1,61 @@
+// RetryPolicy backoff arithmetic: exponential growth, the cap, and the
+// deterministic jitter mapping. All values are simulated micros — the same
+// token must always produce the same backoff, or fault timelines would not
+// replay.
+
+#include "kvstore/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace rstore {
+namespace {
+
+TEST(RetryPolicyTest, ExponentialCurveWithoutJitter) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 500;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 50'000;
+  policy.jitter_fraction = 0.0;
+  EXPECT_EQ(policy.BackoffMicros(1, 0.5), 500u);
+  EXPECT_EQ(policy.BackoffMicros(2, 0.5), 1000u);
+  EXPECT_EQ(policy.BackoffMicros(3, 0.5), 2000u);
+  EXPECT_EQ(policy.BackoffMicros(4, 0.5), 4000u);
+}
+
+TEST(RetryPolicyTest, BackoffIsCappedAtMax) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 500;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 1500;
+  policy.jitter_fraction = 0.0;
+  EXPECT_EQ(policy.BackoffMicros(2, 0.5), 1000u);
+  EXPECT_EQ(policy.BackoffMicros(3, 0.5), 1500u);
+  EXPECT_EQ(policy.BackoffMicros(10, 0.5), 1500u);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinTheConfiguredBand) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 1000;
+  policy.backoff_multiplier = 1.0;
+  policy.jitter_fraction = 0.1;
+  // token 0 maps to -jitter, token -> 1 maps towards +jitter, 0.5 is exact.
+  EXPECT_EQ(policy.BackoffMicros(1, 0.0), 900u);
+  EXPECT_EQ(policy.BackoffMicros(1, 0.5), 1000u);
+  EXPECT_EQ(policy.BackoffMicros(1, 0.999999), 1100u);
+  for (double token = 0.0; token < 1.0; token += 0.05) {
+    const uint64_t backoff = policy.BackoffMicros(1, token);
+    EXPECT_GE(backoff, 900u);
+    EXPECT_LE(backoff, 1100u);
+  }
+}
+
+TEST(RetryPolicyTest, SameTokenSameBackoff) {
+  RetryPolicy policy;
+  for (uint32_t retry = 1; retry < 6; ++retry) {
+    EXPECT_EQ(policy.BackoffMicros(retry, 0.37),
+              policy.BackoffMicros(retry, 0.37));
+  }
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json outputs against committed baselines.
+
+The bench binaries emit flat metric -> value JSON (BENCH_<name>.json). The
+simulated-time metrics in them — names containing "micros" or ending in
+"_ms" — are produced by the deterministic latency model, so they are exactly
+reproducible run-to-run and machine-to-machine: a change is a real modeling
+or code-path change, not noise. This script gates on those metrics only;
+wall-clock metrics (seconds of real CPU) vary by host and are ignored.
+
+A metric regresses when its value grows by more than --threshold (relative,
+default 0.25 = +25%) over the committed baseline in bench/baselines/.
+Improvements and sub-threshold drift are reported but do not fail. Metrics
+missing from the baseline (new benches, new series) warn and pass, so adding
+coverage never blocks a PR; refresh the baseline to start gating them.
+
+Usage:
+  tools/bench_diff.py [--threshold 0.25] [--baselines bench/baselines]
+                      BENCH_a.json [BENCH_b.json ...]
+
+Exit status: 1 when any simulated-time metric regressed, else 0.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def is_simulated_time_metric(name):
+    return "micros" in name or name.endswith("_ms")
+
+
+def load_metrics(path):
+    with open(path) as f:
+        metrics = json.load(f)
+    if not isinstance(metrics, dict):
+        raise ValueError("%s: expected a flat JSON object" % path)
+    return metrics
+
+
+def compare(current_path, baseline_path, threshold):
+    """Returns (regressions, lines) for one bench file pair."""
+    current = load_metrics(current_path)
+    baseline = load_metrics(baseline_path)
+    regressions = 0
+    lines = []
+    for name in sorted(current):
+        if not is_simulated_time_metric(name):
+            continue
+        value = float(current[name])
+        if name not in baseline:
+            lines.append("  NEW      %-45s %14.3f (no baseline)"
+                         % (name, value))
+            continue
+        base = float(baseline[name])
+        if base == 0.0:
+            delta = 0.0 if value == 0.0 else float("inf")
+        else:
+            delta = (value - base) / base
+        tag = "ok"
+        if delta > threshold:
+            tag = "REGRESSED"
+            regressions += 1
+        elif delta < -threshold:
+            tag = "improved"
+        lines.append("  %-8s %-45s %14.3f vs %14.3f  (%+.1f%%)"
+                     % (tag, name, value, base, delta * 100.0))
+    return regressions, lines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_files", nargs="+",
+                        help="BENCH_*.json files produced by this run")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression gate (default 0.25 = +25%%)")
+    parser.add_argument("--baselines",
+                        default=os.path.join(REPO_ROOT, "bench", "baselines"),
+                        help="directory of committed baseline BENCH_*.json")
+    args = parser.parse_args()
+
+    total_regressions = 0
+    compared = 0
+    for path in args.bench_files:
+        name = os.path.basename(path)
+        baseline_path = os.path.join(args.baselines, name)
+        if not os.path.exists(baseline_path):
+            print("%s: no baseline at %s — skipping (commit one to start "
+                  "gating)" % (name, baseline_path))
+            continue
+        try:
+            regressions, lines = compare(path, baseline_path, args.threshold)
+        except (OSError, ValueError, KeyError) as e:
+            print("%s: cannot compare: %s" % (name, e), file=sys.stderr)
+            return 1
+        compared += 1
+        print("%s: %s" % (name,
+                          "%d regression(s)" % regressions
+                          if regressions else "ok"))
+        for line in lines:
+            print(line)
+        total_regressions += regressions
+
+    if not compared:
+        print("bench_diff.py: nothing compared (no baselines found)",
+              file=sys.stderr)
+        return 0
+    if total_regressions:
+        print("\nbench_diff.py: %d simulated-time metric(s) regressed more "
+              "than %.0f%%" % (total_regressions, args.threshold * 100),
+              file=sys.stderr)
+        return 1
+    print("\nbench_diff.py: all simulated-time metrics within %.0f%% of "
+          "baseline" % (args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,12 @@ Enforced rules (over src/ by default):
                   (span clocks) so measurements stay exportable and the
                   simulated clock cannot be confused with the real one.
                   Append `// lint:allow-raw-timing` to a line to suppress.
+  alive-poke      No direct `alive_` access outside src/kvstore/cluster.{h,cc}
+                  and src/kvstore/fault_injector.{h,cc}: node liveness must
+                  flow through SetNodeAlive/IsNodeAlive (which replay hinted
+                  handoffs and keep the fault timeline deterministic), never
+                  by poking the flag vector. Append `// lint:allow-alive-poke`
+                  to a line to suppress.
 
 Usage:
   tools/lint.py [paths...]      # default: src/
@@ -257,6 +263,42 @@ def check_raw_timing(rel_path, text, stripped):
     return violations
 
 
+# Node liveness is owned by the cluster coordinator: SetNodeAlive replays
+# hinted handoffs on recovery, and the fault injector folds crash windows
+# into the same view. Any other code flipping `alive_` directly would skip
+# the replay and silently desynchronize the deterministic fault timeline.
+ALIVE_POKE_RE = re.compile(r"\balive_\b")
+
+ALIVE_POKE_ALLOWLIST = {
+    os.path.join("src", "kvstore", "cluster.h"),
+    os.path.join("src", "kvstore", "cluster.cc"),
+    os.path.join("src", "kvstore", "fault_injector.h"),
+    os.path.join("src", "kvstore", "fault_injector.cc"),
+}
+
+ALIVE_POKE_SUPPRESSION = "lint:allow-alive-poke"
+
+
+def check_alive_poke(rel_path, text, stripped):
+    if rel_path.replace("/", os.sep) in ALIVE_POKE_ALLOWLIST:
+        return []
+    violations = []
+    original_lines = text.splitlines()
+    for idx, line in enumerate(stripped.splitlines()):
+        if not ALIVE_POKE_RE.search(line):
+            continue
+        if idx < len(original_lines) and \
+                ALIVE_POKE_SUPPRESSION in original_lines[idx]:
+            continue
+        violations.append(
+            (idx + 1, "alive-poke",
+             "direct `alive_` access — node liveness goes through "
+             "Cluster::SetNodeAlive/IsNodeAlive so hint replay and the "
+             "fault timeline stay consistent; append `// %s` to suppress"
+             % ALIVE_POKE_SUPPRESSION))
+    return violations
+
+
 CHECKS = [
     ("include-guard", check_include_guard),
     ("naked-new", check_naked_new),
@@ -264,6 +306,7 @@ CHECKS = [
     ("assert", check_assert),
     ("raw-sync", check_raw_sync),
     ("raw-timing", check_raw_timing),
+    ("alive-poke", check_alive_poke),
 ]
 
 
