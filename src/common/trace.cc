@@ -10,8 +10,12 @@ namespace rstore {
 namespace {
 
 int64_t SteadyNowMicros() {
+  // Span timestamps are observability-only: they annotate traces with real
+  // elapsed time and never feed scheduling, retries, or chaos decisions, so
+  // reading the clock here cannot perturb deterministic replay.
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             std::chrono::steady_clock::now()  // analyze:allow-sim-clock-purity
+                 .time_since_epoch())
       .count();
 }
 

@@ -4,11 +4,12 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace rstore {
 namespace {
@@ -41,12 +42,12 @@ TEST(ParallelForTest, EveryIndexRunsExactlyOnce) {
 
 TEST(ParallelForTest, CountBelowThreadCountClampsWorkers) {
   // 3 items with 8 requested threads must spawn at most 3 workers.
-  std::mutex mu;
+  Mutex mu{kLockRankLeaf, "ParallelForTest::mu"};
   std::set<std::thread::id> ids;
   ParallelFor(
       3,
       [&](size_t) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         ids.insert(std::this_thread::get_id());
       },
       8);
@@ -55,12 +56,12 @@ TEST(ParallelForTest, CountBelowThreadCountClampsWorkers) {
 }
 
 TEST(ParallelForTest, MaxThreadsClampsWorkers) {
-  std::mutex mu;
+  Mutex mu{kLockRankLeaf, "ParallelForTest::mu"};
   std::set<std::thread::id> ids;
   ParallelFor(
       200,
       [&](size_t) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         ids.insert(std::this_thread::get_id());
       },
       2);
@@ -71,12 +72,12 @@ TEST(ParallelForTest, WorkStealingCoversAllIndicesAcrossThreads) {
   // The shared counter hands out each index exactly once; per-thread tallies
   // must partition the index space regardless of how the threads interleave.
   constexpr size_t kCount = 400;
-  std::mutex mu;
+  Mutex mu{kLockRankLeaf, "ParallelForTest::mu"};
   std::map<std::thread::id, std::vector<size_t>> per_thread;
   ParallelFor(
       kCount,
       [&](size_t i) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         per_thread[std::this_thread::get_id()].push_back(i);
       },
       4);

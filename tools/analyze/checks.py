@@ -1,0 +1,272 @@
+"""The three whole-program checks over a linked callgraph.Program.
+
+Each finding is a dict:
+
+  {"check": ..., "fingerprint": ...,        # stable id (no line numbers)
+   "file": ..., "line": ..., "function": ...,
+   "message": ...,                          # one-line human summary
+   "chain": [ {file, line, function, note}, ... ]}   # acquisition → violation
+
+Suppression: a `// analyze:allow-<check>` comment on the anchor line of a
+finding (the acquire or call being reported) drops it; for sim-clock-purity
+and blocking-under-lock an allow on the *leaf* line (the clock read, the
+callback invocation) additionally stops that event from propagating up at
+all, which is the right place to bless an intentionally-impure helper once
+instead of at every root that reaches it.
+"""
+
+import re
+
+from facts import finding_fingerprint
+
+ROOT_QUAL_RE = re.compile(
+    r"^(Cluster|FaultInjector|RetryPolicy|LatencyModel|QueryProcessor)::")
+
+CHECK_LOCK_RANK = "lock-rank-static"
+CHECK_BLOCKING = "blocking-under-lock"
+CHECK_SIM_CLOCK = "sim-clock-purity"
+
+ALL_CHECKS = (CHECK_LOCK_RANK, CHECK_BLOCKING, CHECK_SIM_CLOCK)
+
+
+def run_checks(program):
+    findings = []
+    findings += check_lock_rank(program)
+    findings += check_blocking_under_lock(program)
+    findings += check_sim_clock_purity(program)
+    findings.sort(key=lambda f: (f["check"], f["file"], f["line"],
+                                 f["fingerprint"]))
+    return findings
+
+
+def _allowed(event, check):
+    return check in event.get("allow", ())
+
+
+def _finding(check, func, line, message, chain, parts):
+    return {
+        "check": check,
+        "fingerprint": finding_fingerprint(check, parts),
+        "file": func.file,
+        "line": line,
+        "function": func.qual,
+        "message": message,
+        "chain": chain,
+    }
+
+
+def _min_held(held_refs):
+    """(expr, LockRef) of the lowest-ranked lock currently held."""
+    return min(held_refs, key=lambda er: er[1].rank)
+
+
+# -- lock-rank-static --------------------------------------------------------
+
+def check_lock_rank(program):
+    """Lock ranks must strictly decrease along every acquisition path.
+
+    Direct: acquiring rank b while holding rank a with b >= a (b == a also
+    covers re-entrant self-locking). Transitive: calling, while holding rank
+    a, a function whose may-acquire set contains any rank >= a.
+    """
+    findings = []
+    seen = set()
+    for f in program.functions:
+        for event, ref in f.acquires:
+            if _allowed(event, CHECK_LOCK_RANK):
+                continue
+            held = program.resolve_held(f, event)
+            for expr, held_ref in held:
+                if ref.rank < held_ref.rank:
+                    continue
+                if held_ref.qual == ref.qual:
+                    what = "re-acquires %s (rank %d) it already holds" % (
+                        ref.qual, ref.rank)
+                else:
+                    what = ("holding %s (rank %d) acquires %s (rank %d)"
+                            % (held_ref.qual, held_ref.rank,
+                               ref.qual, ref.rank))
+                chain = [{"file": f.file, "line": event["line"],
+                          "function": f.qual,
+                          "note": "acquires %s" % ref}]
+                fnd = _finding(CHECK_LOCK_RANK, f, event["line"],
+                               "%s %s" % (f.qual, what), chain,
+                               [f.qual, held_ref.qual, ref.qual])
+                if fnd["fingerprint"] not in seen:
+                    seen.add(fnd["fingerprint"])
+                    findings.append(fnd)
+        for event, targets in f.callees:
+            if _allowed(event, CHECK_LOCK_RANK):
+                continue
+            held = program.resolve_held(f, event)
+            if not held:
+                continue
+            _expr, low = _min_held(held)
+            for g in targets:
+                for rank in sorted(g.may_acquire):
+                    if rank < low.rank:
+                        continue
+                    acq_ref, _w = g.may_acquire[rank]
+                    chain = [{"file": f.file, "line": event["line"],
+                              "function": f.qual,
+                              "note": "holding %s (rank %d), calls %s"
+                                      % (low.qual, low.rank, g.qual)}]
+                    chain += program.acquire_chain(g, rank)
+                    fnd = _finding(
+                        CHECK_LOCK_RANK, f, event["line"],
+                        "%s holding %s (rank %d) may reach acquisition of "
+                        "%s (rank %d) via %s"
+                        % (f.qual, low.qual, low.rank, acq_ref.qual,
+                           acq_ref.rank, g.qual),
+                        chain, [f.qual, low.qual, acq_ref.qual, g.qual])
+                    if fnd["fingerprint"] not in seen:
+                        seen.add(fnd["fingerprint"])
+                        findings.append(fnd)
+    return findings
+
+
+# -- blocking-under-lock -----------------------------------------------------
+
+def check_blocking_under_lock(program):
+    """No lock may be held across a potentially-unbounded operation: a user
+    callback, a KVStore backend data call, or a CondVar wait on a different
+    mutex. This is the Scan bug class (a Scan callback re-entering the store
+    while the store's own mutex was held deadlocked the node)."""
+    findings = []
+    seen = set()
+    for f in program.functions:
+        for event in f.events:
+            kind = event["kind"]
+            if kind == "callback":
+                if _allowed(event, CHECK_BLOCKING):
+                    continue
+                held = program.resolve_held(f, event)
+                if not held:
+                    continue
+                _e, low = _min_held(held)
+                chain = [{"file": f.file, "line": event["line"],
+                          "function": f.qual,
+                          "note": "holding %s, invokes user callback '%s'"
+                                  % (low.qual, event["callee"])}]
+                fnd = _finding(
+                    CHECK_BLOCKING, f, event["line"],
+                    "%s invokes user callback '%s' while holding %s"
+                    % (f.qual, event["callee"], low.qual),
+                    chain, [f.qual, low.qual, "callback:" + event["callee"]])
+                _add(findings, seen, fnd)
+            elif kind == "condvar_wait":
+                if _allowed(event, CHECK_BLOCKING):
+                    continue
+                held = program.resolve_held(f, event)
+                wait_mu = program.resolve_lock(f, event["mutex"])
+                others = [(e, r) for e, r in held
+                          if wait_mu is None or r.qual != wait_mu.qual]
+                if not others:
+                    continue  # Wait(mu) holding only mu is the legal pattern.
+                _e, low = _min_held(others)
+                chain = [{"file": f.file, "line": event["line"],
+                          "function": f.qual,
+                          "note": "holding %s, waits on CondVar with %s"
+                                  % (low.qual, event["mutex"])}]
+                fnd = _finding(
+                    CHECK_BLOCKING, f, event["line"],
+                    "%s waits on a CondVar (mutex %s) while also holding %s"
+                    % (f.qual, event["mutex"], low.qual),
+                    chain, [f.qual, low.qual, "condvar:" + event["mutex"]])
+                _add(findings, seen, fnd)
+        for event, targets in f.callees:
+            if _allowed(event, CHECK_BLOCKING):
+                continue
+            held = program.resolve_held(f, event)
+            if not held:
+                continue
+            _e, low = _min_held(held)
+            for g in targets:
+                if not g.blocking:
+                    continue
+                kind, _w = g.blocking
+                chain = [{"file": f.file, "line": event["line"],
+                          "function": f.qual,
+                          "note": "holding %s (rank %d), calls %s"
+                                  % (low.qual, low.rank, g.qual)}]
+                chain += program.blocking_chain(g)
+                leaf = chain[-1]["note"] if chain else kind
+                fnd = _finding(
+                    CHECK_BLOCKING, f, event["line"],
+                    "%s holding %s may reach a blocking operation via %s "
+                    "(%s)" % (f.qual, low.qual, g.qual, leaf),
+                    chain, [f.qual, low.qual, g.qual,
+                            chain[-1]["function"] if chain else kind])
+                _add(findings, seen, fnd)
+    return findings
+
+
+# -- sim-clock-purity --------------------------------------------------------
+
+def check_sim_clock_purity(program):
+    """Deterministic-simulation surfaces (Cluster, FaultInjector, RetryPolicy,
+    LatencyModel, QueryProcessor, plus `// analyze:root`-marked functions)
+    must not reach wall-clock reads or unseeded randomness — replayable chaos
+    schedules (DESIGN.md "Fault-tolerant coordination") depend on it."""
+    impure = {}  # Function -> (event-or-None, callee-or-None, what)
+    for f in program.functions:
+        for event in f.events:
+            if event["kind"] in ("wall_clock", "random"):
+                if _allowed(event, CHECK_SIM_CLOCK):
+                    continue
+                impure[f] = (event, None, event["what"])
+                break
+    changed = True
+    while changed:
+        changed = False
+        for f in program.functions:
+            if f in impure:
+                continue
+            for event, targets in f.callees:
+                if _allowed(event, CHECK_SIM_CLOCK):
+                    continue
+                for g in targets:
+                    if g in impure:
+                        impure[f] = (event, g, impure[g][2])
+                        changed = True
+                        break
+                if f in impure:
+                    break
+
+    findings = []
+    seen = set()
+    for f in program.functions:
+        if f not in impure:
+            continue
+        if not (f.root or ROOT_QUAL_RE.match(f.qual)):
+            continue
+        chain = []
+        cur, guard = f, 0
+        while cur is not None and guard < 64:
+            guard += 1
+            event, callee, what = impure[cur]
+            if callee is None:
+                chain.append({"file": cur.file, "line": event["line"],
+                              "function": cur.qual,
+                              "note": "uses %s" % what})
+                break
+            chain.append({"file": cur.file, "line": event["line"],
+                          "function": cur.qual,
+                          "note": "calls %s" % callee.qual})
+            cur = callee
+        what = impure[f][2]
+        leaf = chain[-1]["function"] if chain else f.qual
+        anchor = chain[0]["line"] if chain else f.line
+        fnd = _finding(
+            CHECK_SIM_CLOCK, f, anchor,
+            "%s (deterministic-path root) may reach %s in %s"
+            % (f.qual, what, leaf),
+            chain, [f.qual, leaf, what])
+        _add(findings, seen, fnd)
+    return findings
+
+
+def _add(findings, seen, fnd):
+    if fnd["fingerprint"] not in seen:
+        seen.add(fnd["fingerprint"])
+        findings.append(fnd)

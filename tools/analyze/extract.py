@@ -1,0 +1,569 @@
+"""Portable (pure-Python) fact-extraction frontend.
+
+Parses one C++ file into the facts schema of facts.py without a compiler:
+a line-preserving comment/string stripper, a brace-matching structural scan
+(namespaces, classes, enums, function definitions), and a per-body event
+scan (lock acquisitions, calls, callback invocations, clock/random uses).
+
+This is not a C++ parser; it is tuned to this repository's idiom, which the
+repo lint (tools/lint.py) and clang-format keep uniform:
+
+  * locks are the annotated primitives from common/sync.h, acquired via the
+    RAII guards (`MutexLock lock(mu_);`) or, rarely, manual `mu.Lock()`;
+  * every Mutex/SharedMutex is declared with a kLockRank* constant;
+  * callbacks are `std::function` parameters (or a `using` alias of one);
+  * one class per qualified name, CamelCase methods, snake_case members.
+
+The libclang frontend (extract_clang.py) produces the same facts with exact
+name resolution and is preferred when python3-clang is installed; this
+frontend is the portable fallback and the deterministic CI gate until the
+two provably agree (see DESIGN.md "Static analysis").
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from lint import strip_comments_and_strings  # noqa: E402  (tools/lint.py)
+
+import facts  # noqa: E402
+
+EXTRACTOR_NAME = "python"
+EXTRACTOR_VERSION = 1
+
+# Keywords that can precede a '(' without being a call.
+NON_CALL_KEYWORDS = frozenset("""
+    if for while switch return sizeof alignof decltype noexcept catch
+    static_cast dynamic_cast reinterpret_cast const_cast typeid new delete
+    throw case co_await co_return co_yield assert defined alignas
+""".split())
+
+# Keywords that may legitimately precede a call expression, so the
+# "identifier whitespace identifier(" declaration heuristic must not fire.
+PRE_CALL_KEYWORDS = frozenset(
+    "return else do case throw co_return co_yield".split())
+
+# Statement-ish keywords that disqualify a block header from being a
+# class/struct/function definition.
+CONTROL_KEYWORDS = frozenset(
+    "if else for while switch do try catch".split())
+
+RAII_GUARDS = {"MutexLock": "MutexLock",
+               "ReaderLock": "ReaderLock",
+               "WriterLock": "WriterLock"}
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\bclock\s*\(\s*\)"
+    r"|(?<![\w:])time\s*\(|\blocaltime\s*\(|\bgmtime\s*\(|\bStopwatch\b")
+
+RANDOM_RE = re.compile(
+    r"\brandom_device\b|(?<![\w:.])s?rand\s*\("
+    r"|\b(mt19937(?:_64)?|default_random_engine|minstd_rand0?)\s+\w+\s*[;{]")
+
+ALLOW_MARKER_RE = re.compile(r"analyze:allow-([\w-]+)")
+ROOT_MARKER_RE = re.compile(r"analyze:root\b")
+
+MUTEX_DECL_RE = re.compile(
+    r"\b(Mutex|SharedMutex)\s+(\w+)\s*(?:\{\s*(kLockRank\w+)[^}]*\})?\s*;")
+
+RAII_ACQUIRE_RE = re.compile(
+    r"\b(MutexLock|ReaderLock|WriterLock)\s+\w+\s*[({]\s*([^;)}]+?)\s*[)}]")
+
+CALL_RE = re.compile(r"((?:[A-Za-z_]\w*\s*::\s*)*)([A-Za-z_]\w*)\s*\(")
+
+ALIAS_RE = re.compile(r"\busing\s+(\w+)\s*=\s*std\s*::\s*function\s*<")
+
+ENUM_CONST_RE = re.compile(r"\b(kLockRank\w+)\s*=\s*(\d+)")
+
+GUARD_ATTR_RE = re.compile(r"RSTORE_[A-Z_]+\s*\([^()]*\)")
+
+
+def _blank_preprocessor(text):
+    """Blanks out preprocessor directives (incl. line continuations),
+    preserving line breaks so offsets stay stable."""
+    lines = text.split("\n")
+    in_directive = False
+    for i, line in enumerate(lines):
+        stripped = line.lstrip()
+        if in_directive or stripped.startswith("#"):
+            in_directive = line.rstrip().endswith("\\")
+            lines[i] = " " * len(line)
+        else:
+            in_directive = False
+    return "\n".join(lines)
+
+
+def _line_markers(text):
+    """Per-line analyze: markers, read from the original (uncommented) text."""
+    allow = {}
+    roots = set()
+    for idx, line in enumerate(text.splitlines()):
+        checks = ALLOW_MARKER_RE.findall(line)
+        if checks:
+            allow[idx + 1] = checks
+        if ROOT_MARKER_RE.search(line):
+            roots.add(idx + 1)
+    return allow, roots
+
+
+def _depth_and_lines(text):
+    """Per-offset {}-depth (depth AFTER processing the char) and line number
+    arrays for the stripped text."""
+    depth = [0] * len(text)
+    line = [1] * len(text)
+    d = 0
+    ln = 1
+    for i, c in enumerate(text):
+        if c == "{":
+            d += 1
+        elif c == "}":
+            d = max(0, d - 1)
+        elif c == "\n":
+            ln += 1
+        depth[i] = d
+        line[i] = ln
+    return depth, line
+
+
+def _matching_paren(text, open_pos):
+    """Offset of the ')' matching the '(' at open_pos, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _split_top_commas(text):
+    out = []
+    depth = 0
+    start = 0
+    for i, c in enumerate(text):
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            out.append(text[start:i])
+            start = i + 1
+    out.append(text[start:])
+    return [p.strip() for p in out if p.strip()]
+
+
+FUNC_NAME_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*(?:operator\s*[^\s\w(]+|~?[A-Za-z_]\w*))\s*$")
+
+
+def _strip_ns(qual):
+    """Drops the project namespace prefix: names are unique without it."""
+    for ns in ("rstore::", "std::"):
+        if qual.startswith(ns):
+            qual = qual[len(ns):]
+    return qual
+
+
+class _Scope:
+    __slots__ = ("kind", "name", "header_start", "body_start")
+
+    def __init__(self, kind, name, header_start, body_start):
+        self.kind = kind          # ns | class | enum | function | block
+        self.name = name
+        self.header_start = header_start
+        self.body_start = body_start
+
+
+def extract_file(abs_path, rel_path):
+    """Extracts facts from one C++ file. Never raises on weird code; the
+    worst case is missing events (documented approximation, see DESIGN.md)."""
+    with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
+        original = f.read()
+
+    allow_by_line, root_lines = _line_markers(original)
+    text = _blank_preprocessor(strip_comments_and_strings(original))
+    depth, line_of = _depth_and_lines(text)
+
+    out = {
+        "schema": facts.SCHEMA_VERSION,
+        "tu": rel_path,
+        "extractor": EXTRACTOR_NAME,
+        "ranks": {},
+        "aliases": ALIAS_RE.findall(text),
+        "classes": {},
+        "mutexes": [],
+        "functions": [],
+    }
+
+    file_tag = os.path.basename(rel_path)
+    scope_stack = []          # _Scope entries for every open '{'
+    stmt_start = 0            # start offset of the current statement
+
+    def class_context():
+        names = [s.name for s in scope_stack if s.kind == "class"]
+        return "::".join(names)
+
+    def in_function():
+        return any(s.kind == "function" for s in scope_stack)
+
+    def classify_header(header, open_pos):
+        """What does the '{' at open_pos open, given its header text?"""
+        header = header.strip()
+        first_word = re.match(r"[A-Za-z_]\w*", header)
+        if first_word and first_word.group(0) in CONTROL_KEYWORDS:
+            return ("block", None)
+        if re.match(r"namespace\b", header):
+            m = re.match(r"namespace\s+(\w+)", header)
+            return ("ns", m.group(1) if m else "<anon>")
+        m = re.search(r"\benum\s+(?:class\s+|struct\s+)?(\w+)", header)
+        if m and "(" not in header:
+            return ("enum", m.group(1))
+        m = re.search(
+            r"\b(?:class|struct)\s+(?:RSTORE_\w+\s*(?:\([^)]*\))?\s*)*(\w+)"
+            r"\s*(?:final\s*)?(?::|$)", header)
+        if m and not header.rstrip().endswith(")"):
+            bases = re.findall(
+                r"(?:public|protected|private)\s+([\w:]+)",
+                header.split(":", 1)[1] if ":" in header else "")
+            return ("class", (m.group(1), [_strip_ns(b) for b in bases]))
+        # Function definition: a top-level '(' whose matching ')' is followed
+        # (modulo qualifiers/init-list) by this '{'.
+        paren = header.find("(")
+        if paren == -1:
+            return ("block", None)
+        m = FUNC_NAME_RE.search(header[:paren].rstrip())
+        if not m:
+            return ("block", None)
+        name = re.sub(r"\s+", "", m.group(1))
+        if name in NON_CALL_KEYWORDS or name in CONTROL_KEYWORDS:
+            return ("block", None)
+        close = _matching_paren(header, paren)
+        params = header[paren + 1:close] if close != -1 else ""
+        return ("function", (name, params))
+
+    # ---- structural scan ---------------------------------------------------
+
+    pending_functions = []    # (scope, qual, cls, params, body_start)
+
+    for i, c in enumerate(text):
+        if c == "{":
+            header = text[stmt_start:i]
+            if in_function():
+                scope_stack.append(_Scope("block", None, stmt_start, i + 1))
+            else:
+                kind, payload = classify_header(header, i)
+                if kind == "class":
+                    name, bases = payload
+                    qual = (class_context() + "::" + name
+                            if class_context() else name)
+                    out["classes"].setdefault(
+                        qual, {"bases": [], "members": {}})
+                    out["classes"][qual]["bases"] = bases
+                    scope_stack.append(_Scope("class", name, stmt_start, i + 1))
+                elif kind == "function":
+                    name, params = payload
+                    name = _strip_ns(name)
+                    cls = class_context()
+                    if "::" in name:
+                        # Out-of-class definition: Class::Method.
+                        cls_part, _, base = name.rpartition("::")
+                        cls = cls_part if not cls else cls + "::" + cls_part
+                        qual = cls + "::" + base
+                    elif cls:
+                        qual = cls + "::" + name
+                    else:
+                        # Free/static helper: qualify by file so same-named
+                        # helpers in different TUs stay distinct.
+                        qual = file_tag + "::" + name
+                    sc = _Scope("function", qual, stmt_start, i + 1)
+                    scope_stack.append(sc)
+                    pending_functions.append((sc, qual, cls, params, i + 1))
+                elif kind == "block":
+                    # Outside any function, a bare '{' is a brace initializer
+                    # (`Mutex mu_{kLockRank..., "..."};`, constexpr arrays).
+                    # Keep the statement open so the terminating ';' hands the
+                    # whole declaration to _class_statement.
+                    scope_stack.append(_Scope("init", None, stmt_start, i + 1))
+                    continue
+                else:
+                    scope_stack.append(
+                        _Scope(kind, payload if isinstance(payload, str)
+                               else None, stmt_start, i + 1))
+            stmt_start = i + 1
+        elif c == "}":
+            if scope_stack:
+                sc = scope_stack.pop()
+                if sc.kind == "init":
+                    continue  # initializer: statement continues to its ';'
+                if sc.kind == "function":
+                    _emit_function(out, text, original, sc, i,
+                                   pending_functions, depth, line_of,
+                                   allow_by_line, root_lines)
+                elif sc.kind == "enum":
+                    for name, value in ENUM_CONST_RE.findall(
+                            text[sc.body_start:i]):
+                        out["ranks"][name] = int(value)
+            stmt_start = i + 1
+        elif c == ";":
+            if not in_function():
+                _class_statement(out, text[stmt_start:i + 1],
+                                 class_context(), line_of[i])
+            stmt_start = i + 1
+
+    return out
+
+
+def _class_statement(out, stmt, cls, line):
+    """Member declarations at class scope: mutexes and typed members."""
+    if not cls:
+        return
+    stmt = GUARD_ATTR_RE.sub(" ", stmt).strip()
+    if not stmt or stmt.startswith(("using", "friend", "typedef", "template")):
+        return
+    m = MUTEX_DECL_RE.search(stmt)
+    if m and "(" not in stmt[:m.start()]:
+        kind, name, rank_const = m.group(1), m.group(2), m.group(3)
+        out["mutexes"].append({
+            "member": name, "cls": cls, "kind": kind,
+            "rank_const": rank_const or "kLockRankLeaf", "line": line,
+        })
+        return
+    if "(" in stmt:
+        return  # method declaration, not a data member
+    dm = re.match(r"(?:mutable\s+|static\s+|constexpr\s+|inline\s+|const\s+)*"
+                  r"(.+?)\s+(\w+)\s*(?:\{[^;]*\})?\s*(?:=[^;]*)?;$", stmt)
+    if dm:
+        out["classes"].setdefault(cls, {"bases": [], "members": {}})
+        out["classes"][cls]["members"][dm.group(2)] = dm.group(1)
+
+
+def _callback_params(params_text, aliases):
+    """Names of parameters whose type is std::function (or an alias)."""
+    names = []
+    for param in _split_top_commas(params_text):
+        param = param.split("=", 1)[0].strip()
+        is_cb = "std::function" in param.replace(" ", "").replace(
+            "std ::", "std::") or "function<" in param
+        if not is_cb:
+            head = param.split("<", 1)[0]
+            is_cb = any(re.search(r"\b%s\b" % re.escape(a), head)
+                        for a in aliases)
+        if not is_cb:
+            continue
+        pm = re.search(r"(\w+)\s*$", param)
+        if pm and pm.group(1) not in ("function",):
+            names.append(pm.group(1))
+    return names
+
+
+def _receiver_before(body, pos):
+    """The receiver expression for a call at `pos`, e.g. "nodes_[node]" for
+    `nodes_[node]->Put(`; empty string for a free call."""
+    j = pos - 1
+    while j >= 0 and body[j].isspace():
+        j -= 1
+    if j < 0:
+        return ""
+    if body[j] == "." :
+        end = j - 1
+    elif j >= 1 and body[j - 1:j + 1] == "->":
+        end = j - 2
+    else:
+        return ""
+    # Walk back over an identifier chain with balanced [...] / (...) groups
+    # and '->' / '::' / '.' connectors.
+    group_depth = 0
+    start = end
+    while start >= 0:
+        ch = body[start]
+        if ch in ")]":
+            group_depth += 1
+        elif ch in "([":
+            if group_depth == 0:
+                break
+            group_depth -= 1
+        elif group_depth == 0 and not (ch.isalnum() or ch in "_."):
+            if ch == ">" and start >= 1 and body[start - 1] == "-":
+                start -= 1
+            elif ch == ":" and start >= 1 and body[start - 1] == ":":
+                start -= 1
+            else:
+                break
+        start -= 1
+    return body[start + 1:end + 1].strip()
+
+
+def _base_identifier(expr):
+    m = re.match(r"\s*[&*]*\s*([A-Za-z_]\w*)", expr)
+    return m.group(1) if m else ""
+
+
+def _emit_function(out, text, original, scope, close_pos, pending,
+                   depth, line_of, allow_by_line, root_lines):
+    """Builds the function record (with body events) for a just-closed
+    function scope."""
+    rec = None
+    for entry in reversed(pending):
+        if entry[0] is scope:
+            rec = entry
+            break
+    if rec is None:
+        return
+    pending.remove(rec)
+    _, qual, cls, params, body_start = rec
+    body = text[body_start:close_pos]
+    base_depth = depth[body_start - 1]  # depth inside the body
+    header_line = line_of[scope.header_start]
+    body_first_line = line_of[body_start - 1]
+
+    func = {
+        "qual": qual,
+        "cls": cls,
+        "file": out["tu"],
+        "line": header_line,
+        # // analyze:root goes on the line above the signature, on the
+        # signature line itself, or on the body's first line.
+        "root": any(header_line - 1 <= ln <= body_first_line + 1
+                    for ln in root_lines),
+        "callback_params": _callback_params(params, out["aliases"]),
+        "local_mutexes": {},
+        "events": [],
+    }
+
+    def ev_line(off):
+        return line_of[body_start + off]
+
+    def ev_depth(off):
+        return depth[body_start + off]
+
+    def allow_at(off):
+        return allow_by_line.get(ev_line(off), [])
+
+    # Local mutex declarations (e.g. ParallelFor's error_mu).
+    for m in MUTEX_DECL_RE.finditer(body):
+        func["local_mutexes"][m.group(2)] = m.group(3) or "kLockRankLeaf"
+
+    # -- acquisitions: RAII guards, with their release offsets -------------
+    acquires = []  # (start_off, release_off, lock_expr, how)
+    for m in RAII_ACQUIRE_RE.finditer(body):
+        d = ev_depth(m.start())
+        release = len(body)
+        for j in range(m.end(), len(body)):
+            if depth[body_start + j] < d:
+                release = j
+                break
+        acquires.append((m.start(), release, m.group(2).strip(), m.group(1)))
+
+    # Manual mu.Lock()/mu.LockShared() ... mu.Unlock() pairs (rare).
+    for m in re.finditer(r"([\w.\[\]>-]+)\s*[.>-]\s*(Lock|LockShared)\s*\(\s*\)",
+                         body):
+        recv = m.group(1).rstrip(".->")
+        release = len(body)
+        um = re.search(re.escape(recv) + r"\s*[.>-]+\s*Unlock(?:Shared)?\s*\(",
+                       body[m.end():])
+        if um:
+            release = m.end() + um.start()
+        acquires.append((m.start(), release, recv, m.group(2)))
+
+    acquires.sort()
+
+    def held_at(off):
+        return [expr for (a, r, expr, _how) in acquires if a < off < r]
+
+    for (a, _r, expr, how) in acquires:
+        func["events"].append({
+            "kind": "acquire", "lock": expr, "how": how,
+            "line": ev_line(a), "held": held_at(a), "allow": allow_at(a),
+        })
+
+    # -- calls, callback invocations, condvar waits ------------------------
+    for m in CALL_RE.finditer(body):
+        quals = re.sub(r"\s+", "", m.group(1) or "")
+        callee = m.group(2)
+        pos = m.start(1) if m.group(1) else m.start(2)
+        if callee in NON_CALL_KEYWORDS or callee in CONTROL_KEYWORDS:
+            continue
+        if callee in RAII_GUARDS or callee in ("Lock", "LockShared",
+                                               "Unlock", "UnlockShared"):
+            continue  # handled as acquisitions above
+        recv = _receiver_before(body, pos)
+
+        # Declaration heuristic: `Type name(args)` — emit the TYPE as a
+        # constructor call instead of the variable name.
+        is_decl_ctor = False
+        j = pos - 1
+        while j >= 0 and body[j].isspace():
+            j -= 1
+        if j >= 0 and (body[j].isalnum() or body[j] == "_") and not recv:
+            pm = re.search(r"([A-Za-z_]\w*)\s*$", body[:j + 1])
+            prev_tok = pm.group(1) if pm else ""
+            if prev_tok and prev_tok not in PRE_CALL_KEYWORDS:
+                if prev_tok in NON_CALL_KEYWORDS:
+                    continue
+                # Declaration: the call-like token is the variable name; the
+                # preceding type may be a project class whose constructor
+                # runs here. RAII guards were already emitted as acquires.
+                if prev_tok in RAII_GUARDS:
+                    continue
+                if prev_tok[0].isupper():
+                    callee, quals, is_decl_ctor = prev_tok, "", True
+                else:
+                    continue
+
+        if quals.startswith("std::") or quals.startswith("::"):
+            continue
+
+        args_open = m.end() - 1
+        args_close = _matching_paren(body, args_open)
+        args = body[args_open + 1:args_close] if args_close != -1 else ""
+
+        if callee == "Wait" and recv:
+            arg_list = _split_top_commas(args)
+            func["events"].append({
+                "kind": "condvar_wait", "cv": recv,
+                "mutex": arg_list[0] if arg_list else "",
+                "line": ev_line(pos), "held": held_at(pos),
+                "allow": allow_at(pos),
+            })
+            continue
+
+        if not recv and callee in func["callback_params"]:
+            func["events"].append({
+                "kind": "callback", "callee": callee,
+                "line": ev_line(pos), "held": held_at(pos),
+                "allow": allow_at(pos),
+            })
+            continue
+
+        # Drop receiver-qualified lower-case calls with unknown receivers at
+        # resolution time, not here; the analysis stage has the type tables.
+        func["events"].append({
+            "kind": "call", "callee": callee, "quals": quals, "recv": recv,
+            "is_decl_ctor": is_decl_ctor,
+            "line": ev_line(pos), "held": held_at(pos),
+            "allow": allow_at(pos),
+        })
+
+    # -- wall clock / randomness -------------------------------------------
+    for m in WALL_CLOCK_RE.finditer(body):
+        pos = m.start()
+        func["events"].append({
+            "kind": "wall_clock", "what": m.group(0).strip().rstrip("("),
+            "line": ev_line(pos), "held": held_at(pos),
+            "allow": allow_at(pos),
+        })
+    for m in RANDOM_RE.finditer(body):
+        pos = m.start()
+        func["events"].append({
+            "kind": "random", "what": m.group(0).strip().rstrip("("),
+            "line": ev_line(pos), "held": held_at(pos),
+            "allow": allow_at(pos),
+        })
+
+    func["events"].sort(key=lambda e: e["line"])
+    out["functions"].append(func)

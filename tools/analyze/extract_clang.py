@@ -1,0 +1,352 @@
+"""libclang (clang.cindex) fact-extraction frontend.
+
+Produces the same facts schema as extract.py but from a real AST, so name
+resolution is exact: every call event carries the fully-qualified name of
+the callee the compiler resolved, and the analysis stage's heuristics only
+kick in for the few edges clang cannot see either (calls through erased
+std::function members).
+
+Requires python3-clang + libclang (CI installs them; the dev container may
+not have them). run.py probes require_usable() and falls back to the
+portable frontend, which remains the deterministic gate until the two
+frontends provably agree on src/ (compared in CI as an advisory step).
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import facts  # noqa: E402
+from extract import _line_markers  # noqa: E402  (same marker syntax)
+
+EXTRACTOR_NAME = "clang"
+EXTRACTOR_VERSION = 1
+
+RAII_GUARDS = ("MutexLock", "ReaderLock", "WriterLock")
+MUTEX_TYPES = ("Mutex", "SharedMutex")
+
+WALL_CLOCK_CALLS = ("steady_clock", "system_clock", "high_resolution_clock")
+WALL_CLOCK_FREE = ("gettimeofday", "clock_gettime", "time", "localtime",
+                   "gmtime", "clock")
+RANDOM_DECLS = ("random_device",)
+RANDOM_FREE = ("rand", "srand")
+UNSEEDED_ENGINES = ("mt19937", "mt19937_64", "default_random_engine",
+                    "minstd_rand", "minstd_rand0")
+
+_index = None
+
+
+def require_usable():
+    """Raises if clang.cindex or libclang is missing/unloadable."""
+    global _index
+    import clang.cindex  # noqa: F401
+    if _index is None:
+        _index = clang.cindex.Index.create()
+
+
+def _cursor_kinds():
+    from clang.cindex import CursorKind
+    return CursorKind
+
+
+def _compile_args(abs_path):
+    """Compiler args for this TU from compile_commands.json; a generic
+    header-parsing command line otherwise."""
+    tools_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if tools_dir not in sys.path:
+        sys.path.insert(0, tools_dir)
+    import compile_commands as ccdb
+    db = ccdb.find_database()
+    if db and abs_path.endswith(".cc"):
+        for entry in ccdb.load_entries(db):
+            if os.path.normpath(entry["file"]) == os.path.normpath(abs_path):
+                argv = entry.get("arguments")
+                if not argv:
+                    argv = entry.get("command", "").split()
+                args = []
+                skip = False
+                for a in argv[1:]:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-c", abs_path):
+                        continue
+                    if a == "-o":
+                        skip = True
+                        continue
+                    args.append(a)
+                return args
+    repo_root = os.path.dirname(tools_dir)
+    return ["-x", "c++", "-std=c++20", "-I", os.path.join(repo_root, "src"),
+            "-I", repo_root]
+
+
+def _strip_ns(name):
+    for ns in ("rstore::", "std::"):
+        if name.startswith(ns):
+            name = name[len(ns):]
+    return name
+
+
+def _qualified(cursor):
+    """Fully-qualified name with the project namespace stripped."""
+    parts = []
+    c = cursor
+    ck = _cursor_kinds()
+    while c is not None and c.kind != ck.TRANSLATION_UNIT:
+        if c.spelling and c.kind != ck.UNEXPOSED_DECL:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    parts.reverse()
+    return _strip_ns("::".join(parts))
+
+
+def _tokens_text(cursor):
+    return " ".join(t.spelling for t in cursor.get_tokens())
+
+
+def _extent_offsets(cursor):
+    return cursor.extent.start.offset, cursor.extent.end.offset
+
+
+def extract_file(abs_path, rel_path):
+    require_usable()
+    ck = _cursor_kinds()
+    with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
+        original = f.read()
+    allow_by_line, root_lines = _line_markers(original)
+
+    tu = _index.parse(abs_path, args=_compile_args(abs_path))
+
+    out = {
+        "schema": facts.SCHEMA_VERSION,
+        "tu": rel_path,
+        "extractor": EXTRACTOR_NAME,
+        "ranks": {},
+        "aliases": [],
+        "classes": {},
+        "mutexes": [],
+        "functions": [],
+    }
+    file_tag = os.path.basename(rel_path)
+
+    def in_this_file(cursor):
+        loc = cursor.location
+        return loc.file is not None and os.path.normpath(
+            loc.file.name) == os.path.normpath(abs_path)
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            kind = child.kind
+            if kind == ck.ENUM_CONSTANT_DECL:
+                if child.spelling.startswith("kLockRank"):
+                    # Record from any header so ranks resolve everywhere.
+                    out["ranks"][child.spelling] = child.enum_value
+            if not in_this_file(child) and kind not in (
+                    ck.NAMESPACE, ck.ENUM_DECL):
+                continue
+            if kind in (ck.CLASS_DECL, ck.STRUCT_DECL) \
+                    and child.is_definition():
+                _class(child)
+                visit(child)
+            elif kind in (ck.CXX_METHOD, ck.FUNCTION_DECL, ck.CONSTRUCTOR,
+                          ck.DESTRUCTOR, ck.FUNCTION_TEMPLATE) \
+                    and child.is_definition():
+                _function(child)
+            elif kind == ck.TYPE_ALIAS_DECL:
+                if "function<" in child.underlying_typedef_type.spelling:
+                    out["aliases"].append(child.spelling)
+                visit(child)
+            else:
+                visit(child)
+
+    def _class(cursor):
+        qual = _qualified(cursor)
+        entry = out["classes"].setdefault(qual, {"bases": [], "members": {}})
+        for child in cursor.get_children():
+            if child.kind == ck.CXX_BASE_SPECIFIER:
+                base = _strip_ns(child.type.spelling)
+                if base not in entry["bases"]:
+                    entry["bases"].append(base)
+            elif child.kind == ck.FIELD_DECL:
+                type_text = child.type.spelling
+                entry["members"][child.spelling] = _strip_ns(type_text)
+                base_type = _strip_ns(type_text).replace("mutable ", "")
+                if base_type in MUTEX_TYPES:
+                    m = re.search(r"kLockRank\w+", _tokens_text(child))
+                    out["mutexes"].append({
+                        "member": child.spelling,
+                        "cls": qual.rsplit("::", 1)[0] if "::" in qual
+                               else qual,
+                        "kind": base_type,
+                        "rank_const": m.group(0) if m else "kLockRankLeaf",
+                        "line": child.location.line,
+                    })
+
+    def _function(cursor):
+        cls_cursor = cursor.semantic_parent
+        cls = ""
+        if cls_cursor is not None and cls_cursor.kind in (
+                ck.CLASS_DECL, ck.STRUCT_DECL):
+            cls = _qualified(cls_cursor)
+        qual = _qualified(cursor)
+        if not cls and "::" not in qual:
+            qual = file_tag + "::" + qual
+        header_line = cursor.location.line
+
+        callback_params = []
+        for arg in cursor.get_arguments():
+            if "function<" in arg.type.spelling:
+                callback_params.append(arg.spelling)
+
+        func = {
+            "qual": qual,
+            "cls": cls,
+            "file": rel_path,
+            "line": header_line,
+            "root": any(header_line - 1 <= ln <= header_line + 2
+                        for ln in root_lines),
+            "callback_params": callback_params,
+            "local_mutexes": {},
+            "events": [],
+        }
+
+        guards = []   # (acq_offset, release_offset, lock_expr)
+
+        def held_at(off):
+            return [expr for (a, r, expr) in guards if a < off < r]
+
+        def allow_at(line):
+            return allow_by_line.get(line, [])
+
+        def ev(kind, cursor_, **kw):
+            line = cursor_.location.line
+            off = cursor_.location.offset
+            e = {"kind": kind, "line": line, "held": held_at(off),
+                 "allow": allow_at(line)}
+            e.update(kw)
+            func["events"].append(e)
+
+        def first_arg_text(call):
+            args = list(call.get_arguments())
+            return _tokens_text(args[0]) if args else ""
+
+        def walk(node, scope_end):
+            for child in node.get_children():
+                kind = child.kind
+                if kind == ck.VAR_DECL:
+                    tname = _strip_ns(child.type.spelling)
+                    if tname in RAII_GUARDS:
+                        expr = ""
+                        for g in child.get_children():
+                            if g.kind in (ck.CALL_EXPR, ck.UNEXPOSED_EXPR):
+                                m = re.search(r"\(\s*(.*?)\s*\)$",
+                                              _tokens_text(child)
+                                              .replace(" ", ""))
+                                expr = m.group(1).split(",")[0] if m else ""
+                                break
+                        if not expr:
+                            m = re.search(r"[({]\s*([^,)}]+)",
+                                          _tokens_text(child))
+                            expr = m.group(1).strip() if m else ""
+                        off = child.location.offset
+                        guards.append((off, scope_end, expr))
+                        ev("acquire", child, lock=expr, how=tname)
+                        continue
+                    if tname in MUTEX_TYPES:
+                        m = re.search(r"kLockRank\w+", _tokens_text(child))
+                        func["local_mutexes"][child.spelling] = (
+                            m.group(0) if m else "kLockRankLeaf")
+                    if any(e in child.type.spelling
+                           for e in UNSEEDED_ENGINES + RANDOM_DECLS):
+                        init = _tokens_text(child)
+                        if "random_device" in child.type.spelling \
+                                or "(" not in init.split("=")[-1]:
+                            ev("random", child,
+                               what=_strip_ns(child.type.spelling))
+                elif kind == ck.CALL_EXPR:
+                    _call(child, scope_end)
+                if kind == ck.COMPOUND_STMT:
+                    walk(child, child.extent.end.offset)
+                else:
+                    walk(child, scope_end)
+
+        def _call(call, scope_end):
+            ref = call.referenced
+            name = call.spelling or (ref.spelling if ref else "")
+            if not name:
+                walk(call, scope_end)
+                return
+            if name in RAII_GUARDS:
+                return  # the VAR_DECL path records the acquisition
+            ref_qual = _qualified(ref) if ref else ""
+            if name == "now" and any(c in ref_qual
+                                     for c in WALL_CLOCK_CALLS):
+                ev("wall_clock", call,
+                   what=ref_qual.rsplit("::", 2)[-2] + "::now"
+                   if "::" in ref_qual else "now")
+                return
+            if ref_qual.startswith("std::") or ref_qual.startswith("__"):
+                if name in WALL_CLOCK_FREE or name in RANDOM_FREE:
+                    ev("wall_clock" if name in WALL_CLOCK_FREE else "random",
+                       call, what=name)
+                walk(call, scope_end)
+                return
+            if not ref_qual and name in WALL_CLOCK_FREE + RANDOM_FREE:
+                ev("wall_clock" if name in WALL_CLOCK_FREE else "random",
+                   call, what=name)
+                return
+            if name in ("Lock", "LockShared") and ref_qual.startswith(
+                    tuple(t + "::" for t in MUTEX_TYPES)):
+                expr = _receiver_text(call)
+                guards.append((call.location.offset, scope_end, expr))
+                ev("acquire", call, lock=expr, how=name)
+                return
+            if name == "Wait" and "CondVar::" in ref_qual:
+                ev("condvar_wait", call, cv=_receiver_text(call),
+                   mutex=first_arg_text(call))
+                walk(call, scope_end)
+                return
+            if name in callback_params and (
+                    ref is None or ref.kind == ck.PARM_DECL):
+                ev("callback", call, callee=name)
+                walk(call, scope_end)
+                return
+            if "std::function" in (ref.type.spelling if ref else ""):
+                # Calling an erased callable that is not a parameter (e.g. a
+                # stored member): still a user callback for blocking checks.
+                ev("callback", call, callee=name)
+                walk(call, scope_end)
+                return
+            if ref_qual and ref.kind in (ck.CXX_METHOD, ck.FUNCTION_DECL,
+                                         ck.CONSTRUCTOR):
+                quals = ref_qual.rsplit("::", 1)[0] + "::" \
+                    if "::" in ref_qual else ""
+                ev("call", call, callee=name, quals=quals,
+                   recv=_receiver_text(call), is_decl_ctor=False)
+            walk(call, scope_end)
+
+        def _receiver_text(call):
+            for child in call.get_children():
+                if child.kind == ck.MEMBER_REF_EXPR:
+                    kids = list(child.get_children())
+                    if kids:
+                        return _tokens_text(kids[0])
+                    return ""
+            return ""
+
+        body = None
+        for child in cursor.get_children():
+            if child.kind == ck.COMPOUND_STMT:
+                body = child
+        if body is None:
+            return
+        walk(body, body.extent.end.offset)
+        func["events"].sort(key=lambda e: e["line"])
+        out["functions"].append(func)
+
+    visit(tu.cursor)
+    out["aliases"] = sorted(set(out["aliases"]))
+    return out

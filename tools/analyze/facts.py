@@ -1,0 +1,75 @@
+"""Fact schema shared by the tools/analyze frontends and the analysis stage.
+
+A frontend (extract.py's portable parser, or extract_clang.py's libclang
+walker) turns one translation unit into a *facts* dict; the analysis stage
+(callgraph.py + checks.py) consumes only facts and never looks at C++ again.
+Keeping this boundary strict is what makes the facts cacheable per source
+hash and the frontends interchangeable.
+
+Facts dict layout (schema SCHEMA_VERSION):
+
+  {
+    "schema": int,
+    "tu": "src/kvstore/cluster.cc",        # repo-relative path
+    "extractor": "python" | "clang",
+    "ranks": {"kLockRankCluster": 400, ...},     # enum LockRank constants
+    "aliases": ["ChunkResolver", ...],           # using X = std::function<..>
+    "classes": {
+       "Cluster": {"bases": ["KVStore"],
+                    "members": {"nodes_": "std::vector<...MemoryStore...>"}},
+    },
+    "mutexes": [ {"member": "mu_", "cls": "Cluster",
+                   "rank_const": "kLockRankCluster", "kind": "Mutex",
+                   "line": 188} ],
+    "functions": [ {
+       "qual": "Cluster::MultiGetInternal",     # namespaces stripped;
+                                                 # file-static helpers are
+                                                 # qualified as "<file>::name"
+       "cls": "Cluster" | "",
+       "file": "src/kvstore/cluster.cc", "line": 123,
+       "root": false,                            # // analyze:root marker
+       "callback_params": ["fn"],                # std::function-typed params
+       "local_mutexes": {"error_mu": "kLockRankParallelError"},
+       "events": [ ... ]                         # ordered body events
+    } ],
+  }
+
+Event kinds (every event has "line", "held" — the list of lock-expression
+strings locally held at that point — and "allow", the list of check names a
+`// analyze:allow-<check>` comment on that line suppresses):
+
+  acquire       {"lock": "mu_", "how": "MutexLock"|"ReaderLock"|"WriterLock"
+                                 |"Lock"|"LockShared"}
+  call          {"callee": "Put", "quals": "std::"-style explicit prefix,
+                 "recv": "nodes_[node]" or "", "is_decl_ctor": bool}
+  callback      {"callee": "fn"}              # invokes a callback parameter
+  condvar_wait  {"cv": "cv_", "mutex": "mu_"}
+  wall_clock    {"what": "steady_clock::now"}
+  random        {"what": "std::random_device"}
+"""
+
+import hashlib
+import json
+
+SCHEMA_VERSION = 1
+
+
+def finding_fingerprint(check, parts):
+    """Stable identity of a finding for the baseline file.
+
+    Deliberately excludes line numbers so unrelated edits do not churn the
+    baseline; includes function/lock identities so a finding moving to a
+    different code path reads as new.
+    """
+    payload = json.dumps([check] + [str(p) for p in parts], sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def facts_cache_key(source_bytes, extractor_name, extractor_version):
+    """Cache key for one TU's facts: source content + extractor identity."""
+    h = hashlib.sha256()
+    h.update(b"schema:%d;" % SCHEMA_VERSION)
+    h.update(extractor_name.encode("utf-8"))
+    h.update(b";v%d;" % extractor_version)
+    h.update(source_bytes)
+    return h.hexdigest()[:24]

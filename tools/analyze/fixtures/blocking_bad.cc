@@ -1,0 +1,76 @@
+// Intentionally-broken hold-across-blocking patterns, compiled (never
+// linked) so that `tools/analyze/run.py --self-test` can prove
+// blocking-under-lock fires. Do not "fix" this file.
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "kvstore/memory_store.h"
+
+namespace rstore {
+namespace analyze_fixture {
+
+// The Scan bug class, reintroduced: the store's mutex stays held while rows
+// are handed to user code two calls down, so a callback that re-enters the
+// store deadlocks. MemoryStore::Scan once had exactly this shape; the fix
+// (snapshot under lock, invoke outside) is the idiom src/ uses today.
+class CallbackUnderLock {
+ public:
+  using RowFn = std::function<void(const std::string&)>;
+
+  void Scan(const RowFn& fn) {
+    MutexLock lock(mu_);
+    ScanLocked(fn);  // analyze:expect-blocking-under-lock chain>=3
+  }
+
+ private:
+  void ScanLocked(const RowFn& fn) {
+    for (const auto& [key, value] : rows_) {
+      EmitRow(fn, key);
+    }
+  }
+
+  void EmitRow(const RowFn& fn, const std::string& key) { fn(key); }
+
+  std::map<std::string, std::string> rows_;
+  Mutex mu_{kLockRankMemoryStore, "CallbackUnderLock::mu_"};
+};
+
+// Holding a lock across a KVStore data-plane call: the store may block on
+// replica I/O (or, as here, on its own internal mutex).
+class BackendUnderLock {
+ public:
+  Status Flush() {
+    MutexLock lock(mu_);
+    return store_.Put("t", "k", "v");  // analyze:expect-blocking-under-lock
+  }
+
+ private:
+  MemoryStore store_;
+  Mutex mu_{kLockRankClusterHints, "BackendUnderLock::mu_"};
+};
+
+// Waiting on a condition variable is legal only while holding exactly the
+// CondVar's own mutex; parking with a second lock held starves its waiters.
+class WaitUnderForeignLock {
+ public:
+  void Drain() {
+    MutexLock stats(stats_mu_);
+    MutexLock lock(mu_);
+    while (pending_ > 0) {
+      cv_.Wait(mu_);  // analyze:expect-blocking-under-lock
+    }
+  }
+
+ private:
+  Mutex stats_mu_{kLockRankClusterHints, "WaitUnderForeignLock::stats_mu_"};
+  Mutex mu_{kLockRankMemoryStore, "WaitUnderForeignLock::mu_"};
+  CondVar cv_;
+  int pending_ = 0;
+};
+
+}  // namespace analyze_fixture
+}  // namespace rstore

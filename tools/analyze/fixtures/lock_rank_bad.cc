@@ -1,0 +1,42 @@
+// Intentionally-broken locking, compiled (never linked) so that
+// `tools/analyze/run.py --self-test` can prove lock-rank-static fires.
+// Every `analyze:expect-*` marker below must be matched by a finding on its
+// line, or the self-test fails (see run.py). Do not "fix" this file.
+
+#include "common/sync.h"
+
+namespace rstore {
+namespace analyze_fixture {
+
+// The rank order says ChunkCache (150) must be taken *after* MemoryStore
+// (200); every method below violates that, each in a different shape.
+class RankInverted {
+ public:
+  // Direct inversion: the second acquisition has a rank >= one already held.
+  void TakeBoth() {
+    MutexLock cache(cache_mu_);
+    MutexLock store(store_mu_);  // analyze:expect-lock-rank-static
+  }
+
+  // Re-entrant self-lock: same mutex, same rank, guaranteed deadlock.
+  void Reenter() {
+    MutexLock lock(store_mu_);
+    MutexLock again(store_mu_);  // analyze:expect-lock-rank-static
+  }
+
+  // Transitive inversion: the bad acquisition hides one call away, so the
+  // finding must come with the call chain attached.
+  void Outer() {
+    MutexLock lock(cache_mu_);
+    TakeStore();  // analyze:expect-lock-rank-static chain>=2
+  }
+
+ private:
+  void TakeStore() { MutexLock lock(store_mu_); }
+
+  Mutex store_mu_{kLockRankMemoryStore, "RankInverted::store_mu_"};
+  Mutex cache_mu_{kLockRankChunkCache, "RankInverted::cache_mu_"};
+};
+
+}  // namespace analyze_fixture
+}  // namespace rstore

@@ -1,0 +1,40 @@
+// Intentionally-impure deterministic-path code, compiled (never linked) so
+// that `tools/analyze/run.py --self-test` can prove sim-clock-purity fires.
+// Do not "fix" this file.
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+namespace rstore {
+namespace analyze_fixture {
+
+// A scheduler on the deterministic-simulation path (marked analyze:root the
+// way FaultInjector/RetryPolicy/LatencyModel are matched by name in src/)
+// that reads the wall clock and true randomness: identical seeds would no
+// longer replay identical chaos schedules.
+class DriftingScheduler {
+ public:
+  // Launders a wall-clock read through a private helper, so the finding
+  // must carry the chain down to the actual clock read.
+  // analyze:root
+  int64_t NextDeadline() {
+    return NowMicros() + 1000;  // analyze:expect-sim-clock-purity chain>=2
+  }
+
+  // analyze:root
+  int PickReplica(int n) {
+    std::random_device rd;  // analyze:expect-sim-clock-purity
+    return static_cast<int>(rd() % static_cast<unsigned>(n));
+  }
+
+ private:
+  int64_t NowMicros() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace analyze_fixture
+}  // namespace rstore

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Locate (and lightly query) the repo's compile_commands.json.
+
+Every CMake preset exports a compilation database (the root CMakeLists sets
+CMAKE_EXPORT_COMPILE_COMMANDS), so clang-tidy, tools/analyze, and editors all
+share one source of truth for "which TUs exist and how they are compiled".
+This module is the one place that knows where to look for it.
+
+As a library:
+
+    from compile_commands import find_database, load_entries
+    path = find_database()            # newest DB across known build dirs
+    entries = load_entries(path)      # [{file, directory, command|arguments}]
+
+As a CLI:
+
+    tools/compile_commands.py            # print the chosen DB path
+    tools/compile_commands.py --list     # print the TU source files, one/line
+    tools/compile_commands.py --build-dir build-asan   # restrict the search
+
+Exit status is 1 when no database can be found (the error says how to
+generate one).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Build trees the presets (CMakePresets.json) and CI jobs are known to use,
+# in preference order when their databases have equal mtimes.
+KNOWN_BUILD_DIRS = (
+    "build",
+    "build-asan",
+    "build-tsan",
+    "build-clang",
+    "build-cov",
+)
+
+DB_NAME = "compile_commands.json"
+
+
+def candidate_paths(build_dir=None):
+    """Possible database paths, most-preferred first."""
+    if build_dir:
+        return [os.path.join(REPO_ROOT, build_dir, DB_NAME)]
+    paths = [os.path.join(REPO_ROOT, d, DB_NAME) for d in KNOWN_BUILD_DIRS]
+    # Any other build*/ directory someone configured by hand.
+    try:
+        for name in sorted(os.listdir(REPO_ROOT)):
+            if name.startswith("build") and name not in KNOWN_BUILD_DIRS:
+                p = os.path.join(REPO_ROOT, name, DB_NAME)
+                if p not in paths:
+                    paths.append(p)
+    except OSError:
+        pass
+    return paths
+
+
+def find_database(build_dir=None):
+    """Returns the path of the freshest compile_commands.json, or None.
+
+    Freshness (mtime) wins so that the DB tracking the most recent configure
+    is used when several build trees exist.
+    """
+    best = None
+    best_mtime = -1.0
+    for path in candidate_paths(build_dir):
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            continue
+        if mtime > best_mtime:
+            best = path
+            best_mtime = mtime
+    return best
+
+
+def load_entries(path):
+    """Parses the database into its entry dicts (file paths absolutized)."""
+    with open(path, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    for entry in entries:
+        src = entry.get("file", "")
+        if src and not os.path.isabs(src):
+            entry["file"] = os.path.normpath(
+                os.path.join(entry.get("directory", ""), src))
+    return entries
+
+
+def source_files(path, under=None):
+    """TU source files recorded in the DB, optionally restricted to a
+    directory prefix relative to the repo root (e.g. "src")."""
+    files = []
+    prefix = os.path.join(REPO_ROOT, under) + os.sep if under else None
+    for entry in load_entries(path):
+        src = os.path.normpath(entry["file"])
+        if prefix and not src.startswith(prefix):
+            continue
+        files.append(src)
+    return sorted(set(files))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=None,
+                        help="restrict the search to one build directory "
+                             "(relative to the repo root)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the TU source files instead of the path")
+    parser.add_argument("--under", default=None,
+                        help="with --list, restrict to sources under this "
+                             "repo-relative directory (e.g. src)")
+    args = parser.parse_args()
+
+    path = find_database(args.build_dir)
+    if path is None:
+        print("compile_commands.py: no %s found; configure first, e.g.\n"
+              "  cmake --preset relwithdebinfo" % DB_NAME, file=sys.stderr)
+        return 1
+    if args.list:
+        for src in source_files(path, args.under):
+            print(os.path.relpath(src, REPO_ROOT))
+    else:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Repository lint checks that clang-tidy does not cover.
 
-Enforced rules (over src/ by default):
+Enforced rules (over src/, tests/, and bench/ by default):
 
   include-guard   Headers use #ifndef/#define/#endif guards named
-                  RSTORE_<PATH>_H_, where <PATH> is the file's path relative
-                  to src/, upper-cased, with '/' and '.' mapped to '_'
-                  (e.g. src/core/chunk.h -> RSTORE_CORE_CHUNK_H_).
+                  RSTORE_<PATH>_H_, where <PATH> is the file's repo-relative
+                  path with the leading src/ dropped, upper-cased, with '/'
+                  and '.' mapped to '_' (src/core/chunk.h ->
+                  RSTORE_CORE_CHUNK_H_; tests/core/util.h ->
+                  RSTORE_TESTS_CORE_UTIL_H_).
   naked-new       No `new` expressions outside smart-pointer factories;
                   ownership goes through std::make_unique/make_shared or
                   containers.
@@ -35,13 +37,15 @@ Enforced rules (over src/ by default):
                   to a line to suppress.
 
 Usage:
-  tools/lint.py [paths...]      # default: src/
+  tools/lint.py [paths...]      # default: src/ tests/ bench/
+  tools/lint.py --jobs 8        # parallel scan
   tools/lint.py --list-checks
 
 Exit status is 0 when clean, 1 when any violation is found.
 """
 
 import argparse
+import multiprocessing
 import os
 import re
 import sys
@@ -101,9 +105,12 @@ def strip_comments_and_strings(text):
 
 
 def expected_guard(rel_path):
-    """src/core/chunk.h -> RSTORE_CORE_CHUNK_H_"""
-    inner = os.path.relpath(rel_path, "src")
-    stem = re.sub(r"[/.]", "_", inner.replace(os.sep, "/"))
+    """src/core/chunk.h -> RSTORE_CORE_CHUNK_H_; outside src/ the tree name
+    stays in the guard: tests/core/util.h -> RSTORE_TESTS_CORE_UTIL_H_."""
+    norm = rel_path.replace(os.sep, "/")
+    if norm.startswith("src/"):
+        norm = norm[len("src/"):]
+    stem = re.sub(r"[/.]", "_", norm)
     return "RSTORE_" + stem.upper() + "_"
 
 
@@ -342,8 +349,11 @@ def collect_files(paths):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("paths", nargs="*", default=["src"],
-                        help="files or directories to lint (default: src/)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src/ tests/ bench/)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="lint files with N parallel workers")
     parser.add_argument("--list-checks", action="store_true",
                         help="print the check names and exit")
     args = parser.parse_args()
@@ -353,16 +363,22 @@ def main():
             print(name)
         return 0
 
-    paths = args.paths or ["src"]
+    paths = args.paths or ["src", "tests", "bench"]
     files = collect_files(paths)
     if not files:
         print("lint.py: no C++ files found under: %s" % " ".join(paths),
               file=sys.stderr)
         return 1
 
+    if args.jobs > 1 and len(files) > 1:
+        with multiprocessing.Pool(args.jobs) as pool:
+            all_violations = pool.map(lint_file, files)
+    else:
+        all_violations = [lint_file(f) for f in files]
+
     total = 0
-    for rel_path in files:
-        for line, check, message in lint_file(rel_path):
+    for rel_path, file_violations in zip(files, all_violations):
+        for line, check, message in file_violations:
             total += 1
             print("%s:%d: [%s] %s" % (rel_path, line, check, message))
     if total:

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py: one good/bad snippet pair per rule, plus a
+suppression test for every `lint:allow-*` escape. Run directly or via ctest
+(`ctest -R tools.lint`); stdlib unittest only, no external deps."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint  # noqa: E402
+
+
+def run_check(check_name, rel_path, text):
+    """Violations from one named check over an in-memory file."""
+    stripped = lint.strip_comments_and_strings(text)
+    for name, fn in lint.CHECKS:
+        if name == check_name:
+            return fn(rel_path, text, stripped)
+    raise AssertionError("unknown check: %s" % check_name)
+
+
+class StripTest(unittest.TestCase):
+    def test_preserves_line_structure(self):
+        text = 'a /* b\nc */ d // e\nx = "f";\n'
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        self.assertNotIn("b", stripped)
+        self.assertNotIn("e", stripped)
+        self.assertNotIn("f", stripped)
+        self.assertIn("a", stripped)
+        self.assertIn("d", stripped)
+
+    def test_string_contents_blanked(self):
+        stripped = lint.strip_comments_and_strings('x = "new Foo";\ny;\n')
+        self.assertNotIn("new Foo", stripped)
+        self.assertIn("y;", stripped)
+
+
+class IncludeGuardTest(unittest.TestCase):
+    def good(self, rel_path, guard):
+        return ("#ifndef %s\n#define %s\n\nint x;\n\n#endif  // %s\n"
+                % (guard, guard, guard))
+
+    def test_good_src_header(self):
+        text = self.good("src/core/foo.h", "RSTORE_CORE_FOO_H_")
+        self.assertEqual(run_check("include-guard", "src/core/foo.h", text),
+                         [])
+
+    def test_good_tests_header_keeps_tree_prefix(self):
+        text = self.good("tests/core/util.h", "RSTORE_TESTS_CORE_UTIL_H_")
+        self.assertEqual(
+            run_check("include-guard", "tests/core/util.h", text), [])
+
+    def test_good_bench_header(self):
+        text = self.good("bench/bench_util.h", "RSTORE_BENCH_BENCH_UTIL_H_")
+        self.assertEqual(
+            run_check("include-guard", "bench/bench_util.h", text), [])
+
+    def test_wrong_guard_name(self):
+        text = self.good("src/core/foo.h", "RSTORE_WRONG_H_")
+        violations = run_check("include-guard", "src/core/foo.h", text)
+        self.assertEqual(len(violations), 1)
+        self.assertIn("RSTORE_CORE_FOO_H_", violations[0][2])
+
+    def test_missing_define(self):
+        text = "#ifndef RSTORE_CORE_FOO_H_\nint x;\n#endif\n"
+        violations = run_check("include-guard", "src/core/foo.h", text)
+        self.assertEqual(len(violations), 1)
+
+    def test_non_header_ignored(self):
+        self.assertEqual(
+            run_check("include-guard", "src/core/foo.cc", "int x;\n"), [])
+
+
+class NakedNewTest(unittest.TestCase):
+    def test_bad(self):
+        violations = run_check("naked-new", "src/a.cc", "auto* p = new Foo;\n")
+        self.assertEqual(len(violations), 1)
+
+    def test_good_make_unique(self):
+        self.assertEqual(
+            run_check("naked-new", "src/a.cc",
+                      "auto p = std::make_unique<Foo>();\n"), [])
+
+    def test_good_owned_from_birth(self):
+        self.assertEqual(
+            run_check("naked-new", "src/a.cc",
+                      "std::unique_ptr<Foo> p(new Foo(1));\n"), [])
+
+    def test_identifier_suffix_not_flagged(self):
+        self.assertEqual(
+            run_check("naked-new", "src/a.cc", "int renew = my_new;\n"), [])
+
+
+class StreamLoggingTest(unittest.TestCase):
+    def test_bad(self):
+        violations = run_check("stream-logging", "src/a.cc",
+                               'std::cout << "x";\n')
+        self.assertEqual(len(violations), 1)
+
+    def test_bad_printf(self):
+        violations = run_check("stream-logging", "src/a.cc",
+                               'printf("%d", x);\n')
+        self.assertEqual(len(violations), 1)
+
+    def test_good(self):
+        self.assertEqual(
+            run_check("stream-logging", "src/a.cc",
+                      'RSTORE_LOG(INFO) << "x";\n'), [])
+
+    def test_logging_impl_allowlisted(self):
+        self.assertEqual(
+            run_check("stream-logging", "src/common/logging.cc",
+                      'std::cerr << "x";\n'), [])
+
+
+class AssertTest(unittest.TestCase):
+    def test_bad(self):
+        violations = run_check("assert", "src/a.cc", "assert(x > 0);\n")
+        self.assertEqual(len(violations), 1)
+
+    def test_good(self):
+        self.assertEqual(
+            run_check("assert", "src/a.cc", "RSTORE_CHECK(x > 0);\n"), [])
+
+    def test_static_assert_not_flagged(self):
+        self.assertEqual(
+            run_check("assert", "src/a.cc",
+                      "static_assert(sizeof(int) == 4);\n"), [])
+
+
+class RawSyncTest(unittest.TestCase):
+    def test_bad(self):
+        violations = run_check("raw-sync", "src/a.cc", "std::mutex mu;\n")
+        self.assertEqual(len(violations), 1)
+
+    def test_good(self):
+        self.assertEqual(
+            run_check("raw-sync", "src/a.cc",
+                      'Mutex mu{kLockRankLeaf, "a"};\nMutexLock lock(mu);\n'),
+            [])
+
+    def test_escape_suppresses(self):
+        self.assertEqual(
+            run_check("raw-sync", "src/a.cc",
+                      "std::mutex mu;  // lint:allow-raw-sync\n"), [])
+
+    def test_sync_impl_allowlisted(self):
+        self.assertEqual(
+            run_check("raw-sync", "src/common/sync.cc", "std::mutex mu;\n"),
+            [])
+
+
+class RawTimingTest(unittest.TestCase):
+    BAD = "auto t = std::chrono::steady_clock::now();\n"
+
+    def test_bad_in_core(self):
+        violations = run_check("raw-timing", "src/core/a.cc", self.BAD)
+        self.assertEqual(len(violations), 1)
+
+    def test_good_stopwatch(self):
+        self.assertEqual(
+            run_check("raw-timing", "src/core/a.cc", "Stopwatch sw;\n"), [])
+
+    def test_escape_suppresses(self):
+        self.assertEqual(
+            run_check("raw-timing", "src/core/a.cc",
+                      self.BAD.rstrip("\n") + "  // lint:allow-raw-timing\n"),
+            [])
+
+    def test_common_layer_out_of_scope(self):
+        self.assertEqual(
+            run_check("raw-timing", "src/common/a.cc", self.BAD), [])
+
+
+class AlivePokeTest(unittest.TestCase):
+    def test_bad(self):
+        violations = run_check("alive-poke", "src/core/a.cc",
+                               "alive_[i] = false;\n")
+        self.assertEqual(len(violations), 1)
+
+    def test_good(self):
+        self.assertEqual(
+            run_check("alive-poke", "src/core/a.cc",
+                      "cluster.SetNodeAlive(i, false);\n"), [])
+
+    def test_escape_suppresses(self):
+        self.assertEqual(
+            run_check("alive-poke", "src/core/a.cc",
+                      "alive_[i] = false;  // lint:allow-alive-poke\n"), [])
+
+    def test_owner_allowlisted(self):
+        self.assertEqual(
+            run_check("alive-poke", "src/kvstore/cluster.cc",
+                      "alive_[i] = false;\n"), [])
+
+
+class AllChecksFireTest(unittest.TestCase):
+    """Every registered check produces a violation on a known-bad snippet —
+    guards against a check being registered but made a no-op by a refactor."""
+
+    BAD_BY_CHECK = {
+        "include-guard": ("src/core/foo.h", "#ifndef WRONG_H_\nint x;\n"),
+        "naked-new": ("src/a.cc", "auto* p = new Foo;\n"),
+        "stream-logging": ("src/a.cc", 'std::cout << 1;\n'),
+        "assert": ("src/a.cc", "assert(1);\n"),
+        "raw-sync": ("src/a.cc", "std::mutex mu;\n"),
+        "raw-timing": ("src/core/a.cc",
+                       "auto t = std::chrono::seconds(1);\n"),
+        "alive-poke": ("src/core/a.cc", "alive_[0] = true;\n"),
+    }
+
+    def test_every_check_has_a_firing_snippet(self):
+        self.assertEqual(sorted(self.BAD_BY_CHECK),
+                         sorted(name for name, _ in lint.CHECKS))
+        for name, (rel_path, text) in self.BAD_BY_CHECK.items():
+            violations = run_check(name, rel_path, text)
+            self.assertTrue(violations, "check %r did not fire" % name)
+            self.assertTrue(all(v[1] == name for v in violations))
+
+
+class ExpectedGuardTest(unittest.TestCase):
+    def test_src_prefix_dropped(self):
+        self.assertEqual(lint.expected_guard("src/core/chunk.h"),
+                         "RSTORE_CORE_CHUNK_H_")
+
+    def test_other_trees_keep_prefix(self):
+        self.assertEqual(lint.expected_guard("tests/core/util.h"),
+                         "RSTORE_TESTS_CORE_UTIL_H_")
+        self.assertEqual(lint.expected_guard("bench/bench_util.h"),
+                         "RSTORE_BENCH_BENCH_UTIL_H_")
+
+
+if __name__ == "__main__":
+    unittest.main()
