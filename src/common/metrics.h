@@ -52,6 +52,7 @@ class Counter {
   void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
 
  private:
+  // Relaxed monotone tally; readers tolerate staleness. analyze:atomic
   std::atomic<uint64_t> value_{0};
 };
 
@@ -67,6 +68,7 @@ class Gauge {
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // Relaxed last-writer-wins snapshot value. analyze:atomic
   std::atomic<int64_t> value_{0};
 };
 
@@ -93,9 +95,11 @@ class Histogram {
 
  private:
   std::vector<uint64_t> boundaries_;
+  // Relaxed per-bucket tallies; totals across the three fields may be
+  // transiently inconsistent during concurrent Observe. analyze:atomic
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};  // analyze:atomic (see buckets_)
+  std::atomic<uint64_t> sum_{0};    // analyze:atomic (see buckets_)
 };
 
 /// `count` geometrically spaced upper bounds starting at `start`, each

@@ -159,6 +159,8 @@ class ChunkCache {
   uint64_t shard_mask_;
   uint64_t shard_capacity_;
   std::unique_ptr<Shard[]> shards_;
+  // Monotone owner-id dispenser: relaxed fetch_add, value never read
+  // back for control flow. analyze:atomic
   std::atomic<uint64_t> next_owner_{0};
 };
 

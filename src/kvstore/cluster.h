@@ -171,6 +171,7 @@ class Cluster : public KVStore {
   /// Per-node liveness, atomic so failure injection (SetNodeAlive) can race
   /// with request routing without tearing; a std::vector<bool> here is a
   /// data race under TSan because neighbouring bits share a byte.
+  /// analyze:atomic -- lock-free flags, racing with routing by design.
   std::vector<std::atomic<bool>> alive_;
   /// Deterministic fault source; inert unless ClusterOptions::faults has
   /// any fault configured.
@@ -183,6 +184,9 @@ class Cluster : public KVStore {
   /// fault-free case).
   mutable Mutex hints_mu_{kLockRankClusterHints, "Cluster::hints_mu_"};
   std::vector<std::vector<Hint>> hints_ RSTORE_GUARDED_BY(hints_mu_);
+  /// Written under hints_mu_, read lock-free as an empty-queue fast path;
+  /// over/under-reads only delay or waste a replay probe, never lose a
+  /// hint (the queue itself is guarded). analyze:atomic
   std::atomic<uint64_t> hint_count_{0};
 
   mutable Mutex mu_{kLockRankCluster, "Cluster::mu_"};

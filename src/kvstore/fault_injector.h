@@ -141,6 +141,8 @@ class FaultInjector {
   std::vector<NodeFaultProfile> profiles_;  // resolved, one per node
   uint64_t seed_;
   bool enabled_;
+  // Relaxed monotone tick dispenser; concurrent coordinator ops may claim
+  // ticks in any interleaving, which the seeded hash absorbs. analyze:atomic
   std::atomic<uint64_t> ticks_{0};
 };
 

@@ -51,8 +51,9 @@ INTRINSIC_FILES = ("src/common/sync.h", "src/common/sync.cc")
 
 class Function:
     __slots__ = ("qual", "cls", "file", "line", "root", "callback_params",
-                 "local_mutexes", "events", "extractor",
-                 "callees", "acquires", "may_acquire", "blocking")
+                 "local_mutexes", "local_types", "events", "extractor",
+                 "callees", "acquires", "may_acquire", "blocking",
+                 "field_accesses", "requires_quals", "must_hold")
 
     def __init__(self, rec, extractor):
         self.qual = rec["qual"]
@@ -62,12 +63,16 @@ class Function:
         self.root = rec.get("root", False)
         self.callback_params = rec.get("callback_params", [])
         self.local_mutexes = rec.get("local_mutexes", {})
+        self.local_types = rec.get("local_types", {})
         self.events = rec.get("events", [])
         self.extractor = extractor
         self.callees = []       # (event, [Function]) resolved call edges
         self.acquires = []      # (event, LockRef) resolved acquisitions
         self.may_acquire = {}   # rank -> (LockRef, witness)
         self.blocking = None    # (kind, witness) or None
+        self.field_accesses = []  # (event, cls, member_record)
+        self.requires_quals = frozenset()  # resolved RSTORE_REQUIRES locks
+        self.must_hold = frozenset()  # lock quals held on EVERY entry path
 
     def __repr__(self):
         return "<fn %s>" % self.qual
@@ -93,11 +98,14 @@ class Program:
     def __init__(self):
         self.ranks = {}
         self.aliases = set()
-        self.classes = {}          # qual -> {"bases": [...], "members": {}}
+        self.classes = {}          # qual -> {bases, members, requires}
         self.mutex_decls = []      # LockRef list (member name in qual)
         self.functions = []        # Function list
         self.by_qual = {}          # qual -> [Function] (overloads share)
         self.by_base = {}          # base name -> [Function]
+        self.tracked = set()       # classes owning a mutex or an atomic
+        self.field_index = {}      # (cls, member) -> [(Function, event)]
+        self.in_edges = {}         # Function -> [(caller, event, held set)]
         self.warnings = []
 
     # -- construction ------------------------------------------------------
@@ -107,11 +115,17 @@ class Program:
         self.ranks.update(tu_facts.get("ranks", {}))
         self.aliases.update(tu_facts.get("aliases", []))
         for cls, info in tu_facts.get("classes", {}).items():
-            entry = self.classes.setdefault(cls, {"bases": [], "members": {}})
+            entry = self.classes.setdefault(
+                cls, {"bases": [], "members": {}, "requires": {}})
             for b in info.get("bases", []):
                 if b not in entry["bases"]:
                     entry["bases"].append(b)
             entry["members"].update(info.get("members", {}))
+            for method, locks in info.get("requires", {}).items():
+                have = entry["requires"].setdefault(method, [])
+                for lock in locks:
+                    if lock not in have:
+                        have.append(lock)
         for m in tu_facts.get("mutexes", []):
             qual = "%s::%s" % (m["cls"], m["member"])
             if any(d.qual == qual for d in self.mutex_decls):
@@ -147,10 +161,24 @@ class Program:
             base = f.qual.rsplit("::", 1)[-1]
             self.by_base.setdefault(base, []).append(f)
         self._subclasses = self._build_subclasses()
+        self._compute_tracked()
         for f in self.functions:
             self._resolve_function(f)
         self._fix_may_acquire()
         self._fix_blocking()
+        self._resolve_fields()
+        self._fix_must_hold()
+
+    def _compute_tracked(self):
+        """Classes owning shared state: a declared Mutex/SharedMutex or an
+        atomic member. Field-level checks only look at these."""
+        for d in self.mutex_decls:
+            self.tracked.add(d.qual.rsplit("::", 1)[0])
+        for cls, info in self.classes.items():
+            for rec in info["members"].values():
+                if isinstance(rec, dict) and rec.get("atomic"):
+                    self.tracked.add(cls)
+                    break
 
     # -- class hierarchy ---------------------------------------------------
 
@@ -232,18 +260,31 @@ class Program:
                 out.append(f)
         return out
 
+    def _classes_named(self, name):
+        """Class table keys matching a (possibly unqualified) class name:
+        `Shard` finds `ChunkCache::Shard` as well as a top-level `Shard`."""
+        if name in self.classes:
+            return {name}
+        suffix = "::" + name
+        return {c for c in self.classes if c.endswith(suffix)}
+
+    def _type_classes(self, type_text):
+        """Project classes mentioned in a declared type string."""
+        found = set()
+        for name in re.findall(r"[A-Za-z_]\w*(?:\s*::\s*[A-Za-z_]\w*)*",
+                                type_text):
+            found |= self._classes_named(re.sub(r"\s+", "", name))
+        return found
+
     def _member_type_classes(self, cls, member):
         """Project classes mentioned in the declared type of cls::member,
         searched through the class hierarchy of `cls`."""
         for c in self.hierarchy_of(cls) if cls else ():
             members = self.classes.get(c, {}).get("members", {})
             if member in members:
-                type_text = members[member]
-                found = set()
-                for name in re.findall(r"[A-Za-z_]\w*", type_text):
-                    if name in self.classes:
-                        found.add(name)
-                return found
+                rec = members[member]
+                type_text = rec["type"] if isinstance(rec, dict) else rec
+                return self._type_classes(type_text)
         return set()
 
     def _resolve_call(self, func, event):
@@ -330,6 +371,173 @@ class Program:
             if ref is not None:
                 out.append((expr, ref))
         return out
+
+    def held_quals(self, func, event):
+        """Resolved lock quals held locally at `event`."""
+        return frozenset(ref.qual for _e, ref in self.resolve_held(func,
+                                                                   event))
+
+    # -- field resolution --------------------------------------------------
+
+    SYNC_MEMBER_TYPES_RE = re.compile(r"\b(Mutex|SharedMutex|CondVar)\b")
+
+    def _find_member(self, cls, member):
+        """(owner class, member record) for `member` looked up through the
+        hierarchy of `cls`, or None. Skips pre-v2 plain-string records."""
+        for c in self.hierarchy_of(cls) if cls else ():
+            rec = self.classes.get(c, {}).get("members", {}).get(member)
+            if isinstance(rec, dict):
+                return (c, rec)
+        return None
+
+    def resolve_field(self, func, event):
+        """(owner class, member record) for a field event, or None.
+
+        Bare and `this->` accesses resolve only inside the enclosing class
+        hierarchy. Receiver accesses resolve through the receiver's declared
+        type (a member of the enclosing class, a class-typed local/param, or
+        the class name itself), falling back to a program-wide unique owner.
+        Accesses that resolve to an untracked class, to a sync primitive
+        member, or not at all are dropped."""
+        member = event["member"]
+        # The clang frontend resolves the owner exactly.
+        cls = event.get("cls", "")
+        if cls:
+            hit = self._find_member(cls, member)
+        else:
+            recv = event.get("recv", "")
+            if recv in ("", "this"):
+                hit = self._find_member(func.cls, member)
+            else:
+                recv_base = _base_identifier(recv)
+                classes = set()
+                if recv_base in func.local_types:
+                    classes = self._type_classes(func.local_types[recv_base])
+                if not classes:
+                    classes = self._member_type_classes(func.cls, recv_base)
+                if not classes:
+                    classes |= self._classes_named(recv_base)
+                hit = None
+                for c in classes:
+                    hit = self._find_member(c, member)
+                    if hit:
+                        break
+                if hit is None:
+                    # Program-wide unique owner (tracked or not: an
+                    # ambiguous name must drop, or copies of stat structs
+                    # would masquerade as the guarded originals).
+                    owners = [c for c, info in self.classes.items()
+                              if isinstance(info["members"].get(member),
+                                            dict)]
+                    if len(owners) == 1:
+                        hit = self._find_member(owners[0], member)
+        if hit is None:
+            return None
+        owner, rec = hit
+        if owner not in self.tracked:
+            return None
+        if self.SYNC_MEMBER_TYPES_RE.search(rec["type"]):
+            return None
+        return (owner, rec)
+
+    def _resolve_fields(self):
+        for f in self.functions:
+            for event in f.events:
+                if event["kind"] != "field":
+                    continue
+                hit = self.resolve_field(f, event)
+                if hit is None:
+                    continue
+                owner, rec = hit
+                f.field_accesses.append((event, owner, rec))
+                self.field_index.setdefault((owner, event["member"]),
+                                            []).append((f, event))
+
+    # -- must-hold fixpoint ------------------------------------------------
+
+    def _requires_quals(self, f):
+        """Resolved lock quals from RSTORE_REQUIRES on f's declaration."""
+        if not f.cls:
+            return frozenset()
+        base = f.qual.rsplit("::", 1)[-1]
+        exprs = self.classes.get(f.cls, {}).get("requires", {}).get(base, [])
+        out = set()
+        for expr in exprs:
+            ref = self.resolve_lock(f, expr)
+            if ref is not None:
+                out.add(ref.qual)
+        return frozenset(out)
+
+    def _fix_must_hold(self):
+        """Greatest fixpoint: must_hold(f) = REQUIRES(f) ∪ the intersection
+        over every call site of (must_hold(caller) ∪ locks held at the
+        site). Functions with no in-edges are entry points and contribute
+        only their REQUIRES clause. None stands for ⊤ (unreached cycles),
+        which resolves to "everything" and is vacuously safe.
+
+        This is the dual of may-acquire: may says "some path takes this
+        lock", must says "every path into this function already holds it".
+        The guarded-field check needs must — a guard held on just one of
+        two entry paths is exactly the race."""
+        for f in self.functions:
+            f.requires_quals = self._requires_quals(f)
+        self.in_edges = {}
+        for f in self.functions:
+            for event, targets in f.callees:
+                held = self.held_quals(f, event)
+                for g in targets:
+                    self.in_edges.setdefault(g, []).append((f, event, held))
+        state = {}
+        for f in self.functions:
+            state[f] = None if f in self.in_edges else f.requires_quals
+        changed = True
+        while changed:
+            changed = False
+            for f in self.functions:
+                edges = self.in_edges.get(f)
+                if not edges:
+                    continue
+                inter = None
+                for (c, _e, held) in edges:
+                    xc = state[c]
+                    if xc is None:
+                        continue  # ⊤ caller: identity for the intersection
+                    s = xc | held
+                    inter = s if inter is None else (inter & s)
+                new = None if inter is None else (f.requires_quals | inter)
+                if new != state[f]:
+                    state[f] = new
+                    changed = True
+        universe = frozenset(d.qual for d in self.mutex_decls)
+        for f in self.functions:
+            f.must_hold = universe if state[f] is None else state[f]
+
+    def unguarded_path(self, func, guard_qual):
+        """Call chain (root -> ... -> func) along which `guard_qual` is
+        never acquired, explaining why it is not must-held at func."""
+        frames = []
+        f = func
+        visited = {f}
+        guard = 0
+        while guard < 64:
+            guard += 1
+            edges = self.in_edges.get(f, [])
+            step = None
+            for (c, event, held) in edges:
+                if c in visited or guard_qual in held:
+                    continue
+                if guard_qual in c.must_hold:
+                    continue
+                step = (c, event)
+                break
+            if step is None:
+                break
+            c, event = step
+            frames.append(_frame(c, event["line"], "calls %s" % f.qual))
+            visited.add(c)
+            f = c
+        frames.reverse()
+        return frames
 
     # -- fixpoints ---------------------------------------------------------
 

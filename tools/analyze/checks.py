@@ -1,4 +1,10 @@
-"""The three whole-program checks over a linked callgraph.Program.
+"""The whole-program checks over a linked callgraph.Program.
+
+Call-level: lock-rank-static, blocking-under-lock, sim-clock-purity (PR 6).
+Field-level: guarded-field (annotated field accessed where its guard is not
+must-held), annotation-completeness (mutable member of a lock-owning class
+with no guard/atomic-marker/immutability proof), atomic-mixed-access (an
+unmarked atomic accessed both under a lock and lock-free).
 
 Each finding is a dict:
 
@@ -25,8 +31,12 @@ ROOT_QUAL_RE = re.compile(
 CHECK_LOCK_RANK = "lock-rank-static"
 CHECK_BLOCKING = "blocking-under-lock"
 CHECK_SIM_CLOCK = "sim-clock-purity"
+CHECK_GUARDED_FIELD = "guarded-field"
+CHECK_ANNOTATION = "annotation-completeness"
+CHECK_ATOMIC_MIXED = "atomic-mixed-access"
 
-ALL_CHECKS = (CHECK_LOCK_RANK, CHECK_BLOCKING, CHECK_SIM_CLOCK)
+ALL_CHECKS = (CHECK_LOCK_RANK, CHECK_BLOCKING, CHECK_SIM_CLOCK,
+              CHECK_GUARDED_FIELD, CHECK_ANNOTATION, CHECK_ATOMIC_MIXED)
 
 
 def run_checks(program):
@@ -34,6 +44,9 @@ def run_checks(program):
     findings += check_lock_rank(program)
     findings += check_blocking_under_lock(program)
     findings += check_sim_clock_purity(program)
+    findings += check_guarded_field(program)
+    findings += check_annotation_completeness(program)
+    findings += check_atomic_mixed_access(program)
     findings.sort(key=lambda f: (f["check"], f["file"], f["line"],
                                  f["fingerprint"]))
     return findings
@@ -270,3 +283,194 @@ def _add(findings, seen, fnd):
     if fnd["fingerprint"] not in seen:
         seen.add(fnd["fingerprint"])
         findings.append(fnd)
+
+
+# -- field-level checks ------------------------------------------------------
+
+def _is_ctor_dtor(func):
+    """Constructors/destructors run before the object is shared (and after
+    it stops being shared); field-level checks exempt them, same as Clang's
+    thread-safety analysis."""
+    if not func.cls:
+        return False
+    base = func.qual.rsplit("::", 1)[-1]
+    cls_base = func.cls.rsplit("::", 1)[-1]
+    return base == cls_base or base == "~" + cls_base
+
+
+def _guard_qual(program, owner, guard_expr):
+    """Resolved qual of a GUARDED_BY expression, relative to the class that
+    declares the guarded field (`mu_` on Cluster::stats_ -> Cluster::mu_,
+    `mu` on ChunkCache::Shard fields -> ChunkCache::Shard::mu)."""
+    member = re.split(r"\.|->", guard_expr)[-1].strip()
+    member = re.match(r"[A-Za-z_]\w*", member)
+    if not member:
+        return None
+    member = member.group(0)
+    exact = owner + "::" + member
+    cands = [d for d in program.mutex_decls
+             if d.qual.rsplit("::", 1)[-1] == member]
+    for d in cands:
+        if d.qual == exact:
+            return d.qual
+    hierarchy = program.hierarchy_of(owner)
+    for d in cands:
+        if d.qual.rsplit("::", 1)[0] in hierarchy:
+            return d.qual
+    return cands[0].qual if cands else None
+
+
+def check_guarded_field(program):
+    """Every access to an RSTORE_GUARDED_BY field must happen where the
+    declared guard is held — either locally at the access site or on every
+    path into the function (the must-hold set). This is interprocedural and
+    cross-TU: Clang's -Wthread-safety proves the same property only inside
+    one TU and gives up at un-annotated function boundaries; here a helper
+    is safe if all of its callers lock, and a single lock-free entry path is
+    a finding with that path as the chain."""
+    findings = []
+    seen = set()
+    for f in program.functions:
+        if _is_ctor_dtor(f):
+            continue
+        for event, owner, rec in f.field_accesses:
+            if not rec.get("guard"):
+                continue
+            if _allowed(event, CHECK_GUARDED_FIELD) \
+                    or CHECK_GUARDED_FIELD in rec.get("allow", ()):
+                continue
+            guard = _guard_qual(program, owner, rec["guard"])
+            if guard is None:
+                program.warnings.append(
+                    "%s: unresolved guard '%s' on %s::%s"
+                    % (rec.get("file", "?"), rec["guard"], owner,
+                       event["member"]))
+                continue
+            held = program.held_quals(f, event)
+            if guard in held or guard in f.must_hold:
+                continue
+            access = "writes" if event.get("write") else "reads"
+            chain = program.unguarded_path(f, guard)
+            chain.append({"file": f.file, "line": event["line"],
+                          "function": f.qual,
+                          "note": "%s %s::%s without %s"
+                                  % (access, owner, event["member"], guard)})
+            field_qual = "%s::%s" % (owner, event["member"])
+            fnd = _finding(
+                CHECK_GUARDED_FIELD, f, event["line"],
+                "%s %s %s (guarded by %s) but %s is not must-held"
+                % (f.qual, access, field_qual, guard, guard),
+                chain, [f.qual, field_qual, guard,
+                        "write" if event.get("write") else "read"])
+            _add(findings, seen, fnd)
+    return findings
+
+
+def check_annotation_completeness(program):
+    """Every mutable member of a lock-owning (tracked) class must be either
+    RSTORE_GUARDED_BY-annotated, a std::atomic carrying an explicit
+    `// analyze:atomic` protocol marker, or provably immutable after
+    construction (no writes outside constructors/destructors anywhere in
+    the program, and not declared `mutable`). Closes the
+    "forgot-to-annotate" hole that keeps Clang's checker vacuously happy."""
+    findings = []
+    seen = set()
+    for cls in sorted(program.tracked):
+        members = program.classes.get(cls, {}).get("members", {})
+        for name, rec in sorted(members.items()):
+            if not isinstance(rec, dict):
+                continue
+            if rec.get("konst") or rec.get("guard"):
+                continue
+            if CHECK_ANNOTATION in rec.get("allow", ()):
+                continue
+            field_qual = "%s::%s" % (cls, name)
+            accesses = program.field_index.get((cls, name), [])
+            if rec.get("atomic"):
+                if rec.get("atomic_marker"):
+                    continue
+                message = ("%s is std::atomic but carries no "
+                           "`// analyze:atomic` marker documenting its "
+                           "lock-free protocol" % field_qual)
+            else:
+                writes = [(g, e) for (g, e) in accesses
+                          if e.get("write") and not _is_ctor_dtor(g)]
+                if not writes and not rec.get("is_mutable"):
+                    continue  # immutable after construction
+                if writes:
+                    wg, we = writes[0]
+                    why = ("written in %s (%s:%d)"
+                           % (wg.qual, wg.file, we["line"]))
+                else:
+                    why = "declared `mutable`"
+                message = ("%s is mutable shared state of a lock-owning "
+                           "class but has no RSTORE_GUARDED_BY annotation "
+                           "(%s)" % (field_qual, why))
+            chain = [{"file": rec.get("file", "?"),
+                      "line": rec.get("line", 0),
+                      "function": field_qual, "note": "declared here"}]
+            for g, e in accesses:
+                if e.get("write") and not _is_ctor_dtor(g):
+                    chain.append({"file": g.file, "line": e["line"],
+                                  "function": g.qual,
+                                  "note": "writes %s" % field_qual})
+                    break
+            fnd = {
+                "check": CHECK_ANNOTATION,
+                "fingerprint": finding_fingerprint(
+                    CHECK_ANNOTATION, [field_qual]),
+                "file": rec.get("file", "?"),
+                "line": rec.get("line", 0),
+                "function": field_qual,
+                "message": message,
+                "chain": chain,
+            }
+            _add(findings, seen, fnd)
+    return findings
+
+
+def check_atomic_mixed_access(program):
+    """An unmarked atomic field accessed both while holding a lock and
+    lock-free is running two synchronization protocols at once — the
+    `alive_`/`hint_count_` bug class: readers see torn *protocol* state
+    (e.g. a counter updated under a mutex but polled lock-free as if it
+    were independently consistent). The `// analyze:atomic` marker is the
+    documented way to bless an intentional lock-free protocol."""
+    findings = []
+    seen = set()
+    for (cls, name), accesses in sorted(program.field_index.items()):
+        rec = program.classes.get(cls, {}).get("members", {}).get(name)
+        if not isinstance(rec, dict) or not rec.get("atomic"):
+            continue
+        if rec.get("atomic_marker") or rec.get("guard"):
+            continue
+        if CHECK_ATOMIC_MIXED in rec.get("allow", ()):
+            continue
+        locked = []
+        lockfree = []
+        for g, e in accesses:
+            if _allowed(e, CHECK_ATOMIC_MIXED) or _is_ctor_dtor(g):
+                continue
+            if program.held_quals(g, e) or g.must_hold:
+                locked.append((g, e))
+            else:
+                lockfree.append((g, e))
+        if not locked or not lockfree:
+            continue
+        field_qual = "%s::%s" % (cls, name)
+        lg, le = locked[0]
+        fg, fe = lockfree[0]
+        chain = [
+            {"file": lg.file, "line": le["line"], "function": lg.qual,
+             "note": "accesses %s under a lock" % field_qual},
+            {"file": fg.file, "line": fe["line"], "function": fg.qual,
+             "note": "accesses %s lock-free" % field_qual},
+        ]
+        fnd = _finding(
+            CHECK_ATOMIC_MIXED, lg, le["line"],
+            "%s is accessed both under a lock (%s) and lock-free (%s) "
+            "with no `// analyze:atomic` protocol marker"
+            % (field_qual, lg.qual, fg.qual),
+            chain, [field_qual, lg.qual, fg.qual])
+        _add(findings, seen, fnd)
+    return findings

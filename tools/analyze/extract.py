@@ -31,7 +31,7 @@ from lint import strip_comments_and_strings  # noqa: E402  (tools/lint.py)
 import facts  # noqa: E402
 
 EXTRACTOR_NAME = "python"
-EXTRACTOR_VERSION = 1
+EXTRACTOR_VERSION = 2
 
 # Keywords that can precede a '(' without being a call.
 NON_CALL_KEYWORDS = frozenset("""
@@ -65,6 +65,7 @@ RANDOM_RE = re.compile(
 
 ALLOW_MARKER_RE = re.compile(r"analyze:allow-([\w-]+)")
 ROOT_MARKER_RE = re.compile(r"analyze:root\b")
+ATOMIC_MARKER_RE = re.compile(r"analyze:atomic\b")
 
 MUTEX_DECL_RE = re.compile(
     r"\b(Mutex|SharedMutex)\s+(\w+)\s*(?:\{\s*(kLockRank\w+)[^}]*\})?\s*;")
@@ -79,6 +80,19 @@ ALIAS_RE = re.compile(r"\busing\s+(\w+)\s*=\s*std\s*::\s*function\s*<")
 ENUM_CONST_RE = re.compile(r"\b(kLockRank\w+)\s*=\s*(\d+)")
 
 GUARD_ATTR_RE = re.compile(r"RSTORE_[A-Z_]+\s*\([^()]*\)")
+
+GUARDED_BY_RE = re.compile(r"RSTORE_(?:PT_)?GUARDED_BY\s*\(\s*([^()]*?)\s*\)")
+
+REQUIRES_RE = re.compile(r"RSTORE_REQUIRES(?:_SHARED)?\s*\(\s*([^()]*?)\s*\)")
+
+# Method names on a member chain that mutate the object they are called on.
+# Used by the field-access scan to classify `x_.push_back(..)` as a write.
+MUTATING_METHODS = frozenset("""
+    push_back emplace_back pop_back push_front pop_front clear erase insert
+    emplace emplace_front resize reserve assign swap store fetch_add fetch_sub
+    fetch_and fetch_or fetch_xor exchange compare_exchange_weak
+    compare_exchange_strong reset release merge extract
+""".split())
 
 
 def _blank_preprocessor(text):
@@ -100,13 +114,16 @@ def _line_markers(text):
     """Per-line analyze: markers, read from the original (uncommented) text."""
     allow = {}
     roots = set()
+    atomics = set()
     for idx, line in enumerate(text.splitlines()):
         checks = ALLOW_MARKER_RE.findall(line)
         if checks:
             allow[idx + 1] = checks
         if ROOT_MARKER_RE.search(line):
             roots.add(idx + 1)
-    return allow, roots
+        if ATOMIC_MARKER_RE.search(line):
+            atomics.add(idx + 1)
+    return allow, roots, atomics
 
 
 def _depth_and_lines(text):
@@ -135,6 +152,19 @@ def _matching_paren(text, open_pos):
         if text[i] == "(":
             depth += 1
         elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _matching_bracket(text, open_pos):
+    """Offset of the ']' matching the '[' at open_pos, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "[":
+            depth += 1
+        elif text[i] == "]":
             depth -= 1
             if depth == 0:
                 return i
@@ -185,7 +215,7 @@ def extract_file(abs_path, rel_path):
     with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
         original = f.read()
 
-    allow_by_line, root_lines = _line_markers(original)
+    allow_by_line, root_lines, atomic_lines = _line_markers(original)
     text = _blank_preprocessor(strip_comments_and_strings(original))
     depth, line_of = _depth_and_lines(text)
 
@@ -261,8 +291,7 @@ def extract_file(abs_path, rel_path):
                     name, bases = payload
                     qual = (class_context() + "::" + name
                             if class_context() else name)
-                    out["classes"].setdefault(
-                        qual, {"bases": [], "members": {}})
+                    out["classes"].setdefault(qual, _new_class())
                     out["classes"][qual]["bases"] = bases
                     scope_stack.append(_Scope("class", name, stmt_start, i + 1))
                 elif kind == "function":
@@ -311,35 +340,87 @@ def extract_file(abs_path, rel_path):
             stmt_start = i + 1
         elif c == ";":
             if not in_function():
+                s = stmt_start
+                while s < i and text[s].isspace():
+                    s += 1
                 _class_statement(out, text[stmt_start:i + 1],
-                                 class_context(), line_of[i])
+                                 class_context(), line_of[s], line_of[i],
+                                 allow_by_line, atomic_lines)
             stmt_start = i + 1
 
     return out
 
 
-def _class_statement(out, stmt, cls, line):
-    """Member declarations at class scope: mutexes and typed members."""
+def _new_class():
+    return {"bases": [], "members": {}, "requires": {}}
+
+
+def _add_requires(out, cls, method, req_args):
+    """Records RSTORE_REQUIRES[_SHARED] lock expressions for cls::method."""
+    entry = out["classes"].setdefault(cls, _new_class())
+    locks = entry["requires"].setdefault(method, [])
+    for arg in req_args:
+        for lock in _split_top_commas(arg):
+            if lock not in locks:
+                locks.append(lock)
+
+
+def _class_statement(out, stmt, cls, first_line, last_line,
+                     allow_by_line, atomic_lines):
+    """Member declarations at class scope: mutexes, typed members (with
+    their GUARDED_BY guard / atomic / const facts), and the REQUIRES map
+    of annotated method declarations."""
     if not cls:
         return
-    stmt = GUARD_ATTR_RE.sub(" ", stmt).strip()
-    if not stmt or stmt.startswith(("using", "friend", "typedef", "template")):
+    raw = stmt.strip()
+    # Access-specifier labels glue onto the following declaration.
+    raw = re.sub(r"^(?:\s*(?:public|private|protected)\s*:)+\s*", "", raw)
+    if not raw or raw.startswith(("using", "friend", "typedef", "template")):
+        return
+    guard_m = GUARDED_BY_RE.search(raw)
+    guard = guard_m.group(1).strip() if guard_m else ""
+    req_args = REQUIRES_RE.findall(raw)
+    stmt = GUARD_ATTR_RE.sub(" ", raw).strip()
+    if not stmt:
         return
     m = MUTEX_DECL_RE.search(stmt)
     if m and "(" not in stmt[:m.start()]:
         kind, name, rank_const = m.group(1), m.group(2), m.group(3)
         out["mutexes"].append({
             "member": name, "cls": cls, "kind": kind,
-            "rank_const": rank_const or "kLockRankLeaf", "line": line,
+            "rank_const": rank_const or "kLockRankLeaf", "line": first_line,
         })
         return
     if "(" in stmt:
-        return  # method declaration, not a data member
-    dm = re.match(r"(?:mutable\s+|static\s+|constexpr\s+|inline\s+|const\s+)*"
-                  r"(.+?)\s+(\w+)\s*(?:\{[^;]*\})?\s*(?:=[^;]*)?;$", stmt)
-    if dm:
-        out["classes"].setdefault(cls, {"bases": [], "members": {}})
-        out["classes"][cls]["members"][dm.group(2)] = dm.group(1)
+        # Method declaration: keep its REQUIRES clause for the must-hold
+        # seed, keyed by base name.
+        if req_args:
+            nm = re.search(r"([A-Za-z_]\w*)\s*$", stmt[:stmt.find("(")])
+            if nm and nm.group(1) not in NON_CALL_KEYWORDS:
+                _add_requires(out, cls, nm.group(1), req_args)
+        return
+    dm = re.match(r"((?:mutable\s+|static\s+|constexpr\s+|inline\s+"
+                  r"|const\s+)*)"
+                  r"(.+?)\s+(\w+)\s*(?:\[[^\]]*\]\s*)*"
+                  r"(?:\{[^;]*\})?\s*(?:=[^;]*)?;$", stmt)
+    if not dm:
+        return
+    prefix, type_text, name = dm.group(1), dm.group(2).strip(), dm.group(3)
+    decl_lines = range(first_line - 1, last_line + 1)
+    allow = sorted({c for ln in decl_lines
+                    for c in allow_by_line.get(ln, [])})
+    out["classes"].setdefault(cls, _new_class())
+    out["classes"][cls]["members"][name] = {
+        "type": type_text,
+        "guard": guard,
+        "atomic": bool(re.search(r"\batomic\b", type_text)),
+        "atomic_marker": any(ln in atomic_lines for ln in decl_lines),
+        "konst": bool(re.search(r"\b(?:const|constexpr|static)\b", prefix)),
+        "is_mutable": bool(re.search(r"\bmutable\b", prefix)),
+        "file": out["tu"],
+        "line": first_line,
+        "allow": allow,
+    }
 
 
 def _callback_params(params_text, aliases):
@@ -403,6 +484,129 @@ def _base_identifier(expr):
     return m.group(1) if m else ""
 
 
+FIELD_TOKEN_RE = re.compile(r"[A-Za-z_]\w*")
+
+LOCAL_DECL_RE = re.compile(
+    r"\b(?:const\s+)?([A-Z]\w*(?:::[A-Z]\w*)*)\s*[&*]*\s+(\w+)\s*[=;({]")
+
+
+def _local_types(params, body):
+    """Best-effort map of parameter/local names to their project-class type
+    (CamelCase type names only); used to resolve receiver-qualified field
+    accesses like `shard.hits` through `Shard& shard = ...`."""
+    types = {}
+    for param in _split_top_commas(params):
+        m = re.match(r"\s*(?:const\s+)?([A-Z]\w*(?:::[A-Z]\w*)*)"
+                     r"\s*[&*]*\s+(\w+)\s*$", param.split("=", 1)[0].strip())
+        if m and m.group(1) not in RAII_GUARDS:
+            types[m.group(2)] = m.group(1)
+    for m in LOCAL_DECL_RE.finditer(body):
+        if m.group(1) not in RAII_GUARDS and m.group(2) not in types:
+            types[m.group(2)] = m.group(1)
+    return types
+
+
+def _scan_field_accesses(body):
+    """Field read/write events for one function body.
+
+    A token is a candidate member access when it either carries a receiver
+    (`x.y`, `p->y`, `this->y`) or follows the bare trailing-underscore member
+    idiom (`stats_`). Calls, qualified names (`Foo::bar`), and keywords are
+    skipped. Write detection expands the postfix chain (indexing, member
+    hops) and looks for assignment/increment operators or a mutating method
+    (`push_back`, `store`, `fetch_add`, ...). Everything else is a read —
+    passing a field by non-const reference therefore reads as a read, a
+    documented approximation. Resolution to (class, member) happens in the
+    analysis stage, which has the merged type tables; unresolvable events
+    are dropped there.
+    """
+    events = []
+    n = len(body)
+    for m in FIELD_TOKEN_RE.finditer(body):
+        tok = m.group(0)
+        p, e = m.start(), m.end()
+        if tok in NON_CALL_KEYWORDS or tok in CONTROL_KEYWORDS:
+            continue
+        # Qualified-name halves: `Foo::bar` is a static/enum access.
+        q = p - 1
+        while q >= 0 and body[q] in " \t\n":
+            q -= 1
+        if q >= 1 and body[q] == ":" and body[q - 1] == ":":
+            continue
+        j = e
+        while j < n and body[j] in " \t\n":
+            j += 1
+        if body[j:j + 2] == "::":
+            continue
+        if j < n and body[j] == "(":
+            continue  # call expression (the CALL_RE pass owns it)
+        recv = _receiver_before(body, p)
+        if recv and not re.match(r"[A-Za-z_(*&]", recv):
+            continue  # numeric literal artefact like `1.f`
+        if not recv and not tok.endswith("_"):
+            continue  # bare locals: members use the trailing underscore
+        write = classify_postfix_write(body, e)
+        if not write and not recv:
+            # Prefix increment on a bare member: `++count_`.
+            if q >= 1 and body[q - 1:q + 1] in ("++", "--"):
+                write = True
+        events.append({"kind": "field", "member": tok, "recv": recv,
+                       "cls": "", "write": write, "pos": p})
+    return events
+
+
+def classify_postfix_write(body, start):
+    """True when the postfix chain starting at `start` (the offset just past
+    a member token or member-ref extent) ends in a mutating operation:
+    an assignment/compound-assignment, ++/--, or a mutating method call.
+    Expands balanced `[...]` indexing and `.x`/`->x` member hops first."""
+    n = len(body)
+    write = False
+    k = start
+    while k < n:
+        while k < n and body[k] in " \t\n":
+            k += 1
+        if k < n and body[k] == "[":
+            close = _matching_bracket(body, k)
+            if close == -1:
+                break
+            k = close + 1
+            continue
+        conn = 0
+        if k < n and body[k] == ".":
+            conn = 1
+        elif body[k:k + 2] == "->":
+            conn = 2
+        if not conn:
+            break
+        k2 = k + conn
+        while k2 < n and body[k2] in " \t\n":
+            k2 += 1
+        nm = FIELD_TOKEN_RE.match(body, k2)
+        if not nm:
+            break
+        k3 = nm.end()
+        while k3 < n and body[k3] in " \t\n":
+            k3 += 1
+        if k3 < n and body[k3] == "(":
+            if nm.group(0) in MUTATING_METHODS:
+                write = True
+            return write  # a method call ends the postfix chain
+        k = nm.end()
+    while k < n and body[k] in " \t\n":
+        k += 1
+    two = body[k:k + 2]
+    if two in ("++", "--"):
+        write = True
+    elif body[k:k + 1] == "=" and body[k + 1:k + 2] != "=":
+        write = True
+    elif len(two) == 2 and two[1] == "=" and two[0] in "+-*/%&|^":
+        write = True
+    elif body[k:k + 3] in ("<<=", ">>="):
+        write = True
+    return write
+
+
 def _emit_function(out, text, original, scope, close_pos, pending,
                    depth, line_of, allow_by_line, root_lines):
     """Builds the function record (with body events) for a just-closed
@@ -421,6 +625,14 @@ def _emit_function(out, text, original, scope, close_pos, pending,
     header_line = line_of[scope.header_start]
     body_first_line = line_of[body_start - 1]
 
+    # RSTORE_REQUIRES on an out-of-class definition header counts toward
+    # the class's requires map, same as the in-class declaration.
+    if cls:
+        header_req = REQUIRES_RE.findall(
+            text[scope.header_start:body_start - 1])
+        if header_req:
+            _add_requires(out, cls, qual.rpartition("::")[2], header_req)
+
     func = {
         "qual": qual,
         "cls": cls,
@@ -432,6 +644,7 @@ def _emit_function(out, text, original, scope, close_pos, pending,
                     for ln in root_lines),
         "callback_params": _callback_params(params, out["aliases"]),
         "local_mutexes": {},
+        "local_types": _local_types(params, body),
         "events": [],
     }
 
@@ -548,6 +761,13 @@ def _emit_function(out, text, original, scope, close_pos, pending,
             "line": ev_line(pos), "held": held_at(pos),
             "allow": allow_at(pos),
         })
+
+    # -- member-field accesses ---------------------------------------------
+    for ev in _scan_field_accesses(body):
+        pos = ev.pop("pos")
+        ev.update({"line": ev_line(pos), "held": held_at(pos),
+                   "allow": allow_at(pos)})
+        func["events"].append(ev)
 
     # -- wall clock / randomness -------------------------------------------
     for m in WALL_CLOCK_RE.finditer(body):

@@ -20,9 +20,12 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 import facts  # noqa: E402
 from extract import _line_markers  # noqa: E402  (same marker syntax)
+from extract import (GUARDED_BY_RE, REQUIRES_RE,  # noqa: E402
+                     _new_class, _split_top_commas, classify_postfix_write)
+from lint import strip_comments_and_strings  # noqa: E402  (tools/lint.py)
 
 EXTRACTOR_NAME = "clang"
-EXTRACTOR_VERSION = 1
+EXTRACTOR_VERSION = 2
 
 RAII_GUARDS = ("MutexLock", "ReaderLock", "WriterLock")
 MUTEX_TYPES = ("Mutex", "SharedMutex")
@@ -116,7 +119,11 @@ def extract_file(abs_path, rel_path):
     ck = _cursor_kinds()
     with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
         original = f.read()
-    allow_by_line, root_lines = _line_markers(original)
+    allow_by_line, root_lines, atomic_lines = _line_markers(original)
+    # Comment/string-stripped source (offset-preserving) for the textual
+    # write-classification of member accesses; the AST alone would need
+    # parent links cindex does not expose portably.
+    stripped = strip_comments_and_strings(original)
 
     tu = _index.parse(abs_path, args=_compile_args(abs_path))
 
@@ -164,26 +171,55 @@ def extract_file(abs_path, rel_path):
 
     def _class(cursor):
         qual = _qualified(cursor)
-        entry = out["classes"].setdefault(qual, {"bases": [], "members": {}})
+        entry = out["classes"].setdefault(qual, _new_class())
         for child in cursor.get_children():
             if child.kind == ck.CXX_BASE_SPECIFIER:
                 base = _strip_ns(child.type.spelling)
                 if base not in entry["bases"]:
                     entry["bases"].append(base)
+            elif child.kind in (ck.CXX_METHOD, ck.CONSTRUCTOR,
+                                ck.DESTRUCTOR):
+                # RSTORE_REQUIRES[_SHARED] clauses survive in the lexical
+                # tokens (macros are not yet expanded there).
+                for req in REQUIRES_RE.findall(_tokens_text(child)):
+                    locks = entry["requires"].setdefault(child.spelling, [])
+                    for lock in _split_top_commas(req.replace(" ", "")):
+                        if lock not in locks:
+                            locks.append(lock)
             elif child.kind == ck.FIELD_DECL:
-                type_text = child.type.spelling
-                entry["members"][child.spelling] = _strip_ns(type_text)
-                base_type = _strip_ns(type_text).replace("mutable ", "")
+                type_text = _strip_ns(child.type.spelling)
+                base_type = type_text.replace("mutable ", "")
                 if base_type in MUTEX_TYPES:
                     m = re.search(r"kLockRank\w+", _tokens_text(child))
                     out["mutexes"].append({
                         "member": child.spelling,
-                        "cls": qual.rsplit("::", 1)[0] if "::" in qual
-                               else qual,
+                        "cls": qual,
                         "kind": base_type,
                         "rank_const": m.group(0) if m else "kLockRankLeaf",
                         "line": child.location.line,
                     })
+                    continue
+                decl_tokens = _tokens_text(child)
+                gm = GUARDED_BY_RE.search(decl_tokens)
+                line = child.location.line
+                decl_lines = (line - 1, line, child.extent.end.line)
+                try:
+                    is_mutable = child.is_mutable_field()
+                except AttributeError:
+                    is_mutable = "mutable" in decl_tokens.split("=")[0]
+                entry["members"][child.spelling] = {
+                    "type": type_text,
+                    "guard": gm.group(1).replace(" ", "") if gm else "",
+                    "atomic": bool(re.search(r"\batomic\b", type_text)),
+                    "atomic_marker": any(ln in atomic_lines
+                                         for ln in decl_lines),
+                    "konst": child.type.is_const_qualified(),
+                    "is_mutable": is_mutable,
+                    "file": rel_path,
+                    "line": line,
+                    "allow": sorted({c for ln in decl_lines
+                                     for c in allow_by_line.get(ln, [])}),
+                }
 
     def _function(cursor):
         cls_cursor = cursor.semantic_parent
@@ -197,9 +233,12 @@ def extract_file(abs_path, rel_path):
         header_line = cursor.location.line
 
         callback_params = []
+        local_types = {}
         for arg in cursor.get_arguments():
             if "function<" in arg.type.spelling:
                 callback_params.append(arg.spelling)
+            elif arg.spelling:
+                local_types[arg.spelling] = _strip_ns(arg.type.spelling)
 
         func = {
             "qual": qual,
@@ -210,6 +249,7 @@ def extract_file(abs_path, rel_path):
                         for ln in root_lines),
             "callback_params": callback_params,
             "local_mutexes": {},
+            "local_types": local_types,
             "events": [],
         }
 
@@ -259,6 +299,9 @@ def extract_file(abs_path, rel_path):
                         m = re.search(r"kLockRank\w+", _tokens_text(child))
                         func["local_mutexes"][child.spelling] = (
                             m.group(0) if m else "kLockRankLeaf")
+                    elif child.spelling:
+                        func["local_types"].setdefault(
+                            child.spelling, tname)
                     if any(e in child.type.spelling
                            for e in UNSEEDED_ENGINES + RANDOM_DECLS):
                         init = _tokens_text(child)
@@ -268,6 +311,8 @@ def extract_file(abs_path, rel_path):
                                what=_strip_ns(child.type.spelling))
                 elif kind == ck.CALL_EXPR:
                     _call(child, scope_end)
+                elif kind == ck.MEMBER_REF_EXPR:
+                    _field(child)
                 if kind == ck.COMPOUND_STMT:
                     walk(child, child.extent.end.offset)
                 else:
@@ -337,6 +382,29 @@ def extract_file(abs_path, rel_path):
                     return ""
             return ""
 
+        def _field(node):
+            """A member access that resolved to a data member: emit a field
+            event with the exact owning class. Write classification is
+            textual (postfix chain after the member-ref extent) because
+            cindex exposes no parent links to find the assignment node."""
+            ref = node.referenced
+            if ref is None or ref.kind != ck.FIELD_DECL:
+                return
+            owner = ref.semantic_parent
+            cls = _qualified(owner) if owner is not None else ""
+            kids = list(node.get_children())
+            recv = _tokens_text(kids[0]).replace(" ", "") if kids else ""
+            end = node.extent.end.offset
+            write = classify_postfix_write(stripped, end)
+            if not write:
+                q = node.extent.start.offset - 1
+                while q >= 0 and stripped[q] in " \t\n":
+                    q -= 1
+                if q >= 1 and stripped[q - 1:q + 1] in ("++", "--"):
+                    write = True
+            ev("field", node, member=ref.spelling, recv=recv,
+               cls=cls, write=write)
+
         body = None
         for child in cursor.get_children():
             if child.kind == ck.COMPOUND_STMT:
@@ -344,6 +412,19 @@ def extract_file(abs_path, rel_path):
         if body is None:
             return
         walk(body, body.extent.end.offset)
+        # The walker may visit call-argument subtrees more than once (the
+        # _call paths re-walk); field events dedupe on identity.
+        seen = set()
+        deduped = []
+        for e in func["events"]:
+            if e["kind"] == "field":
+                key = (e["member"], e["cls"], e["line"], e["write"],
+                       e["recv"])
+                if key in seen:
+                    continue
+                seen.add(key)
+            deduped.append(e)
+        func["events"] = deduped
         func["events"].sort(key=lambda e: e["line"])
         out["functions"].append(func)
 

@@ -15,8 +15,26 @@ Facts dict layout (schema SCHEMA_VERSION):
     "ranks": {"kLockRankCluster": 400, ...},     # enum LockRank constants
     "aliases": ["ChunkResolver", ...],           # using X = std::function<..>
     "classes": {
-       "Cluster": {"bases": ["KVStore"],
-                    "members": {"nodes_": "std::vector<...MemoryStore...>"}},
+       "Cluster": {
+          "bases": ["KVStore"],
+          "members": {
+             # One entry per data member. `guard` is the RSTORE_GUARDED_BY
+             # expression ("" when unannotated), `atomic` marks
+             # std::atomic-typed members (including containers of atomics),
+             # `atomic_marker` an `// analyze:atomic` comment documenting a
+             # lock-free protocol, `konst` const/constexpr/static members,
+             # and `is_mutable` the `mutable` keyword. `file`/`line` pin the
+             # declaration for findings; `allow` lists suppressed checks.
+             "stats_": {"type": "KVStats", "guard": "mu_", "atomic": false,
+                        "atomic_marker": false, "konst": false,
+                        "is_mutable": false, "file": "src/...h",
+                        "line": 189, "allow": []},
+          },
+          # Lock expressions from RSTORE_REQUIRES[_SHARED] on method
+          # declarations at class scope, keyed by method base name. The
+          # must-hold fixpoint seeds from these.
+          "requires": {"AppendRecord": ["mu_"]},
+       },
     },
     "mutexes": [ {"member": "mu_", "cls": "Cluster",
                    "rank_const": "kLockRankCluster", "kind": "Mutex",
@@ -30,6 +48,8 @@ Facts dict layout (schema SCHEMA_VERSION):
        "root": false,                            # // analyze:root marker
        "callback_params": ["fn"],                # std::function-typed params
        "local_mutexes": {"error_mu": "kLockRankParallelError"},
+       "local_types": {"shard": "Shard"},        # class-typed params/locals
+                                                 # (receiver resolution)
        "events": [ ... ]                         # ordered body events
     } ],
   }
@@ -46,12 +66,21 @@ strings locally held at that point — and "allow", the list of check names a
   condvar_wait  {"cv": "cv_", "mutex": "mu_"}
   wall_clock    {"what": "steady_clock::now"}
   random        {"what": "std::random_device"}
+  field         {"member": "stats_",          # last path component
+                 "recv": "shard" | "this" | "",  # receiver expression
+                 "cls": "Cluster" | "",       # "" = resolve at analysis time
+                 "write": bool}               # mutation (assign/inc/mutating
+                                              # container or atomic method)
 """
 
 import hashlib
 import json
 
-SCHEMA_VERSION = 1
+# v2: member facts became per-field records (guard/atomic/const/...), class
+# entries grew a "requires" map, and function bodies emit "field" events.
+# Bumping this reshapes every facts-cache key, so stale v1 caches can never
+# mask (or manufacture) field-level findings.
+SCHEMA_VERSION = 2
 
 
 def finding_fingerprint(check, parts):

@@ -1,0 +1,42 @@
+// Intentionally-missing annotations, compiled (never linked) so
+// `tools/analyze/run.py --self-test` can prove annotation-completeness
+// fires. Every `analyze:expect-*` marker below must be matched by a finding
+// on its line, or the self-test fails (see run.py). Do not "fix" this file.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/sync.h"
+
+namespace rstore {
+namespace analyze_fixture {
+
+// Owns a Mutex, so every mutable member must be guarded, an atomic with an
+// explicit `analyze:atomic` protocol marker, or provably immutable after
+// construction. Three members below break that; two are clean controls.
+class Unannotated {
+ public:
+  void Rename(const std::string& name) {
+    MutexLock lock(mu_);
+    // A guarded write of an *unguarded* member: exactly the hole that
+    // keeps Clang's checker vacuously happy.
+    name_ = name;
+  }
+  uint64_t Peek() const { return hits_.load(std::memory_order_relaxed); }
+  void Record() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t Budget() const { return budget_; }
+  uint64_t Limit() const { return limit_; }
+  uint64_t Seed() const { return seed_; }
+
+ private:
+  Mutex mu_{kLockRankLeaf, "Unannotated::mu_"};
+  std::string name_;  // analyze:expect-annotation-completeness
+  std::atomic<uint64_t> hits_{0};  // analyze:expect-annotation-completeness
+  mutable uint64_t budget_ = 0;  // analyze:expect-annotation-completeness
+  const uint64_t limit_ = 16;  // clean: const
+  uint64_t seed_ = 42;  // clean: never written outside construction
+};
+
+}  // namespace analyze_fixture
+}  // namespace rstore

@@ -1,0 +1,42 @@
+// Intentionally-mixed synchronization protocols, compiled (never linked) so
+// `tools/analyze/run.py --self-test` can prove atomic-mixed-access fires.
+// Every `analyze:expect-*` marker below must be matched by a finding on its
+// line, or the self-test fails (see run.py). Do not "fix" this file.
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/sync.h"
+
+namespace rstore {
+namespace analyze_fixture {
+
+// pending_ is written under mu_ alongside the guarded queue depth, but the
+// fast path polls it lock-free as if it were an independent atomic — the
+// alive_/hint_count_ bug class from PR 1. A real protocol would either
+// guard it or document the lock-free contract with `// analyze:atomic`.
+class MixedProtocol {
+ public:
+  void Enqueue() {
+    MutexLock lock(mu_);
+    depth_ += 1;
+    pending_.fetch_add(1);  // analyze:expect-atomic-mixed-access
+  }
+
+  bool MaybeDrain() {
+    if (pending_.load() == 0) return false;  // the lock-free half
+    MutexLock lock(mu_);
+    pending_.fetch_sub(1);
+    depth_ -= 1;
+    return true;
+  }
+
+ private:
+  Mutex mu_{kLockRankLeaf, "MixedProtocol::mu_"};
+  uint64_t depth_ RSTORE_GUARDED_BY(mu_) = 0;
+  // The unmarked atomic is also an annotation hole, anchored at its decl:
+  std::atomic<uint64_t> pending_{0};  // analyze:expect-annotation-completeness
+};
+
+}  // namespace analyze_fixture
+}  // namespace rstore

@@ -1,0 +1,51 @@
+// Intentionally-broken guarded-field discipline, compiled (never linked) so
+// `tools/analyze/run.py --self-test` can prove guarded-field fires. Every
+// `analyze:expect-*` marker below must be matched by a finding on its line,
+// or the self-test fails (see run.py). Do not "fix" this file.
+
+#include <cstdint>
+
+#include "common/sync.h"
+
+namespace rstore {
+namespace analyze_fixture {
+
+// counter_ is declared guarded by mu_; the accesses below run where mu_ is
+// provably not must-held.
+class GuardedCounter {
+ public:
+  // Direct: reads the guarded field with no lock anywhere in sight.
+  uint64_t RacyRead() {
+    return counter_;  // analyze:expect-guarded-field
+  }
+
+  // Interprocedural must-hold divergence: BumpImpl() takes no lock itself;
+  // Checked() wraps the call in mu_, Unchecked() does not. One lock-free
+  // entry path is enough — the finding carries that path as its chain.
+  void Checked() {
+    MutexLock lock(mu_);
+    BumpImpl();
+  }
+  void Unchecked() { BumpImpl(); }
+
+  // Must-hold (not may-hold) contrast: every caller of ResetImpl() holds
+  // mu_, so its guarded access is clean even though it takes no lock —
+  // a property Clang's TU-local analysis cannot express without REQUIRES
+  // on every intermediate signature.
+  void Reset() {
+    MutexLock lock(mu_);
+    ResetImpl();
+  }
+
+ private:
+  void BumpImpl() {
+    counter_ += 1;  // analyze:expect-guarded-field chain>=2
+  }
+  void ResetImpl() { counter_ = 0; }  // clean: mu_ is must-held here
+
+  Mutex mu_{kLockRankMemoryStore, "GuardedCounter::mu_"};
+  uint64_t counter_ RSTORE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace analyze_fixture
+}  // namespace rstore

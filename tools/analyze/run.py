@@ -6,7 +6,7 @@ Two stages (see DESIGN.md "Static analysis"):
   1. per-TU fact extraction (pluggable frontend: the portable pure-Python
      parser, or libclang when python3-clang is installed), cached in
      .analyze-cache/ keyed on source hash + extractor identity;
-  2. a merged call-graph analysis running three checks:
+  2. a merged call-graph analysis running six checks:
        lock-rank-static     ranks must strictly decrease along every
                             acquisition path, including transitive ones
        blocking-under-lock  no user callback, KVStore backend call, or
@@ -14,6 +14,15 @@ Two stages (see DESIGN.md "Static analysis"):
                             any lock is held (the Scan bug class)
        sim-clock-purity     no wall clock / unseeded randomness reachable
                             from deterministic-simulation roots
+       guarded-field        no access to an RSTORE_GUARDED_BY field where
+                            the declared guard is not must-held on every
+                            acquisition path (interprocedural, cross-TU)
+       annotation-completeness
+                            every mutable field of a lock-owning class is
+                            guarded, an `analyze:atomic` atomic, or provably
+                            immutable after construction
+       atomic-mixed-access  no unmarked atomic accessed both under a lock
+                            and lock-free (the alive_/hint_count_ bug class)
 
 Usage:
 
@@ -22,6 +31,8 @@ Usage:
   tools/analyze/run.py --self-test      # prove the checks on the bad-fixture
                                         # corpus (tools/analyze/fixtures/)
   tools/analyze/run.py --all --write-baseline   # accept current findings
+  tools/analyze/run.py --all --incremental      # facts-cache hits vs
+                                                # re-extracted TUs (and why)
 
 Known findings live in tools/analyze/baseline.json with a justification
 each; `// analyze:allow-<check>` on the offending line suppresses at source.
@@ -82,30 +93,47 @@ def load_extractor(name):
 
 
 def _extract_one(job):
-    """Worker: returns (path, facts) using the per-source-hash cache."""
+    """Worker: returns (path, facts, status). `status` is "hit" or a
+    "miss:<why>" tag for --incremental reporting; on a broken TU the worker
+    returns (path, None, "error:<message>") instead of raising, so one bad
+    file cannot poison the whole pool (the parent reports it and exits 2)."""
     path, extractor_name, cache_dir = job
-    module, _ = load_extractor(extractor_name)
-    with open(path, "rb") as f:
-        source = f.read()
-    key = facts_mod.facts_cache_key(
-        source, module.EXTRACTOR_NAME, module.EXTRACTOR_VERSION)
-    cache_path = os.path.join(cache_dir, key + ".json") if cache_dir else None
-    if cache_path and os.path.exists(cache_path):
-        try:
-            with open(cache_path, "r", encoding="utf-8") as f:
-                cached = json.load(f)
-            if cached.get("schema") == facts_mod.SCHEMA_VERSION:
-                return path, cached
-        except (OSError, ValueError):
-            pass
-    tu_facts = module.extract_file(path, os.path.relpath(path, REPO_ROOT))
-    if cache_path:
-        os.makedirs(cache_dir, exist_ok=True)
-        tmp = cache_path + ".tmp.%d" % os.getpid()
-        with open(tmp, "w", encoding="utf-8") as f:
-            json.dump(tu_facts, f, sort_keys=True)
-        os.replace(tmp, cache_path)
-    return path, tu_facts
+    try:
+        module, _ = load_extractor(extractor_name)
+        with open(path, "rb") as f:
+            source = f.read()
+        key = facts_mod.facts_cache_key(
+            source, module.EXTRACTOR_NAME, module.EXTRACTOR_VERSION)
+        cache_path = (os.path.join(cache_dir, key + ".json")
+                      if cache_dir else None)
+        status = "miss:disabled" if not cache_dir else "miss:new"
+        if cache_path and os.path.exists(cache_path):
+            try:
+                with open(cache_path, "r", encoding="utf-8") as f:
+                    cached = json.load(f)
+                if cached.get("schema") == facts_mod.SCHEMA_VERSION:
+                    return path, cached, "hit"
+                status = "miss:schema"
+            except (OSError, ValueError):
+                status = "miss:corrupt"
+        tu_facts = module.extract_file(path, os.path.relpath(path, REPO_ROOT))
+        if cache_path:
+            os.makedirs(cache_dir, exist_ok=True)
+            tmp = cache_path + ".tmp.%d" % os.getpid()
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(tu_facts, f, sort_keys=True)
+            os.replace(tmp, cache_path)
+        return path, tu_facts, status
+    except Exception as exc:  # noqa: BLE001 - reported by the parent
+        return path, None, "error:%s: %s" % (type(exc).__name__, exc)
+
+
+_MISS_WHY = {
+    "miss:new": "no cache entry for this source hash",
+    "miss:schema": "cache entry has a stale facts schema",
+    "miss:corrupt": "cache entry unreadable",
+    "miss:disabled": "cache disabled",
+}
 
 
 # -- source collection -------------------------------------------------------
@@ -245,7 +273,7 @@ def run_self_test(findings, fixture_paths):
         print("self-test FAILED; checks that never fired: %s"
               % ", ".join(missing_checks), file=sys.stderr)
         return 1
-    print("self-test OK: all three checks fire on the fixture corpus")
+    print("self-test OK: all six checks fire on the fixture corpus")
     return 0
 
 
@@ -270,7 +298,10 @@ def main():
                              "installed, else the portable parser)")
     parser.add_argument("--jobs", "-j", type=int,
                         default=min(8, os.cpu_count() or 1),
-                        help="parallel extraction workers")
+                        help="parallel extraction workers (clamped to >= 1)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="report facts-cache hits vs re-extracted TUs "
+                             "(one line per cache miss, with the reason)")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         help="facts cache directory (empty string disables)")
     parser.add_argument("--no-cache", action="store_true",
@@ -302,14 +333,37 @@ def main():
               % (len(sources), extractor_name))
 
     jobs = [(path, extractor_name, cache_dir) for path in sources]
-    if args.jobs > 1 and len(jobs) > 1:
-        with multiprocessing.Pool(args.jobs) as pool:
-            results = pool.map(_extract_one, jobs)
+    njobs = max(1, min(args.jobs, len(jobs)))
+    if njobs > 1:
+        # chunksize=1 keeps the stragglers balanced; map() preserves the
+        # sorted source order, so the merged program is deterministic
+        # regardless of worker scheduling.
+        with multiprocessing.Pool(njobs) as pool:
+            results = pool.map(_extract_one, jobs, chunksize=1)
     else:
         results = [_extract_one(job) for job in jobs]
 
+    errors = [(p, s) for p, _f, s in results if s.startswith("error:")]
+    if errors:
+        for path, status in errors:
+            print("run.py: extraction failed: %s: %s"
+                  % (os.path.relpath(path, REPO_ROOT), status[len("error:"):]),
+                  file=sys.stderr)
+        return 2
+
+    if args.incremental or args.verbose:
+        hits = sum(1 for _p, _f, s in results if s == "hit")
+        print("facts cache: %d hit(s), %d miss(es)"
+              % (hits, len(results) - hits))
+    if args.incremental:
+        for path, _facts, status in results:
+            if status != "hit":
+                print("  re-extracted %s (%s)"
+                      % (os.path.relpath(path, REPO_ROOT),
+                         _MISS_WHY.get(status, status)))
+
     program = callgraph.Program()
-    for _path, tu_facts in results:
+    for _path, tu_facts, _status in results:
         program.add_tu(tu_facts)
     program.link()
     findings = checks_mod.run_checks(program)

@@ -1,24 +1,31 @@
 #!/usr/bin/env python3
 """Compare BENCH_*.json outputs against committed baselines.
 
-The bench binaries emit flat metric -> value JSON (BENCH_<name>.json). The
-simulated-time metrics in them — names containing "micros" or ending in
-"_ms" — are produced by the deterministic latency model, so they are exactly
-reproducible run-to-run and machine-to-machine: a change is a real modeling
-or code-path change, not noise. This script gates on those metrics only;
-wall-clock metrics (seconds of real CPU) vary by host and are ignored.
+The bench binaries emit flat metric -> value JSON (BENCH_<name>.json).
+Metrics gate in two tiers:
 
-A metric regresses when its value grows by more than --threshold (relative,
-default 0.25 = +25%) over the committed baseline in bench/baselines/.
-Improvements and sub-threshold drift are reported but do not fail. Metrics
-missing from the baseline (new benches, new series) warn and pass, so adding
-coverage never blocks a PR; refresh the baseline to start gating them.
+  simulated time  names containing "micros" or ending in "_ms". Produced by
+                  the deterministic latency model, so exactly reproducible
+                  run-to-run and machine-to-machine: a change is a real
+                  modeling or code-path change, not noise. Tight gate
+                  (--threshold, default 0.25 = +25%).
+  wall clock      names ending in "_real_ns" (bench_micro). Host- and
+                  load-dependent, so the gate is deliberately loose
+                  (--wall-threshold, default 3.0 = +300%): it only catches
+                  order-of-magnitude regressions — an accidental O(n^2), a
+                  lock on the hot path — never scheduler jitter.
+
+Other metrics (counters, bytes) are reported but never gate. Improvements
+and sub-threshold drift are reported but do not fail. Metrics missing from
+the baseline (new benches, new series) warn and pass, so adding coverage
+never blocks a PR; refresh the baseline to start gating them.
 
 Usage:
-  tools/bench_diff.py [--threshold 0.25] [--baselines bench/baselines]
+  tools/bench_diff.py [--threshold 0.25] [--wall-threshold 3.0]
+                      [--baselines bench/baselines]
                       BENCH_a.json [BENCH_b.json ...]
 
-Exit status: 1 when any simulated-time metric regressed, else 0.
+Exit status: 1 when any gated metric regressed, else 0.
 """
 
 import argparse
@@ -29,8 +36,13 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def is_simulated_time_metric(name):
-    return "micros" in name or name.endswith("_ms")
+def metric_tier(name):
+    """"sim" (tight gate), "wall" (loose gate), or None (never gates)."""
+    if "micros" in name or name.endswith("_ms"):
+        return "sim"
+    if name.endswith("_real_ns"):
+        return "wall"
+    return None
 
 
 def load_metrics(path):
@@ -41,15 +53,18 @@ def load_metrics(path):
     return metrics
 
 
-def compare(current_path, baseline_path, threshold):
-    """Returns (regressions, lines) for one bench file pair."""
+def compare(current_path, baseline_path, thresholds):
+    """Returns (regressions, lines) for one bench file pair; `thresholds`
+    maps metric tier ("sim"/"wall") to its relative gate."""
     current = load_metrics(current_path)
     baseline = load_metrics(baseline_path)
     regressions = 0
     lines = []
     for name in sorted(current):
-        if not is_simulated_time_metric(name):
+        tier = metric_tier(name)
+        if tier is None:
             continue
+        threshold = thresholds[tier]
         value = float(current[name])
         if name not in baseline:
             lines.append("  NEW      %-45s %14.3f (no baseline)"
@@ -66,8 +81,9 @@ def compare(current_path, baseline_path, threshold):
             regressions += 1
         elif delta < -threshold:
             tag = "improved"
-        lines.append("  %-8s %-45s %14.3f vs %14.3f  (%+.1f%%)"
-                     % (tag, name, value, base, delta * 100.0))
+        lines.append("  %-8s %-45s %14.3f vs %14.3f  (%+.1f%%, gate %+.0f%%)"
+                     % (tag, name, value, base, delta * 100.0,
+                        threshold * 100.0))
     return regressions, lines
 
 
@@ -76,7 +92,11 @@ def main():
     parser.add_argument("bench_files", nargs="+",
                         help="BENCH_*.json files produced by this run")
     parser.add_argument("--threshold", type=float, default=0.25,
-                        help="relative regression gate (default 0.25 = +25%%)")
+                        help="relative gate for simulated-time metrics "
+                             "(default 0.25 = +25%%)")
+    parser.add_argument("--wall-threshold", type=float, default=3.0,
+                        help="relative gate for wall-clock *_real_ns "
+                             "metrics (default 3.0 = +300%%)")
     parser.add_argument("--baselines",
                         default=os.path.join(REPO_ROOT, "bench", "baselines"),
                         help="directory of committed baseline BENCH_*.json")
@@ -92,7 +112,9 @@ def main():
                   "gating)" % (name, baseline_path))
             continue
         try:
-            regressions, lines = compare(path, baseline_path, args.threshold)
+            regressions, lines = compare(
+                path, baseline_path,
+                {"sim": args.threshold, "wall": args.wall_threshold})
         except (OSError, ValueError, KeyError) as e:
             print("%s: cannot compare: %s" % (name, e), file=sys.stderr)
             return 1
@@ -109,12 +131,14 @@ def main():
               file=sys.stderr)
         return 0
     if total_regressions:
-        print("\nbench_diff.py: %d simulated-time metric(s) regressed more "
-              "than %.0f%%" % (total_regressions, args.threshold * 100),
-              file=sys.stderr)
+        print("\nbench_diff.py: %d gated metric(s) regressed past their "
+              "tier's threshold (sim %.0f%%, wall %.0f%%)"
+              % (total_regressions, args.threshold * 100,
+                 args.wall_threshold * 100), file=sys.stderr)
         return 1
-    print("\nbench_diff.py: all simulated-time metrics within %.0f%% of "
-          "baseline" % (args.threshold * 100))
+    print("\nbench_diff.py: all gated metrics within threshold "
+          "(sim %.0f%%, wall %.0f%%)"
+          % (args.threshold * 100, args.wall_threshold * 100))
     return 0
 
 
