@@ -1,0 +1,96 @@
+#include "common/executor.h"
+
+#include <algorithm>
+
+namespace rstore {
+namespace {
+
+// SplitMix64 finalizer: a full-avalanche hash used to derive the
+// deterministic tie-break among tasks due at the same virtual instant.
+// Pure function of (seed, seq) — no global RNG, no wall clock.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Executor::TaskId Executor::Enqueue(uint64_t when_us, Task task) {
+  MutexLock lock(mu_);
+  const uint64_t due = std::max(when_us, now_us_);
+  const uint64_t seq = next_seq_++;
+  const TaskId id = next_id_++;
+  const uint64_t tie = seed_ == 0 ? 0 : Mix64(seed_ ^ seq);
+  const Key key{due, tie, seq};
+  queue_.emplace(key, std::make_pair(id, std::move(task)));
+  index_.emplace(id, key);
+  return id;
+}
+
+Executor::TaskId Executor::Post(Task task) { return Enqueue(0, std::move(task)); }
+
+Executor::TaskId Executor::PostAt(uint64_t when_us, Task task) {
+  return Enqueue(when_us, std::move(task));
+}
+
+Executor::TaskId Executor::PostAfter(uint64_t delay_us, Task task) {
+  MutexLock lock(mu_);
+  const uint64_t due = now_us_ + delay_us;
+  const uint64_t seq = next_seq_++;
+  const TaskId id = next_id_++;
+  const uint64_t tie = seed_ == 0 ? 0 : Mix64(seed_ ^ seq);
+  const Key key{due, tie, seq};
+  queue_.emplace(key, std::make_pair(id, std::move(task)));
+  index_.emplace(id, key);
+  return id;
+}
+
+bool Executor::Cancel(TaskId id) {
+  MutexLock lock(mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  queue_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+size_t Executor::RunUntilIdle() {
+  size_t executed = 0;
+  for (;;) {
+    Task task;
+    {
+      MutexLock lock(mu_);
+      if (executed == 0) {
+        RSTORE_CHECK(!running_) << "Executor::RunUntilIdle re-entered";
+        running_ = true;
+      }
+      if (queue_.empty()) {
+        running_ = false;
+        return executed;
+      }
+      auto it = queue_.begin();
+      now_us_ = std::max(now_us_, it->first.when_us);
+      task = std::move(it->second.second);
+      index_.erase(it->second.first);
+      queue_.erase(it);
+    }
+    // Invoked with mu_ released: tasks may post, cancel, and complete
+    // futures (which runs continuations inline) without lock nesting.
+    task();
+    ++executed;
+  }
+}
+
+uint64_t Executor::now_us() const {
+  MutexLock lock(mu_);
+  return now_us_;
+}
+
+size_t Executor::pending() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace rstore

@@ -108,6 +108,16 @@ enum LockRank : int {
   /// cache shard lock), and the registry never calls out while holding it.
   /// Updates to registered metrics are lock-free and never take this mutex.
   kLockRankMetrics = 50,
+  /// Executor run queue (src/common/executor.h). Below every subsystem rank
+  /// so any code path may Post/Cancel work while holding its own locks; the
+  /// executor acquires nothing and invokes no user code while holding it —
+  /// tasks always run with the queue lock released.
+  kLockRankExecutor = 40,
+  /// Future/Promise shared state (src/common/executor.h). Continuations and
+  /// blocked getters observe the value only after `ready` flips under this
+  /// lock; completion releases it before invoking any continuation, so no
+  /// user code ever runs under a future lock.
+  kLockRankFuture = 30,
   /// Locks that never nest with anything (two leaf locks cannot nest).
   kLockRankLeaf = 0,
 };

@@ -66,172 +66,279 @@ QueryProcessor::QueryProcessor(KVStore* kvs, const StoreCatalog* catalog,
       cache_(cache),
       cache_owner_(cache_owner) {}
 
-Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
-    const std::vector<ChunkId>& ids, QueryStats* stats, TraceContext* trace,
-    QueryDegradation* degradation) {
-  ScopedSpan fetch_span(trace, "query.fetch_chunks");
-  fetch_span.Annotate("chunks", std::to_string(ids.size()));
-  std::vector<ChunkRef> chunks(ids.size());
+QueryProcessor::FetchPlan QueryProcessor::PrepareFetch(
+    const std::vector<ChunkId>& ids, TraceContext* trace) {
+  FetchPlan plan;
+  plan.chunks.resize(ids.size());
   // Cache pass: resolve each id against the cache under its *current* map
   // generation, so entries decoded before a map rewrite can never be served.
-  std::vector<ChunkCacheKey> cache_keys;
-  std::vector<size_t> miss;  // indices into `ids` needing a backend fetch
   if (cache_ != nullptr) {
     ScopedSpan lookup_span(trace, "cache.lookup");
-    cache_keys.resize(ids.size());
+    plan.cache_keys.resize(ids.size());
     for (size_t i = 0; i < ids.size(); ++i) {
-      cache_keys[i] = ChunkCacheKey{cache_owner_, ids[i],
-                                    catalog_->ChunkMapGeneration(ids[i])};
-      chunks[i] = cache_->Lookup(cache_keys[i]);
-      if (chunks[i] == nullptr) miss.push_back(i);
+      plan.cache_keys[i] = ChunkCacheKey{cache_owner_, ids[i],
+                                         catalog_->ChunkMapGeneration(ids[i])};
+      plan.chunks[i] = cache_->Lookup(plan.cache_keys[i]);
+      if (plan.chunks[i] == nullptr) plan.miss.push_back(i);
     }
-    lookup_span.Annotate("hits", std::to_string(ids.size() - miss.size()));
-    lookup_span.Annotate("misses", std::to_string(miss.size()));
+    lookup_span.Annotate("hits",
+                         std::to_string(ids.size() - plan.miss.size()));
+    lookup_span.Annotate("misses", std::to_string(plan.miss.size()));
   } else {
-    miss.resize(ids.size());
-    for (size_t i = 0; i < ids.size(); ++i) miss[i] = i;
+    plan.miss.resize(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) plan.miss[i] = i;
   }
-  uint64_t hits = ids.size() - miss.size();
+  plan.chunk_keys.reserve(plan.miss.size());
+  plan.map_keys.reserve(plan.miss.size());
+  for (size_t i : plan.miss) {
+    plan.chunk_keys.push_back(ChunkKey(ids[i]));
+    plan.map_keys.push_back(MapKey(ids[i]));
+  }
+  return plan;
+}
 
-  KVStats before = kvs_->stats();
-  if (!miss.empty()) {
-    std::vector<std::string> chunk_keys, map_keys;
-    chunk_keys.reserve(miss.size());
-    map_keys.reserve(miss.size());
+Status QueryProcessor::DecodeAndInsert(
+    const std::vector<ChunkId>& ids, FetchPlan* plan,
+    const std::map<std::string, std::string>& chunk_values,
+    const std::map<std::string, std::string>& map_values,
+    const std::vector<KeyReadFailure>& chunk_failures,
+    const std::vector<KeyReadFailure>& map_failures, TraceContext* trace,
+    QueryDegradation* degradation) {
+  const std::vector<size_t>& miss = plan->miss;
+  // Index failed keys by name so decode can tell "the backend could not
+  // serve it" (degrade) apart from "it does not exist" (corruption). Body
+  // and map keys live in different prefixes, so one map fits both.
+  std::map<std::string, const Status*> unavailable;
+  for (const KeyReadFailure& f : chunk_failures) {
+    unavailable[f.key] = &f.status;
+  }
+  for (const KeyReadFailure& f : map_failures) {
+    unavailable[f.key] = &f.status;
+  }
+
+  ScopedSpan decode_span(trace, "query.decode");
+  decode_span.Annotate("chunks", std::to_string(miss.size()));
+  std::vector<Status> statuses(miss.size());
+  // Per-miss degradation marks; distinct indices, safe under ParallelFor.
+  std::vector<uint8_t> unfetchable(miss.size(), 0);
+  std::vector<std::string> unfetchable_reason(miss.size());
+  auto degrade_or_corrupt = [&](size_t m, const std::string& key,
+                                const std::string& what) {
+    auto fit = unavailable.find(key);
+    if (fit != unavailable.end()) {
+      unfetchable[m] = 1;
+      unfetchable_reason[m] = fit->second->ToString();
+      return;  // status stays OK; the chunk ref stays null
+    }
+    statuses[m] = Status::Corruption(what + " " +
+                                     std::to_string(ids[miss[m]]) +
+                                     " missing from backend");
+  };
+  auto decode_one = [&](size_t m) {
+    size_t i = miss[m];
+    auto cit = chunk_values.find(plan->chunk_keys[m]);
+    if (cit == chunk_values.end()) {
+      degrade_or_corrupt(m, plan->chunk_keys[m], "chunk");
+      return;
+    }
+    auto mit = map_values.find(plan->map_keys[m]);
+    if (mit == map_values.end()) {
+      degrade_or_corrupt(m, plan->map_keys[m], "chunk map");
+      return;
+    }
+    auto decoded = std::make_shared<Chunk>();
+    Slice body(cit->second);
+    Status s = Chunk::DecodeFrom(&body, decoded.get());
+    if (!s.ok()) {
+      statuses[m] = s;
+      return;
+    }
+    Slice map_input(mit->second);
+    ChunkMap map;
+    s = ChunkMap::DecodeFrom(&map_input, &map);
+    if (!s.ok()) {
+      statuses[m] = s;
+      return;
+    }
+    statuses[m] = decoded->SetChunkMap(std::move(map));
+    if (statuses[m].ok()) plan->chunks[i] = std::move(decoded);
+  };
+  if (options_.parallel_extraction) {
+    ParallelFor(miss.size(), decode_one);
+  } else {
+    // The paper's evaluated prototype processes chunks sequentially (§5.5).
+    for (size_t m = 0; m < miss.size(); ++m) decode_one(m);
+  }
+  for (const Status& s : statuses) {
+    RSTORE_RETURN_IF_ERROR(s);
+  }
+  if (degradation != nullptr) {
+    for (size_t m = 0; m < miss.size(); ++m) {
+      if (unfetchable[m] == 0) continue;
+      degradation->missing_chunks.push_back(ids[miss[m]]);
+      degradation->messages.push_back(std::move(unfetchable_reason[m]));
+    }
+  }
+  if (cache_ != nullptr) {
+    // Serial insert after the (possibly parallel) decode: the shards do
+    // their own locking, this just keeps insertion order deterministic.
     for (size_t i : miss) {
-      chunk_keys.push_back(ChunkKey(ids[i]));
-      map_keys.push_back(MapKey(ids[i]));
+      if (plan->chunks[i] == nullptr) continue;  // best-effort casualty
+      cache_->Insert(plan->cache_keys[i], plan->chunks[i],
+                     plan->chunks[i]->ApproximateMemoryBytes());
     }
-    std::map<std::string, std::string> chunk_values, map_values;
-    std::vector<KeyReadFailure> chunk_failures, map_failures;
-    if (degradation != nullptr) {
-      // Best-effort: keys on unavailable replicas land in the failure lists
-      // instead of failing the batch.
-      RSTORE_RETURN_IF_ERROR(kvs_->MultiGetPartial(options_.chunk_table,
-                                                   chunk_keys, &chunk_values,
-                                                   &chunk_failures, trace));
-      RSTORE_RETURN_IF_ERROR(kvs_->MultiGetPartial(options_.index_table,
-                                                   map_keys, &map_values,
-                                                   &map_failures, trace));
-    } else {
-      RSTORE_RETURN_IF_ERROR(kvs_->MultiGet(options_.chunk_table, chunk_keys,
-                                            &chunk_values, trace));
-      RSTORE_RETURN_IF_ERROR(
-          kvs_->MultiGet(options_.index_table, map_keys, &map_values, trace));
-    }
-    // Index failed keys by name so decode can tell "the backend could not
-    // serve it" (degrade) apart from "it does not exist" (corruption). Body
-    // and map keys live in different prefixes, so one map fits both.
-    std::map<std::string, const Status*> unavailable;
-    for (const KeyReadFailure& f : chunk_failures) {
-      unavailable[f.key] = &f.status;
-    }
-    for (const KeyReadFailure& f : map_failures) {
-      unavailable[f.key] = &f.status;
-    }
+  }
+  return Status::OK();
+}
 
-    ScopedSpan decode_span(trace, "query.decode");
-    decode_span.Annotate("chunks", std::to_string(miss.size()));
-    std::vector<Status> statuses(miss.size());
-    // Per-miss degradation marks; distinct indices, safe under ParallelFor.
-    std::vector<uint8_t> unfetchable(miss.size(), 0);
-    std::vector<std::string> unfetchable_reason(miss.size());
-    auto degrade_or_corrupt = [&](size_t m, const std::string& key,
-                                  const std::string& what) {
-      auto fit = unavailable.find(key);
-      if (fit != unavailable.end()) {
-        unfetchable[m] = 1;
-        unfetchable_reason[m] = fit->second->ToString();
-        return;  // status stays OK; the chunk ref stays null
-      }
-      statuses[m] = Status::Corruption(what + " " +
-                                       std::to_string(ids[miss[m]]) +
-                                       " missing from backend");
-    };
-    auto decode_one = [&](size_t m) {
-      size_t i = miss[m];
-      auto cit = chunk_values.find(chunk_keys[m]);
-      if (cit == chunk_values.end()) {
-        degrade_or_corrupt(m, chunk_keys[m], "chunk");
-        return;
-      }
-      auto mit = map_values.find(map_keys[m]);
-      if (mit == map_values.end()) {
-        degrade_or_corrupt(m, map_keys[m], "chunk map");
-        return;
-      }
-      auto decoded = std::make_shared<Chunk>();
-      Slice body(cit->second);
-      Status s = Chunk::DecodeFrom(&body, decoded.get());
-      if (!s.ok()) {
-        statuses[m] = s;
-        return;
-      }
-      Slice map_input(mit->second);
-      ChunkMap map;
-      s = ChunkMap::DecodeFrom(&map_input, &map);
-      if (!s.ok()) {
-        statuses[m] = s;
-        return;
-      }
-      statuses[m] = decoded->SetChunkMap(std::move(map));
-      if (statuses[m].ok()) chunks[i] = std::move(decoded);
-    };
-    if (options_.parallel_extraction) {
-      ParallelFor(miss.size(), decode_one);
-    } else {
-      // The paper's evaluated prototype processes chunks sequentially (§5.5).
-      for (size_t m = 0; m < miss.size(); ++m) decode_one(m);
-    }
-    for (const Status& s : statuses) {
-      RSTORE_RETURN_IF_ERROR(s);
-    }
-    if (degradation != nullptr) {
-      for (size_t m = 0; m < miss.size(); ++m) {
-        if (unfetchable[m] == 0) continue;
-        degradation->missing_chunks.push_back(ids[miss[m]]);
-        degradation->messages.push_back(std::move(unfetchable_reason[m]));
-      }
-    }
-    if (cache_ != nullptr) {
-      // Serial insert after the (possibly parallel) decode: the shards do
-      // their own locking, this just keeps insertion order deterministic.
-      for (size_t i : miss) {
-        if (chunks[i] == nullptr) continue;  // best-effort casualty
-        cache_->Insert(cache_keys[i], chunks[i],
-                       chunks[i]->ApproximateMemoryBytes());
-      }
-    }
-  }
+uint64_t QueryProcessor::AccountFetch(const std::vector<ChunkId>& ids,
+                                      const FetchPlan& plan, uint64_t bytes,
+                                      uint64_t micros, QueryStats* stats) {
   uint64_t n_missing = 0;
-  for (const ChunkRef& chunk : chunks) {
+  for (const ChunkRef& chunk : plan.chunks) {
     if (chunk == nullptr) ++n_missing;
-  }
-  if (n_missing > 0) {
-    fetch_span.Annotate("missing", std::to_string(n_missing));
   }
   // chunks_fetched stays the query's span (paper §2.5) regardless of the
   // cache; bytes/latency only count traffic that reached the backend.
-  KVStats after = kvs_->stats();
   if (stats != nullptr) {
     stats->chunks_fetched += ids.size();
-    stats->bytes_fetched += after.bytes_read - before.bytes_read;
-    stats->simulated_micros += after.simulated_micros -
-                               before.simulated_micros;
+    stats->bytes_fetched += bytes;
+    stats->simulated_micros += micros;
     if (cache_ != nullptr) {
-      stats->cache_hits += hits;
-      stats->cache_misses += miss.size();
+      stats->cache_hits += ids.size() - plan.miss.size();
+      stats->cache_misses += plan.miss.size();
     }
     stats->missing_chunks += n_missing;
   }
   const QueryMetrics& metrics = QueryMetrics::Get();
   metrics.chunks_fetched_total->Increment(ids.size());
-  metrics.bytes_fetched_total->Increment(after.bytes_read - before.bytes_read);
-  metrics.simulated_micros_total->Increment(after.simulated_micros -
-                                            before.simulated_micros);
+  metrics.bytes_fetched_total->Increment(bytes);
+  metrics.simulated_micros_total->Increment(micros);
   if (n_missing > 0) metrics.missing_chunks_total->Increment(n_missing);
   metrics.span_chunks->Observe(ids.size());
-  return chunks;
+  return n_missing;
+}
+
+Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
+    const std::vector<ChunkId>& ids, QueryStats* stats, TraceContext* trace,
+    QueryDegradation* degradation) {
+  ScopedSpan fetch_span(trace, "query.fetch_chunks");
+  fetch_span.Annotate("chunks", std::to_string(ids.size()));
+  FetchPlan plan = PrepareFetch(ids, trace);
+
+  KVStats before = kvs_->stats();
+  if (!plan.miss.empty()) {
+    std::map<std::string, std::string> chunk_values, map_values;
+    std::vector<KeyReadFailure> chunk_failures, map_failures;
+    if (degradation != nullptr) {
+      // Best-effort: keys on unavailable replicas land in the failure lists
+      // instead of failing the batch.
+      RSTORE_RETURN_IF_ERROR(
+          kvs_->MultiGetPartial(options_.chunk_table, plan.chunk_keys,
+                                &chunk_values, &chunk_failures, trace));
+      RSTORE_RETURN_IF_ERROR(kvs_->MultiGetPartial(options_.index_table,
+                                                   plan.map_keys, &map_values,
+                                                   &map_failures, trace));
+    } else {
+      RSTORE_RETURN_IF_ERROR(kvs_->MultiGet(
+          options_.chunk_table, plan.chunk_keys, &chunk_values, trace));
+      RSTORE_RETURN_IF_ERROR(kvs_->MultiGet(options_.index_table,
+                                            plan.map_keys, &map_values,
+                                            trace));
+    }
+    RSTORE_RETURN_IF_ERROR(DecodeAndInsert(ids, &plan, chunk_values,
+                                           map_values, chunk_failures,
+                                           map_failures, trace, degradation));
+  }
+  KVStats after = kvs_->stats();
+  uint64_t n_missing =
+      AccountFetch(ids, plan, after.bytes_read - before.bytes_read,
+                   after.simulated_micros - before.simulated_micros, stats);
+  if (n_missing > 0) {
+    fetch_span.Annotate("missing", std::to_string(n_missing));
+  }
+  return std::move(plan.chunks);
+}
+
+Future<QueryProcessor::AsyncFetchOutcome> QueryProcessor::FetchChunksAsync(
+    Executor* executor, std::vector<ChunkId> ids, TraceContext* trace,
+    bool best_effort) {
+  auto state = std::make_shared<AsyncFetchState>();
+  state->executor = executor;
+  state->ids = std::move(ids);
+  state->trace = trace;
+  state->best_effort = best_effort;
+  if (trace != nullptr) {
+    state->fetch_span = trace->StartSpan("query.fetch_chunks");
+    trace->Annotate(state->fetch_span, "chunks",
+                    std::to_string(state->ids.size()));
+  }
+  state->plan = PrepareFetch(state->ids, trace);
+  if (state->plan.miss.empty()) {
+    // Fully served from cache: nothing reaches the backend, the fetch
+    // completes at the current virtual instant with zero charge (exactly
+    // the sync path's zero stats delta).
+    FinishFetchAsync(state, AsyncMultiGetResult{});
+    return state->promise.future();
+  }
+  // Body batch first, map batch chained at its simulated completion
+  // instant — the sync path's sequencing, reproduced on the virtual clock
+  // (and required to keep this trace's spans LIFO).
+  kvs_->MultiGetAsync(executor, options_.chunk_table, state->plan.chunk_keys,
+                      best_effort, trace)
+      .OnReady([this, state](const AsyncMultiGetResult& chunk_result) {
+        if (!chunk_result.status.ok()) {
+          AbortFetchAsync(state, chunk_result.status);
+          return;
+        }
+        state->chunk_result = chunk_result;
+        kvs_->MultiGetAsync(state->executor, options_.index_table,
+                            state->plan.map_keys, state->best_effort,
+                            state->trace)
+            .OnReady([this, state](const AsyncMultiGetResult& map_result) {
+              if (!map_result.status.ok()) {
+                AbortFetchAsync(state, map_result.status);
+                return;
+              }
+              FinishFetchAsync(state, map_result);
+            });
+      });
+  return state->promise.future();
+}
+
+void QueryProcessor::FinishFetchAsync(const FetchStatePtr& state,
+                                      const AsyncMultiGetResult& map_result) {
+  if (!state->plan.miss.empty()) {
+    Status s = DecodeAndInsert(
+        state->ids, &state->plan, state->chunk_result.values,
+        map_result.values, state->chunk_result.failures, map_result.failures,
+        state->trace, state->best_effort ? &state->out.degradation : nullptr);
+    if (!s.ok()) {
+      AbortFetchAsync(state, s);
+      return;
+    }
+  }
+  const uint64_t bytes = state->chunk_result.bytes_read + map_result.bytes_read;
+  const uint64_t micros =
+      state->chunk_result.charged_micros + map_result.charged_micros;
+  uint64_t n_missing =
+      AccountFetch(state->ids, state->plan, bytes, micros, &state->out.stats);
+  if (state->trace != nullptr) {
+    if (n_missing > 0) {
+      state->trace->Annotate(state->fetch_span, "missing",
+                             std::to_string(n_missing));
+    }
+    state->trace->EndSpan(state->fetch_span);
+  }
+  state->out.chunks = std::move(state->plan.chunks);
+  state->promise.Set(std::move(state->out));
+}
+
+void QueryProcessor::AbortFetchAsync(const FetchStatePtr& state,
+                                     const Status& error) {
+  if (state->trace != nullptr) state->trace->EndSpan(state->fetch_span);
+  state->out.status = error;
+  state->promise.Set(std::move(state->out));
 }
 
 Result<std::vector<Record>> QueryProcessor::ExtractVersionRecords(
@@ -279,10 +386,8 @@ Result<std::vector<Record>> QueryProcessor::ExtractVersionRecords(
   return out;
 }
 
-Result<std::vector<Record>> QueryProcessor::GetVersionDeltaChain(
-    VersionId version, bool use_range, const std::string& key_lo,
-    const std::string& key_hi, QueryStats* stats, TraceContext* trace) {
-  // DELTA layout: retrieve every delta object on root->version and replay.
+std::vector<ChunkId> QueryProcessor::DeltaChainIds(VersionId version) const {
+  // DELTA layout: every delta object on root->version must be retrieved.
   // (Partial retrieval still reconstructs the full version first, then
   // filters — the paper's worst case for this baseline.)
   std::vector<ChunkId> ids;
@@ -291,9 +396,12 @@ Result<std::vector<Record>> QueryProcessor::GetVersionDeltaChain(
   }
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  auto chunks = FetchChunks(ids, stats, trace);
-  if (!chunks.ok()) return chunks.status();
+  return ids;
+}
 
+Result<std::vector<Record>> QueryProcessor::ReplayDeltaChain(
+    const std::vector<ChunkRef>& chunks, VersionId version, bool use_range,
+    const std::string& key_lo, const std::string& key_hi) const {
   // The chain must be replayed in full: every record of every delta object
   // is decompressed (later deltas may be record-level-encoded against
   // earlier records), then membership — replayed on the application server
@@ -309,7 +417,7 @@ Result<std::vector<Record>> QueryProcessor::GetVersionDeltaChain(
     }
     return it->second;
   };
-  for (const ChunkRef& chunk_ref : chunks.value()) {
+  for (const ChunkRef& chunk_ref : chunks) {
     const Chunk& chunk = *chunk_ref;
     // Chunk ids ascend with origin version, so bases precede dependents.
     std::vector<uint32_t> all(chunk.record_count());
@@ -335,6 +443,14 @@ Result<std::vector<Record>> QueryProcessor::GetVersionDeltaChain(
     return a.key < b.key;
   });
   return out;
+}
+
+Result<std::vector<Record>> QueryProcessor::GetVersionDeltaChain(
+    VersionId version, bool use_range, const std::string& key_lo,
+    const std::string& key_hi, QueryStats* stats, TraceContext* trace) {
+  auto chunks = FetchChunks(DeltaChainIds(version), stats, trace);
+  if (!chunks.ok()) return chunks.status();
+  return ReplayDeltaChain(chunks.value(), version, use_range, key_lo, key_hi);
 }
 
 Result<std::vector<Record>> QueryProcessor::GetVersion(
@@ -396,26 +512,10 @@ Result<std::vector<Record>> QueryProcessor::GetRange(
           ? (degradation != nullptr ? degradation : &local_degradation)
           : nullptr;
   switch (layout_) {
-    case LayoutKind::kChunked: {
-      // Index-ANDing: chunks of the version INTERSECT chunks holding any key
-      // in the range.
-      std::vector<ChunkId> version_chunks =
-          catalog_->ChunksOfVersion(version);
-      // The key->chunks projection is keyed by exact key; collect candidate
-      // chunks for keys in range by scanning the projection once.
-      std::vector<ChunkId> ids;
-      for (ChunkId id : version_chunks) {
-        const std::vector<CompositeKey>* records =
-            catalog_->RecordsOfChunk(id);
-        if (records == nullptr) continue;
-        for (const CompositeKey& ck : *records) {
-          if (KeyInRange(ck.key, key_lo, key_hi)) {
-            ids.push_back(id);
-            break;
-          }
-        }
-      }
-      auto chunks = FetchChunks(ids, stats, trace, effective);
+    case LayoutKind::kChunked:
+    case LayoutKind::kSubChunkPerKey: {
+      auto chunks = FetchChunks(RangeChunkIds(version, key_lo, key_hi), stats,
+                                trace, effective);
       if (!chunks.ok()) return chunks.status();
       return ExtractVersionRecords(chunks.value(), version,
                                    /*use_range=*/true, key_lo, key_hi);
@@ -424,24 +524,39 @@ Result<std::vector<Record>> QueryProcessor::GetRange(
       // Always strict: a delta chain with a hole cannot be replayed.
       return GetVersionDeltaChain(version, /*use_range=*/true, key_lo,
                                   key_hi, stats, trace);
-    case LayoutKind::kSubChunkPerKey: {
-      // One chunk per key: fetch the chunks whose key falls in the range.
-      std::vector<ChunkId> ids;
-      for (ChunkId id : catalog_->AllChunks()) {
-        const std::vector<CompositeKey>* records =
-            catalog_->RecordsOfChunk(id);
-        if (records != nullptr && !records->empty() &&
-            KeyInRange((*records)[0].key, key_lo, key_hi)) {
-          ids.push_back(id);
-        }
-      }
-      auto chunks = FetchChunks(ids, stats, trace, effective);
-      if (!chunks.ok()) return chunks.status();
-      return ExtractVersionRecords(chunks.value(), version,
-                                   /*use_range=*/true, key_lo, key_hi);
-    }
   }
   return Status::InvalidArgument("bad layout");
+}
+
+std::vector<ChunkId> QueryProcessor::RangeChunkIds(
+    VersionId version, const std::string& key_lo,
+    const std::string& key_hi) const {
+  std::vector<ChunkId> ids;
+  if (layout_ == LayoutKind::kChunked) {
+    // Index-ANDing: chunks of the version INTERSECT chunks holding any key
+    // in the range. The key->chunks projection is keyed by exact key, so
+    // candidates come from scanning each version chunk's record list once.
+    for (ChunkId id : catalog_->ChunksOfVersion(version)) {
+      const std::vector<CompositeKey>* records = catalog_->RecordsOfChunk(id);
+      if (records == nullptr) continue;
+      for (const CompositeKey& ck : *records) {
+        if (KeyInRange(ck.key, key_lo, key_hi)) {
+          ids.push_back(id);
+          break;
+        }
+      }
+    }
+  } else {
+    // One chunk per key: fetch the chunks whose key falls in the range.
+    for (ChunkId id : catalog_->AllChunks()) {
+      const std::vector<CompositeKey>* records = catalog_->RecordsOfChunk(id);
+      if (records != nullptr && !records->empty() &&
+          KeyInRange((*records)[0].key, key_lo, key_hi)) {
+        ids.push_back(id);
+      }
+    }
+  }
+  return ids;
 }
 
 Result<std::vector<Record>> QueryProcessor::GetHistory(const std::string& key,
@@ -465,6 +580,11 @@ Result<std::vector<Record>> QueryProcessor::GetHistory(const std::string& key,
   }
   auto chunks = FetchChunks(ids, stats, trace);
   if (!chunks.ok()) return chunks.status();
+  return HistoryFromChunks(chunks.value(), key);
+}
+
+Result<std::vector<Record>> QueryProcessor::HistoryFromChunks(
+    const std::vector<ChunkRef>& chunks, const std::string& key) const {
   std::vector<Record> out;
   if (layout_ == LayoutKind::kDeltaChain) {
     // Everything was fetched; replay it all (record-level deltas may chain
@@ -479,7 +599,7 @@ Result<std::vector<Record>> QueryProcessor::GetHistory(const std::string& key,
       }
       return it->second;
     };
-    for (const ChunkRef& chunk_ref : chunks.value()) {
+    for (const ChunkRef& chunk_ref : chunks) {
       const Chunk& chunk = *chunk_ref;
       std::vector<uint32_t> all(chunk.record_count());
       for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
@@ -493,7 +613,7 @@ Result<std::vector<Record>> QueryProcessor::GetHistory(const std::string& key,
       if (ck.key == key) out.push_back(Record{ck, std::move(payload)});
     }
   } else {
-    for (const ChunkRef& chunk_ref : chunks.value()) {
+    for (const ChunkRef& chunk_ref : chunks) {
       const Chunk& chunk = *chunk_ref;
       std::vector<uint32_t> wanted;
       for (uint32_t i = 0; i < chunk.records().size(); ++i) {
@@ -551,7 +671,13 @@ Result<Record> QueryProcessor::GetRecord(const std::string& key,
   }
   auto chunks = FetchChunks(ids, stats, trace);
   if (!chunks.ok()) return chunks.status();
-  for (const ChunkRef& chunk_ref : chunks.value()) {
+  return RecordFromChunks(chunks.value(), key, version);
+}
+
+Result<Record> QueryProcessor::RecordFromChunks(
+    const std::vector<ChunkRef>& chunks, const std::string& key,
+    VersionId version) const {
+  for (const ChunkRef& chunk_ref : chunks) {
     const Chunk& chunk = *chunk_ref;
     for (uint32_t idx : chunk.chunk_map().RecordsOf(version)) {
       if (chunk.records()[idx].key == key) {
@@ -563,6 +689,222 @@ Result<Record> QueryProcessor::GetRecord(const std::string& key,
   }
   return Status::NotFound("no record " + key + " in version " +
                           std::to_string(version));
+}
+
+// -- Asynchronous twins. Each runs the sync method's prologue inline
+//    (validation, span, planning), submits the fetch, and runs the sync
+//    epilogue in the continuation at the query's simulated completion
+//    instant — so results are byte-identical to the sync path by
+//    construction, and only the fetch's scheduling differs.
+
+Future<AsyncQueryResult> QueryProcessor::GetVersionAsync(Executor* executor,
+                                                         VersionId version,
+                                                         TraceContext* trace) {
+  if (version >= dataset_->graph.size()) {
+    AsyncQueryResult result;
+    result.status = Status::InvalidArgument("unknown version");
+    return MakeReadyFuture(std::move(result));
+  }
+  const uint32_t span = trace != nullptr ? trace->StartSpan("query.get_version")
+                                         : TraceSpan::kNoParent;
+  if (trace != nullptr) {
+    trace->Annotate(span, "version", std::to_string(version));
+  }
+  QueryMetrics::Get().queries_total->Increment();
+  // A delta chain with a hole cannot be replayed: always strict.
+  const bool best_effort = options_.read_mode == ReadMode::kBestEffort &&
+                           layout_ != LayoutKind::kDeltaChain;
+  std::vector<ChunkId> ids;
+  switch (layout_) {
+    case LayoutKind::kChunked:
+      ids = catalog_->ChunksOfVersion(version);
+      break;
+    case LayoutKind::kDeltaChain:
+      ids = DeltaChainIds(version);
+      break;
+    case LayoutKind::kSubChunkPerKey:
+      // No version->chunk index: every chunk must be retrieved (paper §2.2).
+      ids = catalog_->AllChunks();
+      break;
+  }
+  Promise<AsyncQueryResult> promise;
+  FetchChunksAsync(executor, std::move(ids), trace, best_effort)
+      .OnReady([this, promise, version, trace,
+                span](const AsyncFetchOutcome& fetch) {
+        AsyncQueryResult result;
+        result.stats = fetch.stats;
+        result.degradation = fetch.degradation;
+        if (!fetch.status.ok()) {
+          result.status = fetch.status;
+        } else {
+          auto records =
+              layout_ == LayoutKind::kDeltaChain
+                  ? ReplayDeltaChain(fetch.chunks, version,
+                                     /*use_range=*/false, "", "")
+                  : ExtractVersionRecords(fetch.chunks, version,
+                                          /*use_range=*/false, "", "");
+          if (records.ok()) {
+            result.records = std::move(records.value());
+          } else {
+            result.status = records.status();
+          }
+        }
+        if (trace != nullptr) trace->EndSpan(span);
+        promise.Set(std::move(result));
+      });
+  return promise.future();
+}
+
+Future<AsyncQueryResult> QueryProcessor::GetRangeAsync(
+    Executor* executor, VersionId version, const std::string& key_lo,
+    const std::string& key_hi, TraceContext* trace) {
+  if (version >= dataset_->graph.size()) {
+    AsyncQueryResult result;
+    result.status = Status::InvalidArgument("unknown version");
+    return MakeReadyFuture(std::move(result));
+  }
+  if (key_lo > key_hi) {
+    AsyncQueryResult result;
+    result.status = Status::InvalidArgument("empty key range");
+    return MakeReadyFuture(std::move(result));
+  }
+  const uint32_t span = trace != nullptr ? trace->StartSpan("query.get_range")
+                                         : TraceSpan::kNoParent;
+  if (trace != nullptr) {
+    trace->Annotate(span, "version", std::to_string(version));
+  }
+  QueryMetrics::Get().queries_total->Increment();
+  const bool best_effort = options_.read_mode == ReadMode::kBestEffort &&
+                           layout_ != LayoutKind::kDeltaChain;
+  std::vector<ChunkId> ids = layout_ == LayoutKind::kDeltaChain
+                                 ? DeltaChainIds(version)
+                                 : RangeChunkIds(version, key_lo, key_hi);
+  Promise<AsyncQueryResult> promise;
+  FetchChunksAsync(executor, std::move(ids), trace, best_effort)
+      .OnReady([this, promise, version, key_lo, key_hi, trace,
+                span](const AsyncFetchOutcome& fetch) {
+        AsyncQueryResult result;
+        result.stats = fetch.stats;
+        result.degradation = fetch.degradation;
+        if (!fetch.status.ok()) {
+          result.status = fetch.status;
+        } else {
+          auto records =
+              layout_ == LayoutKind::kDeltaChain
+                  ? ReplayDeltaChain(fetch.chunks, version, /*use_range=*/true,
+                                     key_lo, key_hi)
+                  : ExtractVersionRecords(fetch.chunks, version,
+                                          /*use_range=*/true, key_lo, key_hi);
+          if (records.ok()) {
+            result.records = std::move(records.value());
+          } else {
+            result.status = records.status();
+          }
+        }
+        if (trace != nullptr) trace->EndSpan(span);
+        promise.Set(std::move(result));
+      });
+  return promise.future();
+}
+
+Future<AsyncQueryResult> QueryProcessor::GetHistoryAsync(Executor* executor,
+                                                         const std::string& key,
+                                                         TraceContext* trace) {
+  const uint32_t span = trace != nullptr
+                            ? trace->StartSpan("query.get_history")
+                            : TraceSpan::kNoParent;
+  if (trace != nullptr) trace->Annotate(span, "key", key);
+  QueryMetrics::Get().queries_total->Increment();
+  std::vector<ChunkId> ids = layout_ == LayoutKind::kDeltaChain
+                                 ? catalog_->AllChunks()
+                                 : catalog_->ChunksOfKey(key);
+  Promise<AsyncQueryResult> promise;
+  FetchChunksAsync(executor, std::move(ids), trace, /*best_effort=*/false)
+      .OnReady([this, promise, key, trace,
+                span](const AsyncFetchOutcome& fetch) {
+        AsyncQueryResult result;
+        result.stats = fetch.stats;
+        if (!fetch.status.ok()) {
+          result.status = fetch.status;
+        } else {
+          auto records = HistoryFromChunks(fetch.chunks, key);
+          if (records.ok()) {
+            result.records = std::move(records.value());
+          } else {
+            result.status = records.status();
+          }
+        }
+        if (trace != nullptr) trace->EndSpan(span);
+        promise.Set(std::move(result));
+      });
+  return promise.future();
+}
+
+Future<AsyncRecordResult> QueryProcessor::GetRecordAsync(
+    Executor* executor, const std::string& key, VersionId version,
+    TraceContext* trace) {
+  if (version >= dataset_->graph.size()) {
+    AsyncRecordResult result;
+    result.status = Status::InvalidArgument("unknown version");
+    return MakeReadyFuture(std::move(result));
+  }
+  const uint32_t span = trace != nullptr ? trace->StartSpan("query.get_record")
+                                         : TraceSpan::kNoParent;
+  if (trace != nullptr) {
+    trace->Annotate(span, "key", key);
+    trace->Annotate(span, "version", std::to_string(version));
+  }
+  QueryMetrics::Get().queries_total->Increment();
+  std::vector<ChunkId> ids;
+  switch (layout_) {
+    case LayoutKind::kChunked: {
+      // Index-ANDing of the two projections (paper §2.4).
+      std::vector<ChunkId> by_version = catalog_->ChunksOfVersion(version);
+      std::vector<ChunkId> by_key = catalog_->ChunksOfKey(key);
+      std::set_intersection(by_version.begin(), by_version.end(),
+                            by_key.begin(), by_key.end(),
+                            std::back_inserter(ids));
+      break;
+    }
+    case LayoutKind::kDeltaChain:
+      ids = DeltaChainIds(version);
+      break;
+    case LayoutKind::kSubChunkPerKey:
+      ids = catalog_->ChunksOfKey(key);
+      break;
+  }
+  Promise<AsyncRecordResult> promise;
+  FetchChunksAsync(executor, std::move(ids), trace, /*best_effort=*/false)
+      .OnReady([this, promise, key, version, trace,
+                span](const AsyncFetchOutcome& fetch) {
+        AsyncRecordResult result;
+        result.stats = fetch.stats;
+        if (!fetch.status.ok()) {
+          result.status = fetch.status;
+        } else if (layout_ == LayoutKind::kDeltaChain) {
+          auto records = ReplayDeltaChain(fetch.chunks, version,
+                                          /*use_range=*/true, key, key);
+          if (!records.ok()) {
+            result.status = records.status();
+          } else if (records->empty()) {
+            result.status = Status::NotFound("no record " + key +
+                                             " in version " +
+                                             std::to_string(version));
+          } else {
+            result.record = std::move(records->front());
+          }
+        } else {
+          auto record = RecordFromChunks(fetch.chunks, key, version);
+          if (record.ok()) {
+            result.record = std::move(record.value());
+          } else {
+            result.status = record.status();
+          }
+        }
+        if (trace != nullptr) trace->EndSpan(span);
+        promise.Set(std::move(result));
+      });
+  return promise.future();
 }
 
 }  // namespace rstore

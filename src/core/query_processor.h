@@ -2,11 +2,14 @@
 #define RSTORE_CORE_QUERY_PROCESSOR_H_
 
 #include <iterator>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/chunk_cache.h"
 #include "core/options.h"
 #include "core/placement.h"
@@ -81,6 +84,26 @@ struct QueryDegradation {
   bool degraded() const { return !missing_chunks.empty(); }
 };
 
+/// Completion payload of an asynchronous record-set query (GetVersionAsync /
+/// GetRangeAsync / GetHistoryAsync). The per-query cost accounting rides in
+/// the result — differencing a shared QueryStats is meaningless while many
+/// queries are in flight — and `records` is byte-identical to what the
+/// synchronous twin would have returned.
+struct AsyncQueryResult {
+  Status status = Status::OK();
+  std::vector<Record> records;
+  QueryStats stats;
+  /// Best-effort casualties (empty in strict mode or when nothing degraded).
+  QueryDegradation degradation;
+};
+
+/// Completion payload of an asynchronous point query (GetRecordAsync).
+struct AsyncRecordResult {
+  Status status = Status::OK();
+  Record record;
+  QueryStats stats;
+};
+
 /// Executes the four retrieval query classes of paper §2.1 against the
 /// chunked store (paper §2.4, "Indexes and Query Processing Module").
 ///
@@ -149,10 +172,74 @@ class QueryProcessor {
                            QueryStats* stats = nullptr,
                            TraceContext* trace = nullptr);
 
+  // -- Asynchronous twins: continuation-style execution on a deterministic
+  //    virtual-time Executor, so many queries pipeline through one
+  //    coordinator (the backend's per-node queues are the shared resource).
+  //    Each method validates and plans inline, submits its chunk fetches,
+  //    and completes the returned future at the query's simulated completion
+  //    instant with results byte-identical to the synchronous twin. A
+  //    sequentially-drained executor (RunUntilIdle after each submission)
+  //    replays the synchronous timeline exactly — same backend ticks, same
+  //    charges, same counters.
+  //
+  //    `trace`, when non-null, must be a context used by this query chain
+  //    only (one TraceContext per in-flight query) and stays open until the
+  //    future completes. Best-effort degradation rides in the result; the
+  //    processor itself must outlive the future (RStore's wrappers pin it).
+  Future<AsyncQueryResult> GetVersionAsync(Executor* executor,
+                                           VersionId version,
+                                           TraceContext* trace = nullptr);
+  Future<AsyncQueryResult> GetRangeAsync(Executor* executor, VersionId version,
+                                         const std::string& key_lo,
+                                         const std::string& key_hi,
+                                         TraceContext* trace = nullptr);
+  Future<AsyncQueryResult> GetHistoryAsync(Executor* executor,
+                                           const std::string& key,
+                                           TraceContext* trace = nullptr);
+  Future<AsyncRecordResult> GetRecordAsync(Executor* executor,
+                                           const std::string& key,
+                                           VersionId version,
+                                           TraceContext* trace = nullptr);
+
  private:
   /// A decoded chunk on the read path: cached entries are shared with the
   /// cache (and other readers), uncached ones are exclusively owned.
   using ChunkRef = std::shared_ptr<const Chunk>;
+
+  /// Work-in-progress state of one chunk fetch, shared between the
+  /// synchronous and asynchronous paths: the cache pass's outcome plus the
+  /// backend keys still to be fetched.
+  struct FetchPlan {
+    /// Resolved chunks, index-aligned with the requested ids; entries not
+    /// served by the cache are filled in by DecodeAndInsert.
+    std::vector<ChunkRef> chunks;
+    std::vector<ChunkCacheKey> cache_keys;  // empty when no cache attached
+    std::vector<size_t> miss;  // indices into `ids` needing a backend fetch
+    std::vector<std::string> chunk_keys;  // backend keys, aligned with miss
+    std::vector<std::string> map_keys;
+  };
+
+  /// Cache pass + backend-key planning: resolves each id against the cache
+  /// under its current map generation (entries decoded before a map rewrite
+  /// can never be served) and builds the body/map keys for the misses.
+  FetchPlan PrepareFetch(const std::vector<ChunkId>& ids, TraceContext* trace);
+
+  /// Decodes fetched bodies + maps into plan->chunks and inserts them into
+  /// the cache. With `degradation` non-null, keys in the failure lists
+  /// leave null refs and a report entry (best-effort); otherwise any
+  /// unserved chunk is an error.
+  Status DecodeAndInsert(const std::vector<ChunkId>& ids, FetchPlan* plan,
+                         const std::map<std::string, std::string>& chunk_values,
+                         const std::map<std::string, std::string>& map_values,
+                         const std::vector<KeyReadFailure>& chunk_failures,
+                         const std::vector<KeyReadFailure>& map_failures,
+                         TraceContext* trace, QueryDegradation* degradation);
+
+  /// Stats/metrics epilogue shared by both fetch paths (`bytes`/`micros`
+  /// are what this fetch's backend traffic cost). Returns the number of
+  /// null refs (best-effort casualties) for span annotation.
+  uint64_t AccountFetch(const std::vector<ChunkId>& ids, const FetchPlan& plan,
+                        uint64_t bytes, uint64_t micros, QueryStats* stats);
 
   /// Fetches and decodes chunks (bodies + their maps) by id, consulting the
   /// cache first when attached, accounting stats. With `degradation`
@@ -165,6 +252,48 @@ class QueryProcessor {
                                             TraceContext* trace,
                                             QueryDegradation* degradation =
                                                 nullptr);
+
+  /// Completion payload of FetchChunksAsync: the chunks plus this fetch's
+  /// own accounting and (best-effort mode) degradation report.
+  struct AsyncFetchOutcome {
+    Status status = Status::OK();
+    std::vector<ChunkRef> chunks;
+    QueryStats stats;
+    QueryDegradation degradation;
+  };
+
+  /// Continuation state of one in-flight asynchronous fetch. Heap-held so
+  /// the chunk-table continuation can hand off to the index-table one.
+  struct AsyncFetchState {
+    Executor* executor = nullptr;
+    std::vector<ChunkId> ids;
+    TraceContext* trace = nullptr;
+    bool best_effort = false;
+    uint32_t fetch_span = TraceSpan::kNoParent;
+    FetchPlan plan;
+    AsyncMultiGetResult chunk_result;
+    AsyncFetchOutcome out;
+    Promise<AsyncFetchOutcome> promise;
+  };
+  using FetchStatePtr = std::shared_ptr<AsyncFetchState>;
+
+  /// The asynchronous twin of FetchChunks: submits the body batch, chains
+  /// the map batch at its simulated completion instant (exactly the sync
+  /// path's sequencing, which also keeps trace spans LIFO), then decodes
+  /// and accounts in the final continuation. Strict failures complete the
+  /// future with the error and charge nothing further, like the sync early
+  /// return.
+  Future<AsyncFetchOutcome> FetchChunksAsync(Executor* executor,
+                                             std::vector<ChunkId> ids,
+                                             TraceContext* trace,
+                                             bool best_effort);
+
+  /// Decode/account epilogue of an async fetch, run when the map batch
+  /// completes.
+  void FinishFetchAsync(const FetchStatePtr& state,
+                        const AsyncMultiGetResult& map_result);
+  /// Completes an async fetch with `error`, closing its span (no charge).
+  void AbortFetchAsync(const FetchStatePtr& state, const Status& error);
 
   /// Extracts the records of `version` from fetched chunks via chunk maps,
   /// optionally restricted to [key_lo, key_hi]. Null chunk refs (best-effort
@@ -179,6 +308,31 @@ class QueryProcessor {
                                                    const std::string& key_hi,
                                                    QueryStats* stats,
                                                    TraceContext* trace);
+
+  // -- Layout-specific planning/epilogue helpers shared by the synchronous
+  //    and asynchronous paths. Planning (which chunk ids to fetch) runs
+  //    before the fetch; epilogues turn fetched chunks into records after.
+
+  /// Every delta object on root->version, deduplicated (DELTA layout).
+  std::vector<ChunkId> DeltaChainIds(VersionId version) const;
+  /// Chunk ids whose records intersect [key_lo, key_hi] for `version`
+  /// (index-ANDing for kChunked, per-key chunks for kSubChunkPerKey).
+  std::vector<ChunkId> RangeChunkIds(VersionId version,
+                                     const std::string& key_lo,
+                                     const std::string& key_hi) const;
+  /// Replays a fetched delta chain and materializes `version`'s records
+  /// (optionally range-restricted) — the DELTA retrieval epilogue.
+  Result<std::vector<Record>> ReplayDeltaChain(
+      const std::vector<ChunkRef>& chunks, VersionId version, bool use_range,
+      const std::string& key_lo, const std::string& key_hi) const;
+  /// Record-evolution epilogue: all records with `key` across versions,
+  /// sorted by origin version (replays everything under DELTA).
+  Result<std::vector<Record>> HistoryFromChunks(
+      const std::vector<ChunkRef>& chunks, const std::string& key) const;
+  /// Point-query epilogue: scans fetched chunks for `key` in `version`.
+  Result<Record> RecordFromChunks(const std::vector<ChunkRef>& chunks,
+                                  const std::string& key,
+                                  VersionId version) const;
 
   KVStore* kvs_;
   const StoreCatalog* catalog_;

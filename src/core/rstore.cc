@@ -615,6 +615,75 @@ Result<Record> RStore::GetRecord(const std::string& key, VersionId version,
   return qp.GetRecord(key, version, stats, trace);
 }
 
+namespace {
+
+/// Pins a heap-held QueryProcessor until `future` completes (continuations
+/// may run long after the submitting frame returns).
+template <typename T>
+Future<T> PinProcessor(std::shared_ptr<QueryProcessor> qp, Future<T> future) {
+  future.OnReady([qp = std::move(qp)](const T&) {});
+  return future;
+}
+
+template <typename T>
+Future<T> AsyncError(Status error) {
+  T result;
+  result.status = std::move(error);
+  return MakeReadyFuture(std::move(result));
+}
+
+}  // namespace
+
+Future<AsyncQueryResult> RStore::GetVersionAsync(Executor* executor,
+                                                 VersionId version,
+                                                 TraceContext* trace) {
+  // The flush prologue runs synchronously, like the sync twins: writes and
+  // async reads never overlap (documented contract).
+  Status flushed = ProcessBatch(trace);
+  if (!flushed.ok()) return AsyncError<AsyncQueryResult>(std::move(flushed));
+  auto qp = std::make_shared<QueryProcessor>(backend_, &catalog_, &tree_,
+                                             layout_, options_, cache_.get(),
+                                             cache_owner_);
+  return PinProcessor(qp, qp->GetVersionAsync(executor, version, trace));
+}
+
+Future<AsyncQueryResult> RStore::GetRangeAsync(Executor* executor,
+                                               VersionId version,
+                                               const std::string& key_lo,
+                                               const std::string& key_hi,
+                                               TraceContext* trace) {
+  Status flushed = ProcessBatch(trace);
+  if (!flushed.ok()) return AsyncError<AsyncQueryResult>(std::move(flushed));
+  auto qp = std::make_shared<QueryProcessor>(backend_, &catalog_, &tree_,
+                                             layout_, options_, cache_.get(),
+                                             cache_owner_);
+  return PinProcessor(
+      qp, qp->GetRangeAsync(executor, version, key_lo, key_hi, trace));
+}
+
+Future<AsyncQueryResult> RStore::GetHistoryAsync(Executor* executor,
+                                                 const std::string& key,
+                                                 TraceContext* trace) {
+  Status flushed = ProcessBatch(trace);
+  if (!flushed.ok()) return AsyncError<AsyncQueryResult>(std::move(flushed));
+  auto qp = std::make_shared<QueryProcessor>(backend_, &catalog_, &tree_,
+                                             layout_, options_, cache_.get(),
+                                             cache_owner_);
+  return PinProcessor(qp, qp->GetHistoryAsync(executor, key, trace));
+}
+
+Future<AsyncRecordResult> RStore::GetRecordAsync(Executor* executor,
+                                                 const std::string& key,
+                                                 VersionId version,
+                                                 TraceContext* trace) {
+  Status flushed = ProcessBatch(trace);
+  if (!flushed.ok()) return AsyncError<AsyncRecordResult>(std::move(flushed));
+  auto qp = std::make_shared<QueryProcessor>(backend_, &catalog_, &tree_,
+                                             layout_, options_, cache_.get(),
+                                             cache_owner_);
+  return PinProcessor(qp, qp->GetRecordAsync(executor, key, version, trace));
+}
+
 Result<VersionDelta> RStore::Diff(VersionId from, VersionId to) const {
   if (from >= tree_.graph.size() || to >= tree_.graph.size()) {
     return Status::InvalidArgument("unknown version in diff");

@@ -122,6 +122,28 @@ class RStore {
                            QueryStats* stats = nullptr,
                            TraceContext* trace = nullptr);
 
+  // -- Asynchronous query twins (see QueryProcessor). Each flushes any
+  //    staged batch synchronously, then submits the query onto `executor`'s
+  //    virtual timeline; the future completes at the query's simulated
+  //    completion instant with results byte-identical to the sync method
+  //    and the query's own cost accounting in the payload. All async
+  //    queries against one store must share one Executor, and writes must
+  //    not run while queries are in flight (drain the executor first).
+  Future<AsyncQueryResult> GetVersionAsync(Executor* executor,
+                                           VersionId version,
+                                           TraceContext* trace = nullptr);
+  Future<AsyncQueryResult> GetRangeAsync(Executor* executor, VersionId version,
+                                         const std::string& key_lo,
+                                         const std::string& key_hi,
+                                         TraceContext* trace = nullptr);
+  Future<AsyncQueryResult> GetHistoryAsync(Executor* executor,
+                                           const std::string& key,
+                                           TraceContext* trace = nullptr);
+  Future<AsyncRecordResult> GetRecordAsync(Executor* executor,
+                                           const std::string& key,
+                                           VersionId version,
+                                           TraceContext* trace = nullptr);
+
   /// Membership difference between two arbitrary versions — the general
   /// form of the paper's ∆ (symmetric: Diff(a,b) is the inverse of
   /// Diff(b,a)). `added` holds records in `to` but not `from`, `removed` the

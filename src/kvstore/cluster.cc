@@ -89,7 +89,8 @@ Cluster::Cluster(const ClusterOptions& options)
             options.ring_seed),
       alive_(options.num_nodes),
       injector_(options.faults, options.num_nodes),
-      hints_(options.num_nodes) {
+      hints_(options.num_nodes),
+      async_node_busy_us_(options.num_nodes, 0) {
   RSTORE_CHECK(options.num_nodes >= 1);
   RSTORE_CHECK(options.replication_factor >= 1);
   RSTORE_CHECK(options.retry.max_attempts >= 1);
@@ -580,6 +581,385 @@ Status Cluster::MultiGetInternal(const std::string& table,
   stats_.hedge_wins += n_hedge_wins;
   stats_.timeouts += n_timeouts;
   return Status::OK();
+}
+
+Future<AsyncMultiGetResult> Cluster::MultiGetAsync(
+    Executor* executor, const std::string& table,
+    const std::vector<std::string>& keys, bool partial, TraceContext* trace) {
+  RSTORE_CHECK(executor != nullptr);
+  auto state = std::make_shared<AsyncMultiGetState>();
+  state->executor = executor;
+  state->table = table;
+  state->keys = keys;
+  state->partial = partial;
+  state->trace = trace;
+  // Same tick/hint discipline as the sync path: batches submitted in the
+  // same order draw the same fault streams, which is what makes a
+  // sequentially-drained async run replay the synchronous timeline.
+  state->tick = injector_.NextTick();
+  ReplayReadyHints(state->tick);
+  state->submit_us = executor->now_us();
+  state->last_event_us = state->submit_us;
+  {
+    MutexLock lock(mu_);
+    RSTORE_DCHECK(async_executor_ == nullptr || async_executor_ == executor)
+        << "one Cluster, one async executor (one virtual timeline)";
+    async_executor_ = executor;
+  }
+  if (trace != nullptr) {
+    state->span_id = trace->StartSpan("kvs.multiget");
+    state->sim_batch_start = trace->sim_now_us();
+  }
+
+  // Route each key to its first serving replica (identical to the sync
+  // path); initial groups are issued at the submission instant.
+  using Member = AsyncMultiGetState::Member;
+  using Group = AsyncMultiGetState::Group;
+  std::vector<std::vector<Member>> initial(nodes_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto replicas = ring_.Replicas(keys[i], options_.replication_factor);
+    const int pos = FirstUp(replicas, state->tick);
+    if (pos < 0) {
+      Status down = Status::IOError("all replicas down for a key");
+      if (!partial) {
+        AbortAsync(state, std::move(down));
+        return state->promise.future();
+      }
+      state->result.failures.push_back({keys[i], std::move(down)});
+      continue;
+    }
+    const uint32_t node = replicas[static_cast<size_t>(pos)];
+    initial[node].push_back(
+        Member{i, std::move(replicas), static_cast<size_t>(pos)});
+  }
+  for (size_t node = 0; node < initial.size(); ++node) {
+    if (initial[node].empty()) continue;
+    state->groups.push_back(Group{static_cast<uint32_t>(node),
+                                  state->submit_us, /*round=*/0,
+                                  std::move(initial[node])});
+  }
+  state->outstanding = state->groups.size();
+  if (state->outstanding == 0) {
+    // Nothing to contact: the batch still costs one coordinator overhead.
+    const uint64_t charged = options_.latency.coordinator_overhead_us;
+    state->result.charged_micros = charged;
+    executor->PostAt(state->submit_us + charged,
+                     [this, state] { FinalizeAsync(state); });
+    return state->promise.future();
+  }
+  for (size_t gi = 0; gi < state->groups.size(); ++gi) {
+    executor->PostAt(state->submit_us, [this, state, gi] {
+      ProcessAsyncGroup(state, gi);
+    });
+  }
+  return state->promise.future();
+}
+
+void Cluster::ProcessAsyncGroup(const AsyncStatePtr& state,
+                                size_t group_index) {
+  if (state->failed) return;
+  using Member = AsyncMultiGetState::Member;
+  // Move the group out: failovers may reallocate state->groups.
+  AsyncMultiGetState::Group g = std::move(state->groups[group_index]);
+
+  std::vector<std::string> group_keys;
+  group_keys.reserve(g.members.size());
+  for (const Member& m : g.members) {
+    group_keys.push_back(state->keys[m.key_idx]);
+  }
+  std::map<std::string, std::string> node_result;
+  Status read = nodes_[g.node]->MultiGet(state->table, group_keys,
+                                         &node_result);
+  if (!read.ok()) {
+    AbortAsync(state, std::move(read));
+    return;
+  }
+  uint64_t node_bytes = 0;
+  for (const auto& [key, value] : node_result) node_bytes += value.size();
+
+  const uint64_t timeout_us = options_.retry.request_timeout_us;
+  const uint64_t hedge_threshold = options_.latency.hedge_threshold_us;
+  // The deadline runs from the group's issue instant — queueing delay at
+  // the node eats into the coordinator's patience, as it would for real.
+  const uint64_t deadline = timeout_us > 0
+                                ? g.start_us + timeout_us
+                                : std::numeric_limits<uint64_t>::max();
+
+  // Per-node FIFO queue: service begins once the node has drained every
+  // batch it previously accepted on this virtual timeline.
+  uint64_t service_start;
+  {
+    MutexLock lock(mu_);
+    service_start = std::max(g.start_us, async_node_busy_us_[g.node]);
+  }
+
+  const AttemptChain chain =
+      SimulateAttempts(g.node, state->tick, g.round, kSaltRead, service_start);
+  state->n_retries += chain.retries;
+  for (size_t k = 0; k < chain.failed_attempts.size(); ++k) {
+    const uint64_t attempt_start =
+        std::min(chain.failed_attempts[k].first, deadline);
+    const uint64_t attempt_end =
+        std::min(chain.failed_attempts[k].second, deadline);
+    if (attempt_start >= attempt_end) continue;  // abandoned before issue
+    state->sim_spans.push_back(
+        {StringPrintf("node%u.retry%zu", g.node, k + 1), attempt_start,
+         attempt_end,
+         {}});
+  }
+  if (!chain.served) {
+    const uint64_t fail_us = std::min(chain.failure_us, deadline);
+    state->last_event_us = std::max(state->last_event_us, fail_us);
+    Status status = AsyncFailOver(state, std::move(g.members), fail_us,
+                                  g.round + 1, "replicas exhausted for a key");
+    if (!status.ok()) {
+      AbortAsync(state, std::move(status));
+      return;
+    }
+    AsyncGroupResolved(state);
+    return;
+  }
+  if (chain.start_us >= deadline) {
+    // Queueing and/or retry backoff pushed the serving attempt past the
+    // deadline: the whole group times out without the attempt being issued.
+    ++state->n_timeouts;
+    state->last_event_us = std::max(state->last_event_us, deadline);
+    Status status = AsyncFailOver(state, std::move(g.members), deadline,
+                                  g.round + 1, "request timed out");
+    if (!status.ok()) {
+      AbortAsync(state, std::move(status));
+      return;
+    }
+    AsyncGroupResolved(state);
+    return;
+  }
+
+  const uint64_t node_us = ScaleMicros(
+      options_.latency.NodeServiceMicros(group_keys.size(), node_bytes),
+      chain.slow_multiplier);
+  const uint64_t primary_completion = chain.start_us + node_us;
+  ++state->nodes_contacted;
+  {
+    MutexLock lock(mu_);
+    async_node_busy_us_[g.node] =
+        std::max(async_node_busy_us_[g.node], primary_completion);
+  }
+
+  // Hedged reads, as in the sync path, except that the hedge target's queue
+  // delays the speculative request — so whether a hedge *wins* depends on
+  // how busy its target is, and two attempts genuinely race.
+  std::vector<uint64_t> completion(g.members.size(), primary_completion);
+  struct HedgeEvent {
+    uint32_t target;
+    uint64_t end_us;
+    size_t num_members;
+    uint64_t latest_need;
+  };
+  std::vector<HedgeEvent> hedge_events;
+  const uint64_t hedge_issue = chain.start_us + hedge_threshold;
+  if (hedge_threshold > 0 && node_us > hedge_threshold &&
+      hedge_issue < deadline) {
+    std::map<uint32_t, std::vector<size_t>> by_target;  // member indexes
+    for (size_t mi = 0; mi < g.members.size(); ++mi) {
+      const Member& m = g.members[mi];
+      const int next = NextUp(m.replicas, m.pos, state->tick);
+      if (next >= 0) {
+        by_target[m.replicas[static_cast<size_t>(next)]].push_back(mi);
+      }
+    }
+    for (const auto& [target, member_idxs] : by_target) {
+      ++state->n_hedges;
+      const FaultDecision hd =
+          injector_.Decide(target, state->tick, /*attempt=*/0,
+                           kSaltHedge + kSaltStride * g.round);
+      const bool hedge_ok = hd.kind != FaultKind::kTransientError;
+      uint64_t hedge_begin;
+      {
+        MutexLock lock(mu_);
+        hedge_begin = std::max(hedge_issue, async_node_busy_us_[target]);
+      }
+      uint64_t hedge_end;
+      if (hedge_ok) {
+        uint64_t hedge_bytes = 0;
+        for (size_t mi : member_idxs) {
+          auto it = node_result.find(state->keys[g.members[mi].key_idx]);
+          if (it != node_result.end()) hedge_bytes += it->second.size();
+        }
+        hedge_end = hedge_begin +
+                    ScaleMicros(options_.latency.NodeServiceMicros(
+                                    member_idxs.size(), hedge_bytes),
+                                hd.slow_multiplier);
+        MutexLock lock(mu_);
+        async_node_busy_us_[target] =
+            std::max(async_node_busy_us_[target], hedge_end);
+      } else {
+        hedge_end = hedge_begin + options_.latency.request_overhead_us;
+      }
+      if (hedge_ok && hedge_end < primary_completion) {
+        ++state->n_hedge_wins;
+        for (size_t mi : member_idxs) completion[mi] = hedge_end;
+      }
+      hedge_events.push_back(
+          HedgeEvent{target, hedge_end, member_idxs.size(), /*latest=*/0});
+      for (size_t mi : member_idxs) {
+        HedgeEvent& ev = hedge_events.back();
+        ev.latest_need =
+            std::max(ev.latest_need, std::min(completion[mi], deadline));
+      }
+    }
+  }
+
+  // Per-key deadline check, then serve whatever made it in time.
+  std::vector<Member> timed_out;
+  uint64_t group_end = chain.start_us;
+  for (size_t mi = 0; mi < g.members.size(); ++mi) {
+    if (completion[mi] > deadline) {
+      group_end = std::max(group_end, deadline);
+      timed_out.push_back(std::move(g.members[mi]));
+      continue;
+    }
+    group_end = std::max(group_end, completion[mi]);
+    state->last_event_us = std::max(state->last_event_us, completion[mi]);
+    auto it = node_result.find(state->keys[g.members[mi].key_idx]);
+    if (it != node_result.end()) {
+      state->result.bytes_read += it->second.size();
+      state->result.values[it->first] = it->second;
+    }
+  }
+  {
+    AsyncMultiGetState::SimSpan node_span{
+        StringPrintf("node%u", g.node), chain.start_us,
+        std::min(group_end, primary_completion),
+        {{"keys", std::to_string(group_keys.size())},
+         {"bytes", std::to_string(node_bytes)}}};
+    state->sim_spans.push_back(std::move(node_span));
+    for (const HedgeEvent& ev : hedge_events) {
+      state->sim_spans.push_back(
+          {StringPrintf("node%u.hedge", ev.target), hedge_issue,
+           std::max(hedge_issue, std::min(ev.end_us, ev.latest_need)),
+           {{"keys", std::to_string(ev.num_members)}}});
+    }
+  }
+  if (!timed_out.empty()) {
+    ++state->n_timeouts;
+    state->last_event_us = std::max(state->last_event_us, deadline);
+    Status status = AsyncFailOver(state, std::move(timed_out), deadline,
+                                  g.round + 1, "request timed out");
+    if (!status.ok()) {
+      AbortAsync(state, std::move(status));
+      return;
+    }
+  }
+  AsyncGroupResolved(state);
+}
+
+Status Cluster::AsyncFailOver(const AsyncStatePtr& state,
+                              std::vector<AsyncMultiGetState::Member> failed,
+                              uint64_t fail_us, uint32_t next_round,
+                              const char* reason) {
+  std::map<uint32_t, std::vector<AsyncMultiGetState::Member>> regrouped;
+  for (AsyncMultiGetState::Member& m : failed) {
+    const int next = NextUp(m.replicas, m.pos, state->tick);
+    if (next < 0) {
+      Status exhausted = Status::IOError(reason);
+      if (!state->partial) return exhausted;
+      state->result.failures.push_back(
+          {state->keys[m.key_idx], std::move(exhausted)});
+      continue;
+    }
+    m.pos = static_cast<size_t>(next);
+    regrouped[m.replicas[m.pos]].push_back(std::move(m));
+  }
+  for (auto& [node, members] : regrouped) {
+    state->groups.push_back(AsyncMultiGetState::Group{
+        node, fail_us, next_round, std::move(members)});
+    ++state->outstanding;
+    const size_t gi = state->groups.size() - 1;
+    state->executor->PostAt(fail_us, [this, state, gi] {
+      ProcessAsyncGroup(state, gi);
+    });
+  }
+  return Status::OK();
+}
+
+void Cluster::AsyncGroupResolved(const AsyncStatePtr& state) {
+  RSTORE_DCHECK(state->outstanding > 0);
+  if (--state->outstanding > 0 || state->failed) return;
+  const uint64_t charged = options_.latency.coordinator_overhead_us +
+                           (state->last_event_us - state->submit_us);
+  state->result.charged_micros = charged;
+  // The future completes at the batch's simulated completion instant, so a
+  // continuation that issues a dependent batch (the map-key fetch of a
+  // query) submits it at the causally correct virtual time.
+  state->executor->PostAt(state->submit_us + charged,
+                          [this, state] { FinalizeAsync(state); });
+}
+
+void Cluster::FinalizeAsync(const AsyncStatePtr& state) {
+  const uint64_t charged = state->result.charged_micros;
+  state->result.retries = state->n_retries;
+  state->result.hedges = state->n_hedges;
+  state->result.hedge_wins = state->n_hedge_wins;
+  state->result.timeouts = state->n_timeouts;
+
+  if (state->trace != nullptr) {
+    TraceContext* trace = state->trace;
+    for (const auto& span : state->sim_spans) {
+      const uint32_t id = trace->AddSimulatedSpan(
+          span.name, state->sim_batch_start + (span.start_us - state->submit_us),
+          state->sim_batch_start + (span.end_us - state->submit_us));
+      for (const auto& [key, value] : span.notes) {
+        trace->Annotate(id, key, value);
+      }
+    }
+    trace->AdvanceSim(charged);
+    trace->Annotate(state->span_id, "keys",
+                    std::to_string(state->keys.size()));
+    trace->Annotate(state->span_id, "bytes",
+                    std::to_string(state->result.bytes_read));
+    trace->Annotate(state->span_id, "nodes",
+                    std::to_string(state->nodes_contacted));
+    trace->EndSpan(state->span_id);
+  }
+  const ClusterMetrics& metrics = ClusterMetrics::Get();
+  metrics.requests_total->Increment();
+  metrics.multiget_batches_total->Increment();
+  metrics.keys_requested_total->Increment(state->keys.size());
+  metrics.bytes_read_total->Increment(state->result.bytes_read);
+  metrics.simulated_micros_total->Increment(charged);
+  metrics.multiget_batch_keys->Observe(state->keys.size());
+  if (state->n_retries > 0) metrics.retries_total->Increment(state->n_retries);
+  if (state->n_hedges > 0) metrics.hedges_total->Increment(state->n_hedges);
+  if (state->n_hedge_wins > 0) {
+    metrics.hedge_wins_total->Increment(state->n_hedge_wins);
+  }
+  if (state->n_timeouts > 0) {
+    metrics.timeouts_total->Increment(state->n_timeouts);
+  }
+  {
+    MutexLock lock(mu_);
+    ++stats_.multiget_batches;
+    stats_.keys_requested += state->keys.size();
+    stats_.bytes_read += state->result.bytes_read;
+    stats_.simulated_micros += charged;
+    stats_.retries += state->n_retries;
+    stats_.hedges += state->n_hedges;
+    stats_.hedge_wins += state->n_hedge_wins;
+    stats_.timeouts += state->n_timeouts;
+  }
+  // Last, with no locks held: continuations may submit follow-up batches.
+  state->promise.Set(std::move(state->result));
+}
+
+void Cluster::AbortAsync(const AsyncStatePtr& state, Status error) {
+  state->failed = true;
+  if (state->trace != nullptr) {
+    // Mirrors the sync early return: the span closes with no simulated
+    // advance and nothing is charged.
+    state->trace->EndSpan(state->span_id);
+  }
+  state->result.status = std::move(error);
+  state->promise.Set(std::move(state->result));
 }
 
 Status Cluster::Delete(const std::string& table, Slice key) {

@@ -2,11 +2,15 @@
 #define RSTORE_KVSTORE_CLUSTER_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/sync.h"
+#include "common/trace.h"
 #include "kvstore/fault_injector.h"
 #include "kvstore/hash_ring.h"
 #include "kvstore/kv_store.h"
@@ -80,6 +84,34 @@ class Cluster : public KVStore {
                          std::map<std::string, std::string>* out,
                          std::vector<KeyReadFailure>* failures,
                          TraceContext* trace) override;
+  /// Asynchronous MultiGet: the continuation-style twin of MultiGetInternal,
+  /// scheduled on a deterministic virtual-time Executor so many batches from
+  /// many queries overlap through one coordinator. Fault decisions draw from
+  /// the same (tick, node, round, salt) streams as the synchronous path, so
+  /// a sequentially-drained async run replays the synchronous timeline event
+  /// for event; when batches genuinely overlap, a per-node FIFO queue
+  /// (async_node_busy_us_) serializes each node's service so saturation is
+  /// bounded by aggregate node capacity, exactly the resource the
+  /// synchronous engine leaves idle between queries.
+  ///
+  /// With `partial` false the batch is strict (first unavailable key fails
+  /// the whole batch, nothing is charged — mirroring MultiGet); with true,
+  /// unavailable keys land in AsyncMultiGetResult::failures. The returned
+  /// future completes on the executor at the batch's simulated completion
+  /// instant, after this batch's charge lands in stats(). `trace` must
+  /// belong to the submitting query chain and stay open (no span started
+  /// before submission may close) until the future completes; per-node /
+  /// per-attempt children and the simulated advance are recorded at
+  /// completion and reconcile exactly with the charge, as in the sync path.
+  ///
+  /// All async traffic against one Cluster must share one Executor (one
+  /// virtual timeline); mixing executors trips a DCHECK. Writes must not
+  /// run concurrently with in-flight async reads.
+  Future<AsyncMultiGetResult> MultiGetAsync(
+      Executor* executor, const std::string& table,
+      const std::vector<std::string>& keys, bool partial,
+      TraceContext* trace) override;
+
   Status Delete(const std::string& table, Slice key) override;
   Status Scan(const std::string& table,
               const std::function<void(Slice key, Slice value)>& fn) override;
@@ -151,6 +183,79 @@ class Cluster : public KVStore {
                           std::vector<KeyReadFailure>* failures,
                           TraceContext* trace);
 
+  /// Mutable continuation state of one in-flight MultiGetAsync batch,
+  /// shared by every event the batch schedules. Only executor events touch
+  /// it after submission, and the executor runs them one at a time, so no
+  /// lock guards it; cross-thread publication happens via the executor's
+  /// own queue lock.
+  struct AsyncMultiGetState {
+    struct Member {
+      size_t key_idx;
+      std::vector<uint32_t> replicas;
+      size_t pos;
+    };
+    struct Group {
+      uint32_t node;
+      uint64_t start_us;  // absolute virtual time the group was issued
+      uint32_t round;     // failover depth, decorrelates fault decisions
+      std::vector<Member> members;
+    };
+    /// A child span recorded at an absolute virtual interval, re-based onto
+    /// the query's simulated clock at finalize.
+    struct SimSpan {
+      std::string name;
+      uint64_t start_us;
+      uint64_t end_us;
+      std::vector<std::pair<std::string, std::string>> notes;
+    };
+
+    Executor* executor = nullptr;
+    std::string table;
+    std::vector<std::string> keys;
+    bool partial = false;
+    TraceContext* trace = nullptr;
+    uint64_t tick = 0;
+    uint64_t submit_us = 0;        // absolute virtual submission instant
+    uint64_t sim_batch_start = 0;  // trace sim clock at submission
+    uint32_t span_id = TraceSpan::kNoParent;
+
+    std::vector<Group> groups;  // append-only; events index into it
+    size_t outstanding = 0;
+    bool failed = false;
+
+    std::vector<SimSpan> sim_spans;
+    uint64_t last_event_us = 0;  // absolute latest completion/failure
+    uint32_t nodes_contacted = 0;
+    uint64_t n_retries = 0;
+    uint64_t n_hedges = 0;
+    uint64_t n_hedge_wins = 0;
+    uint64_t n_timeouts = 0;
+
+    AsyncMultiGetResult result;
+    Promise<AsyncMultiGetResult> promise;
+  };
+  using AsyncStatePtr = std::shared_ptr<AsyncMultiGetState>;
+
+  /// One group event: physical read, queued service + attempt chain,
+  /// hedging, per-member completion, failover scheduling.
+  void ProcessAsyncGroup(const AsyncStatePtr& state, size_t group_index);
+  /// Routes members that failed at `fail_us` to their next serving
+  /// replicas, scheduling the new groups. Strict-mode exhaustion returns
+  /// the error (caller aborts the batch).
+  Status AsyncFailOver(const AsyncStatePtr& state,
+                       std::vector<AsyncMultiGetState::Member> failed,
+                       uint64_t fail_us, uint32_t next_round,
+                       const char* reason);
+  /// Marks one group resolved; the last one schedules FinalizeAsync at the
+  /// batch's simulated completion instant.
+  void AsyncGroupResolved(const AsyncStatePtr& state);
+  /// Charges stats/metrics, emits the trace children + simulated advance,
+  /// and completes the promise (with no locks held).
+  void FinalizeAsync(const AsyncStatePtr& state);
+  /// Strict-mode batch failure: mirrors the sync early return — the span
+  /// closes without an advance and nothing is charged.
+  void AbortAsync(const AsyncStatePtr& state, Status error);
+
   /// Replays staged hints for every node that is up at `tick`. Called at
   /// the start of each coordinator operation (before routing, so a write
   /// issued after recovery can never be overwritten by an older hint) and
@@ -191,6 +296,15 @@ class Cluster : public KVStore {
 
   mutable Mutex mu_{kLockRankCluster, "Cluster::mu_"};
   KVStats stats_ RSTORE_GUARDED_BY(mu_);
+  /// Virtual-time instant (on the async executor's clock) until which each
+  /// node is busy serving async reads — the per-node FIFO queue that keeps
+  /// saturation finite when hundreds of async queries overlap. The
+  /// synchronous path never consults it: a sync caller waits out each batch
+  /// before issuing the next, so its nodes are idle by construction.
+  std::vector<uint64_t> async_node_busy_us_ RSTORE_GUARDED_BY(mu_);
+  /// All async traffic on one cluster shares one virtual timeline; pinned
+  /// at the first MultiGetAsync and DCHECKed on every later one.
+  const Executor* async_executor_ RSTORE_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace rstore

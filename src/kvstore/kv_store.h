@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -71,6 +72,24 @@ struct KVStats {
 struct KeyReadFailure {
   std::string key;
   Status status;
+};
+
+/// Completion payload of one asynchronous MultiGet batch. Unlike the
+/// synchronous path — where callers difference stats() snapshots — every
+/// per-call figure rides in the result, because stats() deltas are
+/// meaningless while hundreds of batches are in flight.
+struct AsyncMultiGetResult {
+  Status status = Status::OK();
+  std::map<std::string, std::string> values;
+  /// Per-key degradations (partial mode only; strict batches fail whole).
+  std::vector<KeyReadFailure> failures;
+  uint64_t bytes_read = 0;
+  /// Exactly what this batch added to stats().simulated_micros.
+  uint64_t charged_micros = 0;
+  uint64_t retries = 0;
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t timeouts = 0;
 };
 
 /// Abstract distributed key-value store interface.
@@ -138,6 +157,38 @@ class KVStore {
       return Status::OK();
     }
     return s;
+  }
+
+  /// Asynchronous batched lookup, completing on `executor`'s virtual
+  /// timeline. With `partial` false the batch is strict: the first
+  /// unavailable key fails the whole batch (mirroring MultiGet); with true,
+  /// unavailable keys land in AsyncMultiGetResult::failures. The default
+  /// implementation bridges to the synchronous path and returns an
+  /// already-completed future — stores without a latency model serve
+  /// instantly on the virtual clock, charging exactly what the sync call
+  /// charged. Stores that model distribution (Cluster) override this with a
+  /// genuinely pipelined implementation.
+  virtual Future<AsyncMultiGetResult> MultiGetAsync(
+      Executor* executor, const std::string& table,
+      const std::vector<std::string>& keys, bool partial,
+      TraceContext* trace) {
+    (void)executor;
+    AsyncMultiGetResult result;
+    const KVStats before = stats();
+    if (partial) {
+      result.status = MultiGetPartial(table, keys, &result.values,
+                                      &result.failures, trace);
+    } else {
+      result.status = MultiGet(table, keys, &result.values, trace);
+    }
+    const KVStats after = stats();
+    result.bytes_read = after.bytes_read - before.bytes_read;
+    result.charged_micros = after.simulated_micros - before.simulated_micros;
+    result.retries = after.retries - before.retries;
+    result.hedges = after.hedges - before.hedges;
+    result.hedge_wins = after.hedge_wins - before.hedge_wins;
+    result.timeouts = after.timeouts - before.timeouts;
+    return MakeReadyFuture(std::move(result));
   }
 
   virtual Status Delete(const std::string& table, Slice key) = 0;

@@ -1,0 +1,181 @@
+// TSan-targeted stress over the executor and futures: Post/PostAt/Cancel
+// storms from many threads against one drainer, promise completion racing
+// continuation registration, cross-thread Future::Get, and concurrent async
+// queries from separate stores contending on one shared ChunkCache. These
+// tests assert only counts and invariants — the interesting output is what
+// the race detector says about the interleavings.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/executor.h"
+#include "core/chunk_cache.h"
+#include "core/rstore.h"
+#include "core_test_util.h"
+#include "kvstore/memory_store.h"
+
+namespace rstore {
+namespace {
+
+constexpr int kThreads = 4;
+
+TEST(ExecutorConcurrencyTest, PostStormFromManyThreadsDrainsCompletely) {
+  Executor executor(3);
+  constexpr int kPerThread = 2000;
+  std::atomic<int> ran{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&executor, &ran, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto task = [&ran] { ran.fetch_add(1); };
+        switch (i % 3) {
+          case 0:
+            executor.Post(task);
+            break;
+          case 1:
+            executor.PostAt(static_cast<uint64_t>(t * kPerThread + i), task);
+            break;
+          default:
+            executor.PostAfter(static_cast<uint64_t>(i % 17), task);
+        }
+      }
+    });
+  }
+  // One drainer, as the contract requires; it races the producers and keeps
+  // draining until every post has landed and run.
+  std::thread drainer([&executor, &done] {
+    while (!done.load() || executor.pending() > 0) {
+      executor.RunUntilIdle();
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  done.store(true);
+  drainer.join();
+  EXPECT_EQ(ran.load(), kThreads * kPerThread);
+  EXPECT_EQ(executor.pending(), 0u);
+}
+
+TEST(ExecutorConcurrencyTest, CancelRacesWithTheDrainer) {
+  Executor executor;
+  constexpr int kPerThread = 1500;
+  std::atomic<int> ran{0};
+  std::atomic<int> cancelled{0};
+  std::atomic<bool> done{false};
+
+  std::thread drainer([&executor, &done] {
+    while (!done.load() || executor.pending() > 0) {
+      executor.RunUntilIdle();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&executor, &ran, &cancelled] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Executor::TaskId id =
+            executor.PostAfter(static_cast<uint64_t>(i % 7),
+                               [&ran] { ran.fetch_add(1); });
+        if (i % 2 == 0 && executor.Cancel(id)) cancelled.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  done.store(true);
+  drainer.join();
+  // Every task either ran exactly once or was cancelled exactly once.
+  EXPECT_EQ(ran.load() + cancelled.load(), kThreads * kPerThread);
+  EXPECT_GT(cancelled.load(), 0);
+  EXPECT_GT(ran.load(), 0);
+}
+
+TEST(ExecutorConcurrencyTest, ManyThreadsBlockOnOneFuture) {
+  Executor executor;
+  Promise<int> promise;
+  Future<int> future = promise.future();
+  std::atomic<int> sum{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < kThreads; ++t) {
+    waiters.emplace_back(
+        [future, &sum] { sum.fetch_add(future.Get()); });
+  }
+  executor.PostAt(100, [promise] { promise.Set(11); });
+  executor.RunUntilIdle();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(sum.load(), 11 * kThreads);
+}
+
+TEST(ExecutorConcurrencyTest, OnReadyRacesWithSet) {
+  for (int round = 0; round < 50; ++round) {
+    Promise<int> promise;
+    Future<int> future = promise.future();
+    std::atomic<int> fired{0};
+    std::vector<std::thread> registrars;
+    for (int t = 0; t < kThreads; ++t) {
+      registrars.emplace_back([future, &fired] {
+        for (int i = 0; i < 20; ++i) {
+          future.OnReady([&fired](const int& v) {
+            EXPECT_EQ(v, 5);
+            fired.fetch_add(1);
+          });
+        }
+      });
+    }
+    std::thread setter([promise] { promise.Set(5); });
+    for (std::thread& t : registrars) t.join();
+    setter.join();
+    // Whether each callback was registered before or after the Set, it runs
+    // exactly once.
+    EXPECT_EQ(fired.load(), kThreads * 20);
+  }
+}
+
+TEST(ExecutorConcurrencyTest, AsyncQueriesContendOnOneSharedChunkCache) {
+  // Each thread owns its backend, store, and executor (both are
+  // single-drainer components); the ChunkCache is the one deliberately
+  // shared piece, hammered from every thread at once.
+  auto cache = std::make_shared<ChunkCache>(32 << 10, 4);
+  testing::ExampleData data = testing::MakeChain(12, 10, 3);
+
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &data, &failures] {
+      MemoryStore backend;
+      Options options;
+      options.chunk_capacity_bytes = 600;
+      options.chunk_cache = cache;
+      auto store = RStore::Open(&backend, options);
+      if (!store.ok() ||
+          !(*store)->BulkLoad(data.dataset, data.payloads).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      Executor executor;
+      std::atomic<int> bad{0};
+      for (int pass = 0; pass < 3; ++pass) {
+        for (VersionId v = 0; v < 12; ++v) {
+          (*store)
+              ->GetVersionAsync(&executor, v)
+              .OnReady([&bad](const AsyncQueryResult& r) {
+                if (!r.status.ok() || r.records.empty()) bad.fetch_add(1);
+              });
+        }
+      }
+      executor.RunUntilIdle();
+      failures.fetch_add(bad.load());
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  Status valid = cache->Validate();
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_GT(cache->stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,27 @@
+// Death tests for the executor's run-loop discipline: re-entering
+// RunUntilIdle from a task and completing a promise twice both abort.
+// Tier-2 with the other forking death tests.
+
+#include <gtest/gtest.h>
+
+#include "common/executor.h"
+
+namespace rstore {
+namespace {
+
+TEST(ExecutorDeathTest, ReenteringRunUntilIdleIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Executor executor;
+  executor.Post([&executor] { executor.RunUntilIdle(); });
+  EXPECT_DEATH(executor.RunUntilIdle(), "re-entered");
+}
+
+TEST(ExecutorDeathTest, SettingAPromiseTwiceIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Promise<int> p;
+  p.Set(1);
+  EXPECT_DEATH(p.Set(2), "Set called twice");
+}
+
+}  // namespace
+}  // namespace rstore

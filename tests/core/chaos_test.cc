@@ -16,9 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "core/rstore.h"
 #include "core_test_util.h"
 #include "kvstore/cluster.h"
+#include "workload/traffic.h"
 
 namespace rstore {
 namespace {
@@ -128,6 +130,119 @@ TEST(ChaosTest, SameSeedReplaysIdenticalFaultTimeline) {
     EXPECT_EQ(a.kv.gets, b.kv.gets);
     EXPECT_EQ(a.kv.multiget_batches, b.kv.multiget_batches);
     EXPECT_EQ(a.results, b.results);
+  }
+}
+
+/// Deterministic mixed traffic for the async chaos runs: enough in-flight
+/// queries that batches genuinely overlap on the virtual timeline.
+workload::TrafficOptions AsyncChaosTraffic() {
+  workload::TrafficOptions t;
+  t.seed = 7;
+  t.num_queries = 60;
+  t.concurrency = 8;
+  return t;
+}
+
+struct AsyncChaosRun {
+  workload::TrafficReport report;
+  uint64_t sync_result_hash = 0;  // only when with_sync_baseline
+  KVStats kv;
+};
+
+/// Loads the chain dataset and pushes the deterministic traffic through the
+/// async engine with 8 queries in flight. A fresh cluster and executor per
+/// run: one cluster is pinned to one executor (one virtual timeline).
+AsyncChaosRun RunWorkloadAsync(const ClusterOptions& cluster_options,
+                               uint64_t executor_seed,
+                               bool with_sync_baseline = false) {
+  AsyncChaosRun out;
+  Cluster cluster(cluster_options);
+  ExampleData data = MakeChain(16, 12, 4);
+  Options options;
+  options.chunk_capacity_bytes = 700;
+  auto store = RStore::Open(&cluster, options);
+  EXPECT_TRUE(store.ok());
+  if (!store.ok()) return out;
+  EXPECT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+  const workload::TrafficOptions traffic = AsyncChaosTraffic();
+  const std::vector<workload::Query> queries =
+      workload::GenerateTraffic(data.dataset, traffic);
+  if (with_sync_baseline) {
+    out.sync_result_hash =
+        workload::RunTrafficSync(store->get(), queries).result_hash;
+  }
+  Executor executor(executor_seed);
+  out.report =
+      workload::RunTrafficAsync(store->get(), &executor, queries, traffic);
+  out.kv = cluster.stats();
+  return out;
+}
+
+// The tentpole's availability contract, now with pipelining in the mix:
+// whatever the fault schedule does to the timeline — retries, hedges,
+// failovers, queueing behind recovering nodes — strict async results stay
+// byte-identical to a fault-free run (which itself matches the sync engine).
+TEST(ChaosTest, AsyncPipelinedQueriesMatchFaultFreeUnderChaos) {
+  ClusterOptions clean;
+  clean.num_nodes = 5;
+  clean.replication_factor = 3;
+  const AsyncChaosRun baseline =
+      RunWorkloadAsync(clean, /*executor_seed=*/0, /*with_sync_baseline=*/true);
+  ASSERT_EQ(baseline.report.failed, 0u);
+  EXPECT_EQ(baseline.report.result_hash, baseline.sync_result_hash);
+  EXPECT_EQ(baseline.kv.retries + baseline.kv.hedges + baseline.kv.timeouts +
+                baseline.kv.handoff_hints,
+            0u);
+
+  for (uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    const AsyncChaosRun faulty =
+        RunWorkloadAsync(ChaosClusterOptions(seed), /*executor_seed=*/0);
+    EXPECT_EQ(faulty.report.failed, 0u);
+    EXPECT_EQ(faulty.report.result_hash, baseline.report.result_hash);
+    // The schedule actually bit, and faults cost virtual time.
+    EXPECT_GT(faulty.kv.retries, 0u);
+    EXPECT_GT(faulty.kv.simulated_micros, baseline.kv.simulated_micros);
+  }
+}
+
+// Same seed, same everything: the async engine's whole timeline — every
+// per-query latency, every fault counter — replays identically. This is the
+// property the deterministic executor exists to provide.
+TEST(ChaosTest, AsyncSameSeedReplaysIdenticalTimeline) {
+  for (uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    const AsyncChaosRun a =
+        RunWorkloadAsync(ChaosClusterOptions(seed), /*executor_seed=*/0);
+    const AsyncChaosRun b =
+        RunWorkloadAsync(ChaosClusterOptions(seed), /*executor_seed=*/0);
+    EXPECT_EQ(a.report.latencies_us, b.report.latencies_us);
+    EXPECT_EQ(a.report.makespan_us, b.report.makespan_us);
+    EXPECT_EQ(a.report.result_hash, b.report.result_hash);
+    EXPECT_EQ(a.kv.retries, b.kv.retries);
+    EXPECT_EQ(a.kv.hedges, b.kv.hedges);
+    EXPECT_EQ(a.kv.hedge_wins, b.kv.hedge_wins);
+    EXPECT_EQ(a.kv.timeouts, b.kv.timeouts);
+    EXPECT_EQ(a.kv.multiget_batches, b.kv.multiget_batches);
+    EXPECT_EQ(a.kv.simulated_micros, b.kv.simulated_micros);
+  }
+}
+
+// The executor's tie-break seed explores different interleavings of
+// logically concurrent completions; none of them may change what any query
+// returns, faults or no faults.
+TEST(ChaosTest, AsyncResultsInvariantUnderSchedulerSeed) {
+  const AsyncChaosRun fifo =
+      RunWorkloadAsync(ChaosClusterOptions(ChaosSeeds().front()),
+                       /*executor_seed=*/0);
+  ASSERT_EQ(fifo.report.failed, 0u);
+  for (uint64_t executor_seed : {1ull, 2ull}) {
+    SCOPED_TRACE("executor seed " + std::to_string(executor_seed));
+    const AsyncChaosRun shuffled = RunWorkloadAsync(
+        ChaosClusterOptions(ChaosSeeds().front()), executor_seed);
+    EXPECT_EQ(shuffled.report.failed, 0u);
+    EXPECT_EQ(shuffled.report.result_hash, fifo.report.result_hash);
+    EXPECT_EQ(shuffled.kv.bytes_read, fifo.kv.bytes_read);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/result.h"
 #include "core/record.h"
 #include "core/rstore.h"
@@ -116,45 +117,131 @@ struct WorkloadReplay {
   QueryStats stats;
 };
 
-/// Replays the deterministic mixed query workload derived from `seed`
-/// against `store`: full-version, range, evolution and point queries,
-/// `passes` times over the same query list so a cache on the read path sees
-/// genuine re-use (the first pass cold, later passes warm).
-inline Result<WorkloadReplay> ReplayQueryWorkload(
-    RStore* store, const VersionedDataset& dataset, uint64_t seed,
-    int passes = 2) {
+/// The deterministic mixed query list derived from `seed`: full-version,
+/// range, evolution and point queries, repeated `passes` times so a cache
+/// on the read path sees genuine re-use (the first pass cold, later warm).
+/// Both the sync and the async replay walk this same list, which is what
+/// makes their outputs comparable position by position.
+inline std::vector<workload::Query> BuildReplayQueries(
+    const VersionedDataset& dataset, uint64_t seed, int passes = 2) {
   workload::QueryWorkloadGenerator qgen(&dataset, seed);
   const std::vector<workload::Query> full = qgen.FullVersionQueries(3);
   const std::vector<workload::Query> ranges = qgen.RangeQueries(3, 0.2);
   const std::vector<workload::Query> evolutions = qgen.EvolutionQueries(3);
   const std::vector<workload::Query> points = qgen.PointQueries(5);
-  WorkloadReplay out;
+  std::vector<workload::Query> out;
   for (int pass = 0; pass < passes; ++pass) {
-    for (const workload::Query& q : full) {
-      auto got = store->GetVersion(q.version, &out.stats);
-      if (!got.ok()) return got.status();
-      out.results.push_back("v:" + SerializeRecords(*got));
-    }
-    for (const workload::Query& q : ranges) {
-      auto got = store->GetRange(q.version, q.key_lo, q.key_hi, &out.stats);
-      if (!got.ok()) return got.status();
-      out.results.push_back("r:" + SerializeRecords(*got));
-    }
-    for (const workload::Query& q : evolutions) {
-      auto got = store->GetHistory(q.key, &out.stats);
-      if (!got.ok()) return got.status();
-      out.results.push_back("h:" + SerializeRecords(*got));
-    }
-    for (const workload::Query& q : points) {
-      auto got = store->GetRecord(q.key, q.version, &out.stats);
-      if (got.status().IsNotFound()) {
-        out.results.push_back("p:notfound");
-      } else {
+    out.insert(out.end(), full.begin(), full.end());
+    out.insert(out.end(), ranges.begin(), ranges.end());
+    out.insert(out.end(), evolutions.begin(), evolutions.end());
+    out.insert(out.end(), points.begin(), points.end());
+  }
+  return out;
+}
+
+/// Replays the deterministic mixed query workload derived from `seed`
+/// against `store` through the synchronous API.
+inline Result<WorkloadReplay> ReplayQueryWorkload(
+    RStore* store, const VersionedDataset& dataset, uint64_t seed,
+    int passes = 2) {
+  WorkloadReplay out;
+  for (const workload::Query& q : BuildReplayQueries(dataset, seed, passes)) {
+    switch (q.kind) {
+      case workload::Query::Kind::kFullVersion: {
+        auto got = store->GetVersion(q.version, &out.stats);
         if (!got.ok()) return got.status();
-        out.results.push_back("p:" + SerializeRecords({*got}));
+        out.results.push_back("v:" + SerializeRecords(*got));
+        break;
+      }
+      case workload::Query::Kind::kRange: {
+        auto got = store->GetRange(q.version, q.key_lo, q.key_hi, &out.stats);
+        if (!got.ok()) return got.status();
+        out.results.push_back("r:" + SerializeRecords(*got));
+        break;
+      }
+      case workload::Query::Kind::kEvolution: {
+        auto got = store->GetHistory(q.key, &out.stats);
+        if (!got.ok()) return got.status();
+        out.results.push_back("h:" + SerializeRecords(*got));
+        break;
+      }
+      case workload::Query::Kind::kPoint: {
+        auto got = store->GetRecord(q.key, q.version, &out.stats);
+        if (got.status().IsNotFound()) {
+          out.results.push_back("p:notfound");
+        } else {
+          if (!got.ok()) return got.status();
+          out.results.push_back("p:" + SerializeRecords({*got}));
+        }
+        break;
       }
     }
   }
+  return out;
+}
+
+/// Replays the same workload through the async API on `executor`.
+/// `window` = 0 submits every query up front (maximum overlap); `window`
+/// = 1 drains the executor after each submission — the sequential mode
+/// whose timeline must equal the synchronous engine's exactly. Results are
+/// recorded by submission index, so `results` is position-comparable with
+/// the synchronous replay regardless of completion order.
+inline Result<WorkloadReplay> ReplayQueryWorkloadAsync(
+    RStore* store, Executor* executor, const VersionedDataset& dataset,
+    uint64_t seed, size_t window = 0, int passes = 2) {
+  const std::vector<workload::Query> queries =
+      BuildReplayQueries(dataset, seed, passes);
+  WorkloadReplay out;
+  out.results.resize(queries.size());
+  Status first_error = Status::OK();
+  auto fail = [&first_error](const Status& s) {
+    if (first_error.ok()) first_error = s;
+  };
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const workload::Query& q = queries[i];
+    switch (q.kind) {
+      case workload::Query::Kind::kFullVersion:
+        store->GetVersionAsync(executor, q.version)
+            .OnReady([&out, &fail, i](const AsyncQueryResult& r) {
+              if (!r.status.ok()) return fail(r.status);
+              out.stats += r.stats;
+              out.results[i] = "v:" + SerializeRecords(r.records);
+            });
+        break;
+      case workload::Query::Kind::kRange:
+        store->GetRangeAsync(executor, q.version, q.key_lo, q.key_hi)
+            .OnReady([&out, &fail, i](const AsyncQueryResult& r) {
+              if (!r.status.ok()) return fail(r.status);
+              out.stats += r.stats;
+              out.results[i] = "r:" + SerializeRecords(r.records);
+            });
+        break;
+      case workload::Query::Kind::kEvolution:
+        store->GetHistoryAsync(executor, q.key)
+            .OnReady([&out, &fail, i](const AsyncQueryResult& r) {
+              if (!r.status.ok()) return fail(r.status);
+              out.stats += r.stats;
+              out.results[i] = "h:" + SerializeRecords(r.records);
+            });
+        break;
+      case workload::Query::Kind::kPoint:
+        store->GetRecordAsync(executor, q.key, q.version)
+            .OnReady([&out, &fail, i](const AsyncRecordResult& r) {
+              if (r.status.IsNotFound()) {
+                out.stats += r.stats;
+                out.results[i] = "p:notfound";
+                return;
+              }
+              if (!r.status.ok()) return fail(r.status);
+              out.stats += r.stats;
+              out.results[i] = "p:" + SerializeRecords({r.record});
+            });
+        break;
+    }
+    if (window == 1) executor->RunUntilIdle();
+  }
+  executor->RunUntilIdle();
+  if (!first_error.ok()) return first_error;
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/report.h"
@@ -223,6 +224,167 @@ TEST(ObservabilityTest, FaultPathTraceReconcilesWithCharges) {
   const KVStats kv = cluster.stats();
   EXPECT_GT(kv.retries, 0u);
   EXPECT_GT(kv.hedges, 0u);
+}
+
+// The async engine keeps the same reconciliation contract per query even
+// when queries overlap: each in-flight query carries its own TraceContext,
+// whose root span must equal that query's QueryStats::simulated_micros
+// (queueing behind other queries' batches included), with every micro
+// attributed to a kvs.multiget sub-span. Across queries, the per-query
+// charges must sum to exactly what the cluster charged — concurrency moves
+// time around, it never invents or drops any.
+TEST(ObservabilityTest, AsyncTracesReconcilePerQueryUnderConcurrency) {
+  Cluster cluster((ClusterOptions()));
+  ExampleData data = MakeChain(12, 8, 3);
+  Options options;
+  options.chunk_capacity_bytes = 600;
+  auto store = RStore::Open(&cluster, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+
+  constexpr size_t kInFlight = 4;
+  Executor executor;
+  std::vector<TraceContext> traces(kInFlight);
+  std::vector<AsyncQueryResult> results(kInFlight);
+  const uint64_t before = cluster.stats().simulated_micros;
+  for (size_t i = 0; i < kInFlight; ++i) {
+    (*store)
+        ->GetVersionAsync(&executor, static_cast<VersionId>(8 + i),
+                          &traces[i])
+        .OnReady([&results, i](const AsyncQueryResult& r) { results[i] = r; });
+  }
+  executor.RunUntilIdle();
+  const uint64_t cluster_charged = cluster.stats().simulated_micros - before;
+
+  uint64_t total_query_micros = 0;
+  for (size_t i = 0; i < kInFlight; ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ASSERT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+    EXPECT_FALSE(results[i].records.empty());
+    const std::vector<TraceSpan>& spans = traces[i].spans();
+    ASSERT_FALSE(spans.empty());
+    EXPECT_EQ(spans[0].name, "query.get_version");
+    EXPECT_EQ(spans[0].sim_duration_us(), results[i].stats.simulated_micros);
+    total_query_micros += results[i].stats.simulated_micros;
+
+    uint64_t multiget_micros = 0;
+    size_t node_spans = 0;
+    for (const TraceSpan& span : spans) {
+      // Well-formed tree: children close inside their parents on the
+      // simulated clock even though batches interleave across queries.
+      if (span.parent != TraceSpan::kNoParent) {
+        const TraceSpan& parent = spans[span.parent];
+        EXPECT_GE(span.sim_start_us, parent.sim_start_us) << span.name;
+        EXPECT_LE(span.sim_end_us, parent.sim_end_us) << span.name;
+      }
+      if (span.name == "kvs.multiget") {
+        multiget_micros += span.sim_duration_us();
+      } else if (span.name.rfind("node", 0) == 0) {
+        ++node_spans;
+      }
+    }
+    EXPECT_GT(node_spans, 0u);
+    // All of this query's simulated cost lives in its multiget sub-spans.
+    EXPECT_EQ(multiget_micros, results[i].stats.simulated_micros);
+  }
+  // And the per-query charges partition the cluster's charge exactly.
+  EXPECT_EQ(total_query_micros, cluster_charged);
+}
+
+/// One cluster whose node 1 serves everything 10x slow: only its batches
+/// cross the 1000us hedge threshold, so every hedge is a genuine race
+/// between a slowed primary and a clean replica.
+ClusterOptions SlowNodeOptions() {
+  ClusterOptions o;
+  o.replication_factor = 2;
+  o.latency.hedge_threshold_us = 1000;
+  o.faults.per_node[1].slow_rate = 1.0;
+  o.faults.per_node[1].slow_multiplier = 10.0;
+  return o;
+}
+
+// Hedge accounting on the async path: a hedge *win* may only be counted
+// when the speculative attempt — delayed by its target's own FIFO queue —
+// actually completes before the primary. With an idle cluster the clean
+// replica beats the 10x-slowed primary (wins count up); with the cluster
+// saturated by concurrent queries, hedge targets are busy and some races
+// are lost (wins < hedges). Either way results stay byte-identical.
+TEST(ObservabilityTest, AsyncHedgeWinsOnlyCountWhenTheHedgeActuallyWins) {
+  ExampleData data = MakeChain(12, 8, 3);
+  Options options;
+  options.chunk_capacity_bytes = 600;
+
+  // Baseline bytes for every version from a clean sync store: slowness and
+  // hedging must never change what a query returns.
+  Cluster clean((ClusterOptions()));
+  auto clean_store = RStore::Open(&clean, options);
+  ASSERT_TRUE(clean_store.ok());
+  ASSERT_TRUE((*clean_store)->BulkLoad(data.dataset, data.payloads).ok());
+  std::vector<std::string> expected(12);
+  for (VersionId v = 0; v < 12; ++v) {
+    auto got = (*clean_store)->GetVersion(v);
+    ASSERT_TRUE(got.ok());
+    expected[v] = testing::SerializeRecords(*got);
+  }
+
+  // One query at a time against the slow-node cluster: every hedge target
+  // is idle, so the clean replica always overtakes the 10x primary — every
+  // hedge must be counted a win.
+  {
+    Cluster cluster(SlowNodeOptions());
+    auto store = RStore::Open(&cluster, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+    Executor executor;
+    for (VersionId v = 0; v < 12; ++v) {
+      AsyncQueryResult result;
+      (*store)
+          ->GetVersionAsync(&executor, v)
+          .OnReady([&result](const AsyncQueryResult& r) { result = r; });
+      executor.RunUntilIdle();
+      ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+      EXPECT_EQ(testing::SerializeRecords(result.records), expected[v])
+          << "V" << v;
+    }
+    const KVStats kv = cluster.stats();
+    EXPECT_GT(kv.hedges, 0u);
+    EXPECT_EQ(kv.hedge_wins, kv.hedges);
+  }
+
+  // A uniformly slow cluster saturated by every version at once: hedges
+  // still fire (every batch crosses the threshold), but their targets sit
+  // behind queues of equally slow primary work, so some races are lost —
+  // and losing hedges must not be counted as wins the way they would be if
+  // the model pretended the speculative attempt started instantly.
+  {
+    ClusterOptions slow_everywhere;
+    slow_everywhere.replication_factor = 2;
+    slow_everywhere.latency.hedge_threshold_us = 1000;
+    slow_everywhere.faults.default_profile.slow_rate = 1.0;
+    slow_everywhere.faults.default_profile.slow_multiplier = 10.0;
+    Cluster cluster(slow_everywhere);
+    auto store = RStore::Open(&cluster, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->BulkLoad(data.dataset, data.payloads).ok());
+    Executor executor;
+    std::vector<AsyncQueryResult> results(12);
+    for (VersionId v = 0; v < 12; ++v) {
+      (*store)
+          ->GetVersionAsync(&executor, v)
+          .OnReady([&results, v](const AsyncQueryResult& r) {
+            results[v] = r;
+          });
+    }
+    executor.RunUntilIdle();
+    for (VersionId v = 0; v < 12; ++v) {
+      ASSERT_TRUE(results[v].status.ok()) << results[v].status.ToString();
+      EXPECT_EQ(testing::SerializeRecords(results[v].records), expected[v])
+          << "V" << v;
+    }
+    const KVStats kv = cluster.stats();
+    EXPECT_GT(kv.hedges, 0u);
+    EXPECT_LT(kv.hedge_wins, kv.hedges);
+  }
 }
 
 TEST(ObservabilityTest, RegistryCountersFoldIntoStoreReport) {

@@ -12,6 +12,7 @@
 #include "core/rstore.h"
 #include "core/sub_chunk_builder.h"
 #include "core_test_util.h"
+#include "kvstore/cluster.h"
 #include "kvstore/memory_store.h"
 #include "workload/dataset_generator.h"
 #include "workload/query_workload.h"
@@ -242,6 +243,113 @@ TEST_P(RandomizedDatasetTest, CachedQueriesMatchUncachedAcrossAllAlgorithms) {
     Status valid = (*cached)->chunk_cache()->Validate();
     EXPECT_TRUE(valid.ok()) << valid.ToString();
   }
+}
+
+// The async-vs-sync equivalence harness: for every partitioning algorithm
+// (and so every chunk layout), the same seeded workload replayed through the
+// continuation-based async engine must be byte-identical to the synchronous
+// replay, with the per-query accounting — chunks fetched, bytes, simulated
+// time, cache hits and misses — agreeing counter for counter. Pipelining
+// may only reorder work, never change what a query reads or what it costs.
+TEST_P(RandomizedDatasetTest, AsyncQueriesMatchSyncAcrossAllAlgorithms) {
+  GeneratedDataset gen = GenerateDataset(RandomConfig(GetParam()));
+  const PartitionAlgorithm algorithms[] = {
+      PartitionAlgorithm::kBottomUp, PartitionAlgorithm::kShingle,
+      PartitionAlgorithm::kDepthFirst, PartitionAlgorithm::kBreadthFirst,
+      PartitionAlgorithm::kDeltaBaseline,
+      PartitionAlgorithm::kSubChunkBaseline,
+      PartitionAlgorithm::kSingleAddressSpace};
+  for (PartitionAlgorithm algorithm : algorithms) {
+    SCOPED_TRACE(std::string("algorithm=") +
+                 PartitionAlgorithmName(algorithm));
+    Options options;
+    options.algorithm = algorithm;
+    options.chunk_capacity_bytes = 4096;
+
+    // Uncached, against one store: sync baseline first, then the async
+    // burst replay (every query in flight at once).
+    MemoryStore backend;
+    auto store = RStore::Open(&backend, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->BulkLoad(gen.dataset, gen.payloads).ok());
+    auto sync = testing::ReplayQueryWorkload(store->get(), gen.dataset,
+                                             GetParam());
+    ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+    Executor executor;
+    auto async = testing::ReplayQueryWorkloadAsync(
+        store->get(), &executor, gen.dataset, GetParam());
+    ASSERT_TRUE(async.ok()) << async.status().ToString();
+    EXPECT_EQ(async->results, sync->results);
+    EXPECT_EQ(async->stats.chunks_fetched, sync->stats.chunks_fetched);
+    EXPECT_EQ(async->stats.bytes_fetched, sync->stats.bytes_fetched);
+    EXPECT_EQ(async->stats.simulated_micros, sync->stats.simulated_micros);
+    EXPECT_EQ(async->stats.cache_hits, 0u);
+    EXPECT_EQ(async->stats.cache_misses, 0u);
+
+    // Cached, on two fresh stores (one per engine) so each replay sees the
+    // same cold cache: the hit/miss sequence must agree stroke for stroke.
+    Options cached_options = options;
+    cached_options.cache_capacity_bytes = 16 << 10;
+    cached_options.cache_shards = 2;
+    MemoryStore sync_backend;
+    auto sync_store = RStore::Open(&sync_backend, cached_options);
+    ASSERT_TRUE(sync_store.ok());
+    ASSERT_TRUE((*sync_store)->BulkLoad(gen.dataset, gen.payloads).ok());
+    auto cached_sync = testing::ReplayQueryWorkload(
+        sync_store->get(), gen.dataset, GetParam());
+    ASSERT_TRUE(cached_sync.ok()) << cached_sync.status().ToString();
+
+    MemoryStore async_backend;
+    auto async_store = RStore::Open(&async_backend, cached_options);
+    ASSERT_TRUE(async_store.ok());
+    ASSERT_TRUE((*async_store)->BulkLoad(gen.dataset, gen.payloads).ok());
+    Executor cached_executor;
+    auto cached_async = testing::ReplayQueryWorkloadAsync(
+        async_store->get(), &cached_executor, gen.dataset, GetParam());
+    ASSERT_TRUE(cached_async.ok()) << cached_async.status().ToString();
+
+    EXPECT_EQ(cached_async->results, sync->results);
+    EXPECT_EQ(cached_async->stats.chunks_fetched,
+              cached_sync->stats.chunks_fetched);
+    EXPECT_EQ(cached_async->stats.cache_hits, cached_sync->stats.cache_hits);
+    EXPECT_EQ(cached_async->stats.cache_misses,
+              cached_sync->stats.cache_misses);
+    EXPECT_EQ(cached_async->stats.cache_hits +
+                  cached_async->stats.cache_misses,
+              cached_async->stats.chunks_fetched);
+    ASSERT_NE((*async_store)->chunk_cache(), nullptr);
+    Status valid = (*async_store)->chunk_cache()->Validate();
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+  }
+}
+
+// Over the simulated cluster, the async engine drained after every
+// submission must replay the synchronous timeline *exactly*: with no
+// overlap there is no queueing, so each batch starts at the instant the
+// sync engine would have issued it and the simulated microseconds agree to
+// the digit — the anchor that pins async latencies to the latency model.
+TEST_P(RandomizedDatasetTest, SequentialAsyncReplaysSyncTimelineOnCluster) {
+  GeneratedDataset gen = GenerateDataset(RandomConfig(GetParam()));
+  Options options;
+  options.chunk_capacity_bytes = 4096;
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 6;
+  Cluster cluster(cluster_options);
+  auto store = RStore::Open(&cluster, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BulkLoad(gen.dataset, gen.payloads).ok());
+
+  auto sync = testing::ReplayQueryWorkload(store->get(), gen.dataset,
+                                           GetParam());
+  ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+  Executor executor;
+  auto async = testing::ReplayQueryWorkloadAsync(
+      store->get(), &executor, gen.dataset, GetParam(), /*window=*/1);
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+  EXPECT_EQ(async->results, sync->results);
+  EXPECT_EQ(async->stats.chunks_fetched, sync->stats.chunks_fetched);
+  EXPECT_EQ(async->stats.bytes_fetched, sync->stats.bytes_fetched);
+  EXPECT_EQ(async->stats.simulated_micros, sync->stats.simulated_micros);
 }
 
 // Online invalidation: a cache warmed before a commit must never serve a

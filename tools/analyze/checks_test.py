@@ -362,6 +362,63 @@ class Queue {
         self.assertEqual(len(findings_for(self.CHECK, ("src/a.h", text))), 1)
 
 
+class CondVarWaitCaptureTest(unittest.TestCase):
+    """The predicate overload `Wait(mu, pred)` through an arrow receiver:
+    the extractor must capture only the mutex argument (`->` is not a
+    closing angle bracket), or the legal wait-on-the-held-mutex pattern
+    resolves as a foreign-lock wait."""
+
+    CHECK = checks.CHECK_BLOCKING
+
+    SHARED = """
+struct SharedState {
+  Mutex mu{kLockRankLeaf, "SharedState::mu"};
+  CondVar cv;
+  bool ready = false;
+};
+"""
+
+    def test_split_top_commas_ignores_member_arrows(self):
+        self.assertEqual(
+            extract._split_top_commas(
+                "state_->mu, [this] { return state_->ready; }"),
+            ["state_->mu", "[this] { return state_->ready; }"])
+        self.assertEqual(extract._split_top_commas("a, b<c, d>, e(f, g)"),
+                         ["a", "b<c, d>", "e(f, g)"])
+
+    def test_good_predicate_wait_on_held_mutex(self):
+        text = wrap(self.SHARED + """
+class FutureLike {
+ public:
+  void Get() {
+    MutexLock lock(state_->mu);
+    state_->cv.Wait(state_->mu, [this] { return state_->ready; });
+  }
+ private:
+  SharedState* state_;
+};
+""")
+        self.assertEqual(findings_for(self.CHECK, ("src/a.h", text)), [])
+
+    def test_bad_predicate_wait_under_foreign_lock(self):
+        text = wrap(self.SHARED + """
+class FutureLike {
+ public:
+  void Get() {
+    MutexLock stats(stats_mu_);
+    MutexLock lock(state_->mu);
+    state_->cv.Wait(state_->mu, [this] { return state_->ready; });
+  }
+ private:
+  Mutex stats_mu_{kLockRankMetrics, "FutureLike::stats_mu_"};
+  SharedState* state_;
+};
+""")
+        found = findings_for(self.CHECK, ("src/a.h", text))
+        self.assertEqual(len(found), 1)
+        self.assertIn("stats_mu_", found[0]["message"])
+
+
 class FingerprintTest(unittest.TestCase):
     def test_stable_across_runs(self):
         text = GuardedFieldTest.DIVERGE

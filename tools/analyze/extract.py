@@ -31,7 +31,7 @@ from lint import strip_comments_and_strings  # noqa: E402  (tools/lint.py)
 import facts  # noqa: E402
 
 EXTRACTOR_NAME = "python"
-EXTRACTOR_VERSION = 2
+EXTRACTOR_VERSION = 3  # v3: `->` no longer closes an angle bracket in arg splits
 
 # Keywords that can precede a '(' without being a call.
 NON_CALL_KEYWORDS = frozenset("""
@@ -179,7 +179,9 @@ def _split_top_commas(text):
         if c in "(<[{":
             depth += 1
         elif c in ")>]}":
-            depth -= 1
+            if c == ">" and i > 0 and text[i - 1] == "-":
+                continue  # `->` is a member arrow, not a closing angle
+            depth = max(0, depth - 1)
         elif c == "," and depth == 0:
             out.append(text[start:i])
             start = i + 1
