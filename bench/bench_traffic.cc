@@ -28,6 +28,7 @@
 
 #include "bench_util.h"
 #include "common/executor.h"
+#include "common/flight_recorder.h"
 #include "workload/traffic.h"
 
 namespace {
@@ -50,6 +51,46 @@ void ReportSeries(const std::string& series, const TrafficReport& r,
   report->Add(series + "_p999_micros",
               static_cast<double>(r.PercentileLatencyUs(99.9)));
   report->Add(series + "_throughput_qps", r.throughput_qps());
+}
+
+/// Per-class latency attribution: where each query class's simulated time
+/// went (queue wait behind saturated nodes, service, retry penalty, hedge
+/// savings). All names end in _micros, so bench_diff.py gates them at the
+/// deterministic simulation tier.
+void ReportAttribution(const std::string& series, const TrafficReport& r,
+                       BenchReport* report) {
+  static const char* const kClassNames[] = {"full", "range", "evolution",
+                                            "point"};
+  for (size_t k = 0; k < r.stats_by_kind.size(); ++k) {
+    const QueryStats& qs = r.stats_by_kind[k];
+    const std::string prefix = series + "_" + kClassNames[k] + "_";
+    report->Add(prefix + "queue_wait_micros",
+                static_cast<double>(qs.queue_wait_us));
+    report->Add(prefix + "service_micros", static_cast<double>(qs.service_us));
+    report->Add(prefix + "retry_micros",
+                static_cast<double>(qs.retry_penalty_us));
+    report->Add(prefix + "hedge_micros",
+                static_cast<double>(qs.hedge_delta_us));
+  }
+}
+
+/// The attribution conservation invariant, enforced on every series the
+/// bench runs: parts must sum to the whole, exactly.
+void CheckConservation(const char* series, const TrafficReport& r) {
+  const QueryStats& qs = r.stats;
+  if (qs.queue_wait_us + qs.service_us + qs.retry_penalty_us -
+          qs.hedge_delta_us !=
+      qs.simulated_micros) {
+    std::fprintf(stderr,
+                 "%s: attribution violates conservation "
+                 "(%llu + %llu + %llu - %llu != %llu)\n",
+                 series, (unsigned long long)qs.queue_wait_us,
+                 (unsigned long long)qs.service_us,
+                 (unsigned long long)qs.retry_penalty_us,
+                 (unsigned long long)qs.hedge_delta_us,
+                 (unsigned long long)qs.simulated_micros);
+    std::exit(1);
+  }
 }
 
 /// Async runs must agree with the sync baseline on every query's bytes and
@@ -110,7 +151,9 @@ int main() {
 
   BenchReport report("traffic");
   const TrafficReport sync_report = RunTrafficSync(store, queries);
+  CheckConservation("sync", sync_report);
   ReportSeries("sync", sync_report, &report);
+  ReportAttribution("sync", sync_report, &report);
 
   // One executor per store: all async traffic against one cluster shares
   // one virtual timeline (sweeping on it keeps per-run latencies exact —
@@ -123,7 +166,9 @@ int main() {
     const TrafficReport r = RunTrafficAsync(store, &executor, queries, traffic);
     const std::string series = "async_c" + std::to_string(concurrency);
     CheckEquivalent(series.c_str(), r, sync_report);
+    CheckConservation(series.c_str(), r);
     ReportSeries(series, r, &report);
+    if (concurrency == 16) ReportAttribution(series, r, &report);
     if (r.throughput_qps() > saturation_qps) {
       saturation_qps = r.throughput_qps();
     }
@@ -140,8 +185,20 @@ int main() {
       static_cast<uint64_t>(1e6 / (0.6 * saturation_qps));
   const TrafficReport open = RunTrafficAsync(store, &executor, queries, traffic);
   CheckEquivalent("open_loop", open, sync_report);
+  CheckConservation("open_loop", open);
   ReportSeries("open_loop", open, &report);
 
   report.Write();
+
+  // The flight recorder saw every query above; its dump is the bench's
+  // debugging artifact (tools/latency_report.py renders it). Named outside
+  // the BENCH_*.json namespace so bench_diff.py never tries to gate it.
+  const std::string dump = FlightRecorder::Default().DumpJson();
+  std::FILE* f = std::fopen("flight_traffic.json", "w");
+  if (f != nullptr) {
+    std::fwrite(dump.data(), 1, dump.size(), f);
+    std::fclose(f);
+    std::printf("wrote flight_traffic.json\n");
+  }
   return 0;
 }

@@ -13,6 +13,8 @@
 //   log                           version graph summary
 //   stats                         storage/span/index statistics
 //   metrics [json]                process metrics (Prometheus text or JSON)
+//   statz                         metrics snapshot + delta since last statz
+//   slowlog [json]                flight recorder: slowest + recent queries
 //   trace [-o file] <query...>    run a query, print its span tree; with
 //                                 -o, also write Chrome trace JSON
 //   verify                        offline integrity check (fsck)
@@ -25,10 +27,13 @@
 
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
@@ -160,6 +165,70 @@ class Shell {
     }
   }
 
+  /// `slowlog [json]`: the flight recorder's slowest-N selection and
+  /// most-recent ring, with full latency attribution per query.
+  void RunSlowlog(std::istringstream& in) {
+    std::string format;
+    in >> format;
+    FlightRecorder& recorder = FlightRecorder::Default();
+    if (format == "json") {
+      std::printf("%s\n", recorder.DumpJson().c_str());
+      return;
+    }
+    auto print_rows = [](const char* title,
+                         const std::vector<FlightRecord>& rows) {
+      std::printf("%s:\n", title);
+      std::printf("  %6s %-20s %9s %9s %9s %9s %9s %5s %5s\n", "id", "name",
+                  "total_us", "queue_us", "svc_us", "retry_us", "hedge_us",
+                  "retry", "tmout");
+      for (const FlightRecord& r : rows) {
+        std::printf("  %6llu %-20s %9llu %9llu %9llu %9llu %9llu %5llu %5llu\n",
+                    (unsigned long long)r.id, r.name.c_str(),
+                    (unsigned long long)r.total_us,
+                    (unsigned long long)r.queue_wait_us,
+                    (unsigned long long)r.service_us,
+                    (unsigned long long)r.retry_penalty_us,
+                    (unsigned long long)r.hedge_delta_us,
+                    (unsigned long long)r.retries,
+                    (unsigned long long)r.timeouts);
+      }
+      if (rows.empty()) std::printf("  (no queries recorded)\n");
+    };
+    print_rows("slowest", recorder.Slowest());
+    print_rows("recent", recorder.Recent());
+  }
+
+  /// `statz`: every registry metric with its delta since the previous statz
+  /// call — "what did that last command cost" without external tooling.
+  void RunStatz() {
+    MetricsSnapshot now = MetricsRegistry::Default().Snapshot();
+    std::map<std::string, uint64_t> prev_counters(last_statz_.counters.begin(),
+                                                  last_statz_.counters.end());
+    std::printf("%-44s %14s %14s\n", "counter", "value", "delta");
+    for (const auto& [name, value] : now.counters) {
+      auto it = prev_counters.find(name);
+      const uint64_t prev = it == prev_counters.end() ? 0 : it->second;
+      std::printf("%-44s %14llu %+14lld\n", name.c_str(),
+                  (unsigned long long)value,
+                  (long long)(value - prev));
+    }
+    for (const auto& [name, value] : now.gauges) {
+      std::printf("%-44s %14lld\n", name.c_str(), (long long)value);
+    }
+    std::map<std::string, std::pair<uint64_t, uint64_t>> prev_hist;
+    for (const MetricsSnapshot::HistogramValue& h : last_statz_.histograms) {
+      prev_hist[h.name] = {h.count, h.sum};
+    }
+    for (const MetricsSnapshot::HistogramValue& h : now.histograms) {
+      const auto [prev_count, prev_sum] = prev_hist[h.name];
+      std::printf("%-44s count %8llu (%+lld)  sum %12llu (%+lld)\n",
+                  h.name.c_str(), (unsigned long long)h.count,
+                  (long long)(h.count - prev_count), (unsigned long long)h.sum,
+                  (long long)(h.sum - prev_sum));
+    }
+    last_statz_ = std::move(now);
+  }
+
   bool Dispatch(const std::string& line) {
     std::istringstream in(line);
     std::string command;
@@ -170,7 +239,8 @@ class Shell {
     if (command == "help") {
       std::printf(
           "commands: put del get checkout range history branch tag log "
-          "stats metrics trace report verify repartition quit\n");
+          "stats metrics statz slowlog trace report verify repartition "
+          "quit\n");
     } else if (command == "put") {
       std::string branch, key;
       in >> branch >> key;
@@ -316,6 +386,10 @@ class Shell {
       } else {
         std::printf("%s", MetricsRegistry::Default().PrometheusText().c_str());
       }
+    } else if (command == "statz") {
+      RunStatz();
+    } else if (command == "slowlog") {
+      RunSlowlog(in);
     } else if (command == "trace") {
       RunTrace(in);
     } else if (command == "report") {
@@ -338,6 +412,8 @@ class Shell {
   Cluster cluster_;
   std::unique_ptr<RStore> store_;
   std::unique_ptr<BranchManager> vcs_;
+  /// Baseline of the previous `statz` call (empty before the first one).
+  MetricsSnapshot last_statz_;
 };
 
 }  // namespace

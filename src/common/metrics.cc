@@ -68,12 +68,34 @@ void Histogram::Observe(uint64_t value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
+void Histogram::ObserveWithExemplar(uint64_t value,
+                                    const HistogramExemplar& exemplar) {
+  const size_t bucket = std::lower_bound(boundaries_.begin(),
+                                         boundaries_.end(), value) -
+                        boundaries_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  MutexLock lock(exemplar_mu_);
+  if (exemplars_.empty()) exemplars_.resize(boundaries_.size() + 1);
+  exemplars_[bucket] = exemplar;
+  exemplars_[bucket].valid = true;
+  exemplars_[bucket].value = value;
+}
+
+std::vector<HistogramExemplar> Histogram::exemplars() const {
+  MutexLock lock(exemplar_mu_);
+  return exemplars_;
+}
+
 void Histogram::ResetForTest() {
   for (size_t i = 0; i <= boundaries_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+  MutexLock lock(exemplar_mu_);
+  exemplars_.clear();
 }
 
 std::vector<uint64_t> Histogram::bucket_counts() const {
@@ -84,8 +106,9 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
-std::vector<uint64_t> ExponentialBoundaries(uint64_t start, double factor,
-                                            size_t count) {
+std::vector<uint64_t> Histogram::ExponentialBoundaries(uint64_t start,
+                                                       double factor,
+                                                       size_t count) {
   RSTORE_CHECK(start > 0 && factor > 1.0 && count > 0);
   std::vector<uint64_t> out;
   out.reserve(count);
@@ -97,6 +120,11 @@ std::vector<uint64_t> ExponentialBoundaries(uint64_t start, double factor,
     bound *= factor;
   }
   return out;
+}
+
+std::vector<uint64_t> ExponentialBoundaries(uint64_t start, double factor,
+                                            size_t count) {
+  return Histogram::ExponentialBoundaries(start, factor, count);
 }
 
 MetricsRegistry& MetricsRegistry::Default() {
@@ -157,6 +185,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         h.name = name;
         h.boundaries = entry.histogram->boundaries();
         h.bucket_counts = entry.histogram->bucket_counts();
+        h.exemplars = entry.histogram->exemplars();
         h.count = entry.histogram->count();
         h.sum = entry.histogram->sum();
         snapshot.histograms.push_back(std::move(h));
@@ -180,16 +209,28 @@ std::string MetricsRegistry::PrometheusText() const {
   }
   for (const MetricsSnapshot::HistogramValue& h : snapshot.histograms) {
     out += StringPrintf("# TYPE %s histogram\n", h.name.c_str());
+    // OpenMetrics-style exemplar suffix: "<series> # {trace_id=...} value".
+    auto exemplar_suffix = [&h](size_t bucket) -> std::string {
+      if (bucket >= h.exemplars.size() || !h.exemplars[bucket].valid) {
+        return "";
+      }
+      const HistogramExemplar& e = h.exemplars[bucket];
+      return StringPrintf(" # {trace_id=\"%llu\"} %llu",
+                          (unsigned long long)e.id,
+                          (unsigned long long)e.value);
+    };
     uint64_t cumulative = 0;
     for (size_t i = 0; i < h.boundaries.size(); ++i) {
       cumulative += h.bucket_counts[i];
-      out += StringPrintf("%s_bucket{le=\"%llu\"} %llu\n", h.name.c_str(),
+      out += StringPrintf("%s_bucket{le=\"%llu\"} %llu%s\n", h.name.c_str(),
                           (unsigned long long)h.boundaries[i],
-                          (unsigned long long)cumulative);
+                          (unsigned long long)cumulative,
+                          exemplar_suffix(i).c_str());
     }
     cumulative += h.bucket_counts.back();
-    out += StringPrintf("%s_bucket{le=\"+Inf\"} %llu\n", h.name.c_str(),
-                        (unsigned long long)cumulative);
+    out += StringPrintf("%s_bucket{le=\"+Inf\"} %llu%s\n", h.name.c_str(),
+                        (unsigned long long)cumulative,
+                        exemplar_suffix(h.boundaries.size()).c_str());
     out += StringPrintf("%s_sum %llu\n", h.name.c_str(),
                         (unsigned long long)h.sum);
     out += StringPrintf("%s_count %llu\n", h.name.c_str(),
@@ -225,6 +266,22 @@ std::string MetricsRegistry::JsonSnapshot() const {
     for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
       out += StringPrintf("%s%llu", b == 0 ? "" : ",",
                           (unsigned long long)h.bucket_counts[b]);
+    }
+    out += "],\"exemplars\":[";
+    bool first_exemplar = true;
+    for (size_t b = 0; b < h.exemplars.size(); ++b) {
+      const HistogramExemplar& e = h.exemplars[b];
+      if (!e.valid) continue;
+      out += StringPrintf(
+          "%s{\"bucket\":%zu,\"id\":%llu,\"value\":%llu,"
+          "\"queue_wait_us\":%llu,\"service_us\":%llu,"
+          "\"retry_penalty_us\":%llu,\"hedge_delta_us\":%llu}",
+          first_exemplar ? "" : ",", b, (unsigned long long)e.id,
+          (unsigned long long)e.value, (unsigned long long)e.queue_wait_us,
+          (unsigned long long)e.service_us,
+          (unsigned long long)e.retry_penalty_us,
+          (unsigned long long)e.hedge_delta_us);
+      first_exemplar = false;
     }
     out += StringPrintf("],\"sum\":%llu,\"count\":%llu}",
                         (unsigned long long)h.sum,

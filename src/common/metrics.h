@@ -72,6 +72,23 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// The exemplar attached to a histogram bucket: the last observation that
+/// landed there, with its trace/query id and latency attribution snapshot.
+/// Exemplars turn a tail bucket from a count into a lead — "bucket le=65536
+/// last saw query 1234, which spent 80% of its time queued".
+struct HistogramExemplar {
+  bool valid = false;
+  /// Trace/query id of the observation (FlightRecorder::NextQueryId()).
+  uint64_t id = 0;
+  uint64_t value = 0;
+  /// Attribution of `value` (see QueryStats): queue + service + retry -
+  /// hedge == value for latency histograms; zero elsewhere.
+  uint64_t queue_wait_us = 0;
+  uint64_t service_us = 0;
+  uint64_t retry_penalty_us = 0;
+  uint64_t hedge_delta_us = 0;
+};
+
 /// Histogram over fixed upper-bound boundaries chosen at registration.
 /// An observation lands in the first bucket whose boundary is >= the value;
 /// values above the last boundary land in the implicit +Inf bucket.
@@ -84,9 +101,25 @@ class Histogram {
 
   void Observe(uint64_t value);
 
+  /// Observe() plus an exemplar recorded on the bucket the value lands in
+  /// (last writer wins). The tally itself stays relaxed-atomic; only the
+  /// exemplar slot takes a leaf-rank mutex, and callers that never pass
+  /// exemplars never touch it (storage is allocated on first use).
+  void ObserveWithExemplar(uint64_t value, const HistogramExemplar& exemplar);
+
+  /// `count` geometrically spaced upper bounds starting at `start`, each
+  /// multiplied by `factor` (rounded up to stay strictly increasing). The
+  /// workhorse for latency/byte histograms at registration sites.
+  static std::vector<uint64_t> ExponentialBoundaries(uint64_t start,
+                                                     double factor,
+                                                     size_t count);
+
   const std::vector<uint64_t>& boundaries() const { return boundaries_; }
   /// Per-bucket counts; size() == boundaries().size() + 1 (last is +Inf).
   std::vector<uint64_t> bucket_counts() const;
+  /// Per-bucket exemplars (same indexing as bucket_counts); empty when no
+  /// observation ever carried an exemplar.
+  std::vector<HistogramExemplar> exemplars() const;
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
 
@@ -100,11 +133,15 @@ class Histogram {
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
   std::atomic<uint64_t> count_{0};  // analyze:atomic (see buckets_)
   std::atomic<uint64_t> sum_{0};    // analyze:atomic (see buckets_)
+  /// Leaf rank: safe to acquire from any path, including under the
+  /// registry mutex during Snapshot().
+  mutable Mutex exemplar_mu_{kLockRankLeaf, "Histogram::exemplar_mu_"};
+  /// Lazily sized to boundaries_.size() + 1 on the first exemplar.
+  std::vector<HistogramExemplar> exemplars_ RSTORE_GUARDED_BY(exemplar_mu_);
 };
 
-/// `count` geometrically spaced upper bounds starting at `start`, each
-/// multiplied by `factor` (rounded up to stay strictly increasing). The
-/// workhorse for latency/byte histograms.
+/// Free-function alias of Histogram::ExponentialBoundaries, kept for
+/// existing callers; new instrumentation should use the member form.
 std::vector<uint64_t> ExponentialBoundaries(uint64_t start, double factor,
                                             size_t count);
 
@@ -114,6 +151,9 @@ struct MetricsSnapshot {
     std::string name;
     std::vector<uint64_t> boundaries;
     std::vector<uint64_t> bucket_counts;  // boundaries.size() + 1 entries
+    /// Per-bucket exemplars, index-aligned with bucket_counts; empty when
+    /// the histogram never saw an exemplar-carrying observation.
+    std::vector<HistogramExemplar> exemplars;
     uint64_t count = 0;
     uint64_t sum = 0;
   };

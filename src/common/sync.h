@@ -108,6 +108,11 @@ enum LockRank : int {
   /// cache shard lock), and the registry never calls out while holding it.
   /// Updates to registered metrics are lock-free and never take this mutex.
   kLockRankMetrics = 50,
+  /// FlightRecorder ring buffers (src/common/flight_recorder.h). Below the
+  /// metrics rank: query completion paths may record a flight entry while
+  /// holding subsystem locks, and the recorder never calls out (it only
+  /// copies POD records) while holding it.
+  kLockRankFlightRecorder = 45,
   /// Executor run queue (src/common/executor.h). Below every subsystem rank
   /// so any code path may Post/Cancel work while holding its own locks; the
   /// executor acquires nothing and invokes no user code while holding it —

@@ -34,7 +34,7 @@ struct QueryMetrics {
           registry.GetCounter("rstore_query_missing_chunks_total");
       // Chunks per query — the paper's span metric (§2.5).
       m.span_chunks = registry.GetHistogram(
-          "rstore_query_span_chunks", ExponentialBoundaries(1, 4.0, 8));
+          "rstore_query_span_chunks", Histogram::ExponentialBoundaries(1, 4.0, 8));
       return m;
     }();
     return metrics;
@@ -193,7 +193,9 @@ Status QueryProcessor::DecodeAndInsert(
 
 uint64_t QueryProcessor::AccountFetch(const std::vector<ChunkId>& ids,
                                       const FetchPlan& plan, uint64_t bytes,
-                                      uint64_t micros, QueryStats* stats) {
+                                      uint64_t micros, uint64_t queue_us,
+                                      uint64_t service_us, uint64_t retry_us,
+                                      uint64_t hedge_us, QueryStats* stats) {
   uint64_t n_missing = 0;
   for (const ChunkRef& chunk : plan.chunks) {
     if (chunk == nullptr) ++n_missing;
@@ -204,6 +206,10 @@ uint64_t QueryProcessor::AccountFetch(const std::vector<ChunkId>& ids,
     stats->chunks_fetched += ids.size();
     stats->bytes_fetched += bytes;
     stats->simulated_micros += micros;
+    stats->queue_wait_us += queue_us;
+    stats->service_us += service_us;
+    stats->retry_penalty_us += retry_us;
+    stats->hedge_delta_us += hedge_us;
     if (cache_ != nullptr) {
       stats->cache_hits += ids.size() - plan.miss.size();
       stats->cache_misses += plan.miss.size();
@@ -251,9 +257,13 @@ Result<std::vector<QueryProcessor::ChunkRef>> QueryProcessor::FetchChunks(
                                            map_failures, trace, degradation));
   }
   KVStats after = kvs_->stats();
-  uint64_t n_missing =
-      AccountFetch(ids, plan, after.bytes_read - before.bytes_read,
-                   after.simulated_micros - before.simulated_micros, stats);
+  uint64_t n_missing = AccountFetch(
+      ids, plan, after.bytes_read - before.bytes_read,
+      after.simulated_micros - before.simulated_micros,
+      after.queue_wait_us - before.queue_wait_us,
+      after.service_us - before.service_us,
+      after.retry_penalty_us - before.retry_penalty_us,
+      after.hedge_delta_us - before.hedge_delta_us, stats);
   if (n_missing > 0) {
     fetch_span.Annotate("missing", std::to_string(n_missing));
   }
@@ -321,8 +331,13 @@ void QueryProcessor::FinishFetchAsync(const FetchStatePtr& state,
   const uint64_t bytes = state->chunk_result.bytes_read + map_result.bytes_read;
   const uint64_t micros =
       state->chunk_result.charged_micros + map_result.charged_micros;
-  uint64_t n_missing =
-      AccountFetch(state->ids, state->plan, bytes, micros, &state->out.stats);
+  uint64_t n_missing = AccountFetch(
+      state->ids, state->plan, bytes, micros,
+      state->chunk_result.queue_wait_us + map_result.queue_wait_us,
+      state->chunk_result.service_us + map_result.service_us,
+      state->chunk_result.retry_penalty_us + map_result.retry_penalty_us,
+      state->chunk_result.hedge_delta_us + map_result.hedge_delta_us,
+      &state->out.stats);
   if (state->trace != nullptr) {
     if (n_missing > 0) {
       state->trace->Annotate(state->fetch_span, "missing",

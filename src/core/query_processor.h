@@ -41,6 +41,17 @@ struct QueryStats {
   /// where an unfetchable chunk is an error instead).
   uint64_t missing_chunks = 0;
 
+  // Latency attribution: a decomposition of simulated_micros mirroring
+  // KVStats. The conservation invariant
+  //   queue_wait_us + service_us + retry_penalty_us - hedge_delta_us
+  //     == simulated_micros
+  // holds exactly for every query (all four stay zero against backends
+  // that charge nothing, where simulated_micros is zero too).
+  uint64_t queue_wait_us = 0;
+  uint64_t service_us = 0;
+  uint64_t retry_penalty_us = 0;
+  uint64_t hedge_delta_us = 0;
+
   struct Field {
     const char* name;
     uint64_t QueryStats::* member;
@@ -57,6 +68,10 @@ inline constexpr QueryStats::Field kQueryStatsFields[] = {
     {"cache_hits", &QueryStats::cache_hits},
     {"cache_misses", &QueryStats::cache_misses},
     {"missing_chunks", &QueryStats::missing_chunks},
+    {"queue_wait_us", &QueryStats::queue_wait_us},
+    {"service_us", &QueryStats::service_us},
+    {"retry_penalty_us", &QueryStats::retry_penalty_us},
+    {"hedge_delta_us", &QueryStats::hedge_delta_us},
 };
 
 /// Every QueryStats field is a uint64_t, so the struct's size is exactly one
@@ -236,10 +251,13 @@ class QueryProcessor {
                          TraceContext* trace, QueryDegradation* degradation);
 
   /// Stats/metrics epilogue shared by both fetch paths (`bytes`/`micros`
-  /// are what this fetch's backend traffic cost). Returns the number of
-  /// null refs (best-effort casualties) for span annotation.
+  /// are what this fetch's backend traffic cost; `queue_us`/`service_us`/
+  /// `retry_us`/`hedge_us` its attribution, summing to `micros`). Returns
+  /// the number of null refs (best-effort casualties) for span annotation.
   uint64_t AccountFetch(const std::vector<ChunkId>& ids, const FetchPlan& plan,
-                        uint64_t bytes, uint64_t micros, QueryStats* stats);
+                        uint64_t bytes, uint64_t micros, uint64_t queue_us,
+                        uint64_t service_us, uint64_t retry_us,
+                        uint64_t hedge_us, QueryStats* stats);
 
   /// Fetches and decodes chunks (bodies + their maps) by id, consulting the
   /// cache first when attached, accounting stats. With `degradation`

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/coding.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/partitioner.h"
@@ -46,12 +47,61 @@ struct WriteMetrics {
           registry.GetCounter("rstore_write_map_rewrites_total");
       m.pending_versions = registry.GetGauge("rstore_write_pending_versions");
       m.batch_versions = registry.GetHistogram(
-          "rstore_write_batch_versions", ExponentialBoundaries(1, 2.0, 10));
+          "rstore_write_batch_versions",
+          Histogram::ExponentialBoundaries(1, 2.0, 10));
       return m;
     }();
     return metrics;
   }
 };
+
+/// Flight-recorder + exemplar epilogue shared by every query wrapper: claims
+/// a query id, observes the per-query latency histogram with an attribution
+/// exemplar, and logs the full flight record. `before`/`after` are backend
+/// stats snapshots bracketing the query; the fault counters derived from
+/// them are exact on the synchronous path (one query at a time) and
+/// best-effort under async overlap, where concurrent queries share the
+/// backend's tallies. The attribution itself rides in `qs` and is exact in
+/// both engines.
+void RecordQueryFlight(const char* name, const QueryStats& qs,
+                       const KVStats& before, const KVStats& after,
+                       const QueryDegradation* degradation,
+                       const TraceContext* trace) {
+  static Histogram* latency = MetricsRegistry::Default().GetHistogram(
+      "rstore_query_latency_micros",
+      Histogram::ExponentialBoundaries(16, 4.0, 10));
+  HistogramExemplar exemplar;
+  exemplar.id = FlightRecorder::Default().NextQueryId();
+  exemplar.queue_wait_us = qs.queue_wait_us;
+  exemplar.service_us = qs.service_us;
+  exemplar.retry_penalty_us = qs.retry_penalty_us;
+  exemplar.hedge_delta_us = qs.hedge_delta_us;
+  latency->ObserveWithExemplar(qs.simulated_micros, exemplar);
+
+  FlightRecord record;
+  record.id = exemplar.id;
+  record.name = name;
+  record.total_us = qs.simulated_micros;
+  record.queue_wait_us = qs.queue_wait_us;
+  record.service_us = qs.service_us;
+  record.retry_penalty_us = qs.retry_penalty_us;
+  record.hedge_delta_us = qs.hedge_delta_us;
+  record.retries = after.retries - before.retries;
+  record.hedges = after.hedges - before.hedges;
+  record.hedge_wins = after.hedge_wins - before.hedge_wins;
+  record.timeouts = after.timeouts - before.timeouts;
+  record.missing_chunks = qs.missing_chunks;
+  if (degradation != nullptr) record.degradation = degradation->messages;
+  if (trace != nullptr) {
+    record.spans.reserve(trace->spans().size());
+    for (const TraceSpan& span : trace->spans()) {
+      record.spans.push_back(
+          FlightSpan{span.name, span.depth, span.sim_start_us,
+                     span.sim_end_us});
+    }
+  }
+  FlightRecorder::Default().Record(std::move(record));
+}
 
 }  // namespace
 
@@ -583,7 +633,13 @@ Result<std::vector<Record>> RStore::GetVersion(VersionId version,
   RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
                     cache_.get(), cache_owner_);
-  return qp.GetVersion(version, stats, trace, degradation);
+  const KVStats before = backend_->stats();
+  QueryStats local;
+  auto result = qp.GetVersion(version, &local, trace, degradation);
+  RecordQueryFlight("get_version", local, before, backend_->stats(),
+                    degradation, trace);
+  if (stats != nullptr) *stats += local;
+  return result;
 }
 
 Result<std::vector<Record>> RStore::GetRange(VersionId version,
@@ -595,7 +651,14 @@ Result<std::vector<Record>> RStore::GetRange(VersionId version,
   RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
                     cache_.get(), cache_owner_);
-  return qp.GetRange(version, key_lo, key_hi, stats, trace, degradation);
+  const KVStats before = backend_->stats();
+  QueryStats local;
+  auto result = qp.GetRange(version, key_lo, key_hi, &local, trace,
+                            degradation);
+  RecordQueryFlight("get_range", local, before, backend_->stats(),
+                    degradation, trace);
+  if (stats != nullptr) *stats += local;
+  return result;
 }
 
 Result<std::vector<Record>> RStore::GetHistory(const std::string& key,
@@ -604,7 +667,13 @@ Result<std::vector<Record>> RStore::GetHistory(const std::string& key,
   RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
                     cache_.get(), cache_owner_);
-  return qp.GetHistory(key, stats, trace);
+  const KVStats before = backend_->stats();
+  QueryStats local;
+  auto result = qp.GetHistory(key, &local, trace);
+  RecordQueryFlight("get_history", local, before, backend_->stats(), nullptr,
+                    trace);
+  if (stats != nullptr) *stats += local;
+  return result;
 }
 
 Result<Record> RStore::GetRecord(const std::string& key, VersionId version,
@@ -612,7 +681,13 @@ Result<Record> RStore::GetRecord(const std::string& key, VersionId version,
   RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   QueryProcessor qp(backend_, &catalog_, &tree_, layout_, options_,
                     cache_.get(), cache_owner_);
-  return qp.GetRecord(key, version, stats, trace);
+  const KVStats before = backend_->stats();
+  QueryStats local;
+  auto result = qp.GetRecord(key, version, &local, trace);
+  RecordQueryFlight("get_record", local, before, backend_->stats(), nullptr,
+                    trace);
+  if (stats != nullptr) *stats += local;
+  return result;
 }
 
 namespace {
@@ -644,7 +719,16 @@ Future<AsyncQueryResult> RStore::GetVersionAsync(Executor* executor,
   auto qp = std::make_shared<QueryProcessor>(backend_, &catalog_, &tree_,
                                              layout_, options_, cache_.get(),
                                              cache_owner_);
-  return PinProcessor(qp, qp->GetVersionAsync(executor, version, trace));
+  const KVStats before = backend_->stats();
+  Future<AsyncQueryResult> future =
+      PinProcessor(qp, qp->GetVersionAsync(executor, version, trace));
+  // `trace` outlives the future (documented contract); `this` outlives every
+  // query it serves.
+  future.OnReady([this, before, trace](const AsyncQueryResult& result) {
+    RecordQueryFlight("get_version_async", result.stats, before,
+                      backend_->stats(), &result.degradation, trace);
+  });
+  return future;
 }
 
 Future<AsyncQueryResult> RStore::GetRangeAsync(Executor* executor,
@@ -657,8 +741,14 @@ Future<AsyncQueryResult> RStore::GetRangeAsync(Executor* executor,
   auto qp = std::make_shared<QueryProcessor>(backend_, &catalog_, &tree_,
                                              layout_, options_, cache_.get(),
                                              cache_owner_);
-  return PinProcessor(
+  const KVStats before = backend_->stats();
+  Future<AsyncQueryResult> future = PinProcessor(
       qp, qp->GetRangeAsync(executor, version, key_lo, key_hi, trace));
+  future.OnReady([this, before, trace](const AsyncQueryResult& result) {
+    RecordQueryFlight("get_range_async", result.stats, before,
+                      backend_->stats(), &result.degradation, trace);
+  });
+  return future;
 }
 
 Future<AsyncQueryResult> RStore::GetHistoryAsync(Executor* executor,
@@ -669,7 +759,14 @@ Future<AsyncQueryResult> RStore::GetHistoryAsync(Executor* executor,
   auto qp = std::make_shared<QueryProcessor>(backend_, &catalog_, &tree_,
                                              layout_, options_, cache_.get(),
                                              cache_owner_);
-  return PinProcessor(qp, qp->GetHistoryAsync(executor, key, trace));
+  const KVStats before = backend_->stats();
+  Future<AsyncQueryResult> future =
+      PinProcessor(qp, qp->GetHistoryAsync(executor, key, trace));
+  future.OnReady([this, before, trace](const AsyncQueryResult& result) {
+    RecordQueryFlight("get_history_async", result.stats, before,
+                      backend_->stats(), &result.degradation, trace);
+  });
+  return future;
 }
 
 Future<AsyncRecordResult> RStore::GetRecordAsync(Executor* executor,
@@ -681,7 +778,14 @@ Future<AsyncRecordResult> RStore::GetRecordAsync(Executor* executor,
   auto qp = std::make_shared<QueryProcessor>(backend_, &catalog_, &tree_,
                                              layout_, options_, cache_.get(),
                                              cache_owner_);
-  return PinProcessor(qp, qp->GetRecordAsync(executor, key, version, trace));
+  const KVStats before = backend_->stats();
+  Future<AsyncRecordResult> future =
+      PinProcessor(qp, qp->GetRecordAsync(executor, key, version, trace));
+  future.OnReady([this, before, trace](const AsyncRecordResult& result) {
+    RecordQueryFlight("get_record_async", result.stats, before,
+                      backend_->stats(), nullptr, trace);
+  });
+  return future;
 }
 
 Result<VersionDelta> RStore::Diff(VersionId from, VersionId to) const {

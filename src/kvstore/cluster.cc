@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -30,6 +31,10 @@ struct ClusterMetrics {
   Counter* timeouts_total;
   Counter* handoff_hints_total;
   Counter* handoff_replays_total;
+  Counter* queue_wait_micros_total;
+  Counter* service_micros_total;
+  Counter* retry_penalty_micros_total;
+  Counter* hedge_saved_micros_total;
   Histogram* multiget_batch_keys;
 
   static const ClusterMetrics& Get() {
@@ -54,9 +59,17 @@ struct ClusterMetrics {
           registry.GetCounter("rstore_kvs_handoff_hints_total");
       m.handoff_replays_total =
           registry.GetCounter("rstore_kvs_handoff_replays_total");
+      m.queue_wait_micros_total =
+          registry.GetCounter("rstore_kvs_queue_wait_micros_total");
+      m.service_micros_total =
+          registry.GetCounter("rstore_kvs_service_micros_total");
+      m.retry_penalty_micros_total =
+          registry.GetCounter("rstore_kvs_retry_penalty_micros_total");
+      m.hedge_saved_micros_total =
+          registry.GetCounter("rstore_kvs_hedge_saved_micros_total");
       m.multiget_batch_keys = registry.GetHistogram(
           "rstore_kvs_multiget_batch_keys",
-          ExponentialBoundaries(1, 4.0, 8));  // 1..16384 keys
+          Histogram::ExponentialBoundaries(1, 4.0, 8));  // 1..16384 keys
       return m;
     }();
     return metrics;
@@ -80,6 +93,20 @@ uint64_t ScaleMicros(uint64_t us, double multiplier) {
   return static_cast<uint64_t>(
       std::llround(static_cast<double>(us) * multiplier));
 }
+
+/// Attribution of one completion/failure event: how its instant (relative
+/// to the operation start) decomposes into queue wait, service, and retry
+/// penalty, minus hedge savings. The invariant
+///   queue_us + service_us + retry_us - hedge_saved_us == event instant
+/// holds for every event an operation produces; the operation's attribution
+/// is its critical event's (the one that set the charged latency), plus the
+/// coordinator overhead as service.
+struct EventAttribution {
+  uint64_t queue_us = 0;
+  uint64_t service_us = 0;
+  uint64_t retry_us = 0;
+  uint64_t hedge_saved_us = 0;
+};
 
 }  // namespace
 
@@ -172,6 +199,7 @@ Status Cluster::Put(const std::string& table, Slice key, Slice value) {
   std::vector<std::pair<uint32_t, Hint>> staged;
   int wrote = 0;
   uint64_t slowest_us = 0;
+  EventAttribution crit;
   uint64_t n_retries = 0;
   uint64_t n_timeouts = 0;
   for (uint32_t node : replicas) {
@@ -187,18 +215,30 @@ Status Cluster::Put(const std::string& table, Slice key, Slice value) {
     n_retries += chain.retries;
     bool ok = chain.served;
     uint64_t completion = chain.failure_us;
+    EventAttribution event;
+    // A chain that gave up spent its whole interval on failed attempts.
+    event.retry_us = chain.failure_us;
     if (ok) {
       completion = chain.start_us +
                    ScaleMicros(options_.latency.NodeServiceMicros(
                                    1, value.size()),
                                chain.slow_multiplier);
+      event.retry_us = chain.start_us;
+      event.service_us = completion - chain.start_us;
       if (timeout_us > 0 && completion > timeout_us) {
         ok = false;
         completion = timeout_us;
+        // The coordinator stopped waiting at the deadline: only the
+        // in-deadline part of the attempt is attributed.
+        event.retry_us = std::min(chain.start_us, timeout_us);
+        event.service_us = timeout_us - event.retry_us;
         ++n_timeouts;
       }
     }
-    slowest_us = std::max(slowest_us, completion);
+    if (completion > slowest_us) {
+      slowest_us = completion;
+      crit = event;
+    }
     if (!ok) {
       staged.push_back(
           {node, Hint{table, key.ToString(), value.ToString(), false}});
@@ -217,10 +257,16 @@ Status Cluster::Put(const std::string& table, Slice key, Slice value) {
   // Replica writes proceed in parallel; charge the slowest replica's chain.
   const uint64_t micros = options_.latency.coordinator_overhead_us +
                           slowest_us;
+  const uint64_t service_us =
+      crit.service_us + options_.latency.coordinator_overhead_us;
   const ClusterMetrics& metrics = ClusterMetrics::Get();
   metrics.requests_total->Increment();
   metrics.bytes_written_total->Increment(key.size() + value.size());
   metrics.simulated_micros_total->Increment(micros);
+  metrics.service_micros_total->Increment(service_us);
+  if (crit.retry_us > 0) {
+    metrics.retry_penalty_micros_total->Increment(crit.retry_us);
+  }
   if (n_retries > 0) metrics.retries_total->Increment(n_retries);
   if (n_timeouts > 0) metrics.timeouts_total->Increment(n_timeouts);
   if (hinted > 0) metrics.handoff_hints_total->Increment(hinted);
@@ -228,6 +274,8 @@ Status Cluster::Put(const std::string& table, Slice key, Slice value) {
   ++stats_.puts;
   stats_.bytes_written += key.size() + value.size();
   stats_.simulated_micros += micros;
+  stats_.service_us += service_us;
+  stats_.retry_penalty_us += crit.retry_us;
   stats_.retries += n_retries;
   stats_.timeouts += n_timeouts;
   stats_.handoff_hints += hinted;
@@ -268,10 +316,18 @@ Result<std::string> Cluster::Get(const std::string& table, Slice key) {
     if (!failed) {
       const uint64_t micros =
           options_.latency.coordinator_overhead_us + completion;
+      // Everything before the serving attempt's issue — failover waits and
+      // backoffs across all rounds — is retry penalty; the attempt itself
+      // plus the coordinator overhead is service.
+      const uint64_t retry_us = chain.start_us;
+      const uint64_t service_us =
+          (completion - chain.start_us) + options_.latency.coordinator_overhead_us;
       const ClusterMetrics& metrics = ClusterMetrics::Get();
       metrics.requests_total->Increment();
       metrics.bytes_read_total->Increment(bytes);
       metrics.simulated_micros_total->Increment(micros);
+      metrics.service_micros_total->Increment(service_us);
+      if (retry_us > 0) metrics.retry_penalty_micros_total->Increment(retry_us);
       if (n_retries > 0) metrics.retries_total->Increment(n_retries);
       if (n_timeouts > 0) metrics.timeouts_total->Increment(n_timeouts);
       MutexLock lock(mu_);
@@ -279,6 +335,8 @@ Result<std::string> Cluster::Get(const std::string& table, Slice key) {
       ++stats_.keys_requested;
       stats_.bytes_read += bytes;
       stats_.simulated_micros += micros;
+      stats_.service_us += service_us;
+      stats_.retry_penalty_us += retry_us;
       stats_.retries += n_retries;
       stats_.timeouts += n_timeouts;
       return r;
@@ -330,6 +388,12 @@ Status Cluster::MultiGetInternal(const std::string& table,
     uint64_t start_us;  // offset from the batch start on the simulated clock
     uint32_t round;     // failover depth, decorrelates fault decisions
     std::vector<Member> members;
+    /// Attribution of start_us, inherited from the event chain that issued
+    /// this group (zero for initial groups): queue + service + retry ==
+    /// start_us exactly, through arbitrary failover chains.
+    uint64_t attr_queue_us = 0;
+    uint64_t attr_service_us = 0;
+    uint64_t attr_retry_us = 0;
   };
   std::vector<std::vector<Member>> initial(nodes_.size());
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -355,6 +419,10 @@ Status Cluster::MultiGetInternal(const std::string& table,
   const uint64_t timeout_us = options_.retry.request_timeout_us;
   const uint64_t hedge_threshold = options_.latency.hedge_threshold_us;
   uint64_t slowest_us = 0;  // latest completion/failure event in the batch
+  // Attribution of the critical event (the one that set slowest_us).
+  // Strictly-greater updates keep ties resolved toward the first event,
+  // which the async path mirrors so both engines attribute identically.
+  EventAttribution crit;
   uint64_t total_bytes = 0;
   uint32_t nodes_contacted = 0;
   uint64_t n_retries = 0;
@@ -366,7 +434,8 @@ Status Cluster::MultiGetInternal(const std::string& table,
   // appending new groups (or recording per-key failures). Returns an error
   // in strict mode when a key has no replica left.
   auto fail_over = [&](std::vector<Member> failed, uint64_t fail_us,
-                       uint32_t next_round, const char* reason) -> Status {
+                       uint32_t next_round, const EventAttribution& attr,
+                       const char* reason) -> Status {
     std::map<uint32_t, std::vector<Member>> regrouped;
     for (Member& m : failed) {
       const int next = NextUp(m.replicas, m.pos, tick);
@@ -380,7 +449,10 @@ Status Cluster::MultiGetInternal(const std::string& table,
       regrouped[m.replicas[m.pos]].push_back(std::move(m));
     }
     for (auto& [node, members] : regrouped) {
-      worklist.push_back(Group{node, fail_us, next_round, std::move(members)});
+      // The new group inherits the failing event's attribution: its
+      // start_us is that event's instant, already decomposed in `attr`.
+      worklist.push_back(Group{node, fail_us, next_round, std::move(members),
+                               attr.queue_us, attr.service_us, attr.retry_us});
     }
     return Status::OK();
   };
@@ -424,9 +496,16 @@ Status Cluster::MultiGetInternal(const std::string& table,
     }
     if (!chain.served) {
       const uint64_t fail_us = std::min(chain.failure_us, deadline);
-      slowest_us = std::max(slowest_us, fail_us);
+      // Everything since the group's issue went to failed attempts.
+      const EventAttribution event{g.attr_queue_us, g.attr_service_us,
+                                   g.attr_retry_us + (fail_us - g.start_us),
+                                   0};
+      if (fail_us > slowest_us) {
+        slowest_us = fail_us;
+        crit = event;
+      }
       RSTORE_RETURN_IF_ERROR(fail_over(std::move(g.members), fail_us,
-                                       g.round + 1,
+                                       g.round + 1, event,
                                        "replicas exhausted for a key"));
       continue;
     }
@@ -434,9 +513,16 @@ Status Cluster::MultiGetInternal(const std::string& table,
       // Retry backoff pushed the serving attempt past the deadline: the
       // whole group times out without the attempt being issued.
       ++n_timeouts;
-      slowest_us = std::max(slowest_us, deadline);
+      const EventAttribution event{g.attr_queue_us, g.attr_service_us,
+                                   g.attr_retry_us + (deadline - g.start_us),
+                                   0};
+      if (deadline > slowest_us) {
+        slowest_us = deadline;
+        crit = event;
+      }
       RSTORE_RETURN_IF_ERROR(fail_over(std::move(g.members), deadline,
-                                       g.round + 1, "request timed out"));
+                                       g.round + 1, event,
+                                       "request timed out"));
       continue;
     }
 
@@ -516,7 +602,16 @@ Status Cluster::MultiGetInternal(const std::string& table,
         continue;
       }
       group_end = std::max(group_end, completion[mi]);
-      slowest_us = std::max(slowest_us, completion[mi]);
+      if (completion[mi] > slowest_us) {
+        slowest_us = completion[mi];
+        // The member's service chain: backoffs since issue are penalty, the
+        // node's full modeled service is service, and a winning hedge's
+        // saving subtracts (completion == primary - saved).
+        crit = EventAttribution{
+            g.attr_queue_us, g.attr_service_us + node_us,
+            g.attr_retry_us + (chain.start_us - g.start_us),
+            primary_completion - completion[mi]};
+      }
       auto it = node_result.find(keys[g.members[mi].key_idx]);
       if (it != node_result.end()) {
         total_bytes += it->second.size();
@@ -543,14 +638,27 @@ Status Cluster::MultiGetInternal(const std::string& table,
     }
     if (!timed_out.empty()) {
       ++n_timeouts;
-      slowest_us = std::max(slowest_us, deadline);
+      // The coordinator waited out [issue, deadline]: backoffs are penalty,
+      // the in-deadline slice of the attempt is service.
+      const EventAttribution event{
+          g.attr_queue_us, g.attr_service_us + (deadline - chain.start_us),
+          g.attr_retry_us + (chain.start_us - g.start_us), 0};
+      if (deadline > slowest_us) {
+        slowest_us = deadline;
+        crit = event;
+      }
       RSTORE_RETURN_IF_ERROR(fail_over(std::move(timed_out), deadline,
-                                       g.round + 1, "request timed out"));
+                                       g.round + 1, event,
+                                       "request timed out"));
     }
   }
 
   const uint64_t charged_us =
       options_.latency.coordinator_overhead_us + slowest_us;
+  // The batch's attribution is the critical event's, plus the coordinator
+  // overhead as service: queue + service + retry - hedge == charged_us.
+  const uint64_t attr_service_us =
+      crit.service_us + options_.latency.coordinator_overhead_us;
   if (trace != nullptr) {
     // The batch's simulated cost is exactly what stats_ is charged below;
     // ending the span after this advance makes its simulated duration equal
@@ -559,6 +667,10 @@ Status Cluster::MultiGetInternal(const std::string& table,
     span.Annotate("keys", std::to_string(keys.size()));
     span.Annotate("bytes", std::to_string(total_bytes));
     span.Annotate("nodes", std::to_string(nodes_contacted));
+    span.Annotate("queue_wait_us", std::to_string(crit.queue_us));
+    span.Annotate("service_us", std::to_string(attr_service_us));
+    span.Annotate("retry_penalty_us", std::to_string(crit.retry_us));
+    span.Annotate("hedge_delta_us", std::to_string(crit.hedge_saved_us));
   }
   const ClusterMetrics& metrics = ClusterMetrics::Get();
   metrics.requests_total->Increment();
@@ -566,6 +678,16 @@ Status Cluster::MultiGetInternal(const std::string& table,
   metrics.keys_requested_total->Increment(keys.size());
   metrics.bytes_read_total->Increment(total_bytes);
   metrics.simulated_micros_total->Increment(charged_us);
+  metrics.service_micros_total->Increment(attr_service_us);
+  if (crit.queue_us > 0) {
+    metrics.queue_wait_micros_total->Increment(crit.queue_us);
+  }
+  if (crit.retry_us > 0) {
+    metrics.retry_penalty_micros_total->Increment(crit.retry_us);
+  }
+  if (crit.hedge_saved_us > 0) {
+    metrics.hedge_saved_micros_total->Increment(crit.hedge_saved_us);
+  }
   metrics.multiget_batch_keys->Observe(keys.size());
   if (n_retries > 0) metrics.retries_total->Increment(n_retries);
   if (n_hedges > 0) metrics.hedges_total->Increment(n_hedges);
@@ -576,6 +698,10 @@ Status Cluster::MultiGetInternal(const std::string& table,
   stats_.keys_requested += keys.size();
   stats_.bytes_read += total_bytes;
   stats_.simulated_micros += charged_us;
+  stats_.queue_wait_us += crit.queue_us;
+  stats_.service_us += attr_service_us;
+  stats_.retry_penalty_us += crit.retry_us;
+  stats_.hedge_delta_us += crit.hedge_saved_us;
   stats_.retries += n_retries;
   stats_.hedges += n_hedges;
   stats_.hedge_wins += n_hedge_wins;
@@ -707,11 +833,35 @@ void Cluster::ProcessAsyncGroup(const AsyncStatePtr& state,
          attempt_end,
          {}});
   }
+  // Extends the group's inherited attribution to a failure/timeout event at
+  // absolute instant `event_us`: the wait for the node's queue (clamped at
+  // the event — the coordinator may stop waiting mid-queue) is queue wait,
+  // the rest of the interval went to failed attempts / backoff.
+  auto failure_attr = [&](uint64_t event_us) {
+    const uint64_t queue_end = std::min(service_start, event_us);
+    return EventAttribution{g.attr_queue_us + (queue_end - g.start_us),
+                            g.attr_service_us,
+                            g.attr_retry_us + (event_us - queue_end), 0};
+  };
+  // Considers one event as the batch's critical event; strictly-greater
+  // matches the sync path's std::max tie-breaking exactly.
+  auto consider = [&state](uint64_t event_us, const EventAttribution& attr) {
+    if (event_us > state->last_event_us) {
+      state->last_event_us = event_us;
+      state->crit_queue_us = attr.queue_us;
+      state->crit_service_us = attr.service_us;
+      state->crit_retry_us = attr.retry_us;
+      state->crit_hedge_us = attr.hedge_saved_us;
+    }
+  };
   if (!chain.served) {
     const uint64_t fail_us = std::min(chain.failure_us, deadline);
-    state->last_event_us = std::max(state->last_event_us, fail_us);
+    const EventAttribution event = failure_attr(fail_us);
+    consider(fail_us, event);
     Status status = AsyncFailOver(state, std::move(g.members), fail_us,
-                                  g.round + 1, "replicas exhausted for a key");
+                                  g.round + 1, event.queue_us,
+                                  event.service_us, event.retry_us,
+                                  "replicas exhausted for a key");
     if (!status.ok()) {
       AbortAsync(state, std::move(status));
       return;
@@ -723,9 +873,12 @@ void Cluster::ProcessAsyncGroup(const AsyncStatePtr& state,
     // Queueing and/or retry backoff pushed the serving attempt past the
     // deadline: the whole group times out without the attempt being issued.
     ++state->n_timeouts;
-    state->last_event_us = std::max(state->last_event_us, deadline);
+    const EventAttribution event = failure_attr(deadline);
+    consider(deadline, event);
     Status status = AsyncFailOver(state, std::move(g.members), deadline,
-                                  g.round + 1, "request timed out");
+                                  g.round + 1, event.queue_us,
+                                  event.service_us, event.retry_us,
+                                  "request timed out");
     if (!status.ok()) {
       AbortAsync(state, std::move(status));
       return;
@@ -744,6 +897,7 @@ void Cluster::ProcessAsyncGroup(const AsyncStatePtr& state,
     async_node_busy_us_[g.node] =
         std::max(async_node_busy_us_[g.node], primary_completion);
   }
+  MaybeSampleAsyncLoad(state->executor->now_us());
 
   // Hedged reads, as in the sync path, except that the hedge target's queue
   // delays the speculative request — so whether a hedge *wins* depends on
@@ -819,7 +973,15 @@ void Cluster::ProcessAsyncGroup(const AsyncStatePtr& state,
       continue;
     }
     group_end = std::max(group_end, completion[mi]);
-    state->last_event_us = std::max(state->last_event_us, completion[mi]);
+    // Queue wait ends when the node starts the chain; backoffs until the
+    // serving attempt are penalty; the node's full modeled service is
+    // service; a winning hedge's saving subtracts.
+    consider(completion[mi],
+             EventAttribution{
+                 g.attr_queue_us + (service_start - g.start_us),
+                 g.attr_service_us + node_us,
+                 g.attr_retry_us + (chain.start_us - service_start),
+                 primary_completion - completion[mi]});
     auto it = node_result.find(state->keys[g.members[mi].key_idx]);
     if (it != node_result.end()) {
       state->result.bytes_read += it->second.size();
@@ -842,9 +1004,17 @@ void Cluster::ProcessAsyncGroup(const AsyncStatePtr& state,
   }
   if (!timed_out.empty()) {
     ++state->n_timeouts;
-    state->last_event_us = std::max(state->last_event_us, deadline);
+    // The coordinator waited out [issue, deadline]: queue wait, then
+    // backoffs, then the in-deadline slice of the attempt as service.
+    const EventAttribution event{
+        g.attr_queue_us + (service_start - g.start_us),
+        g.attr_service_us + (deadline - chain.start_us),
+        g.attr_retry_us + (chain.start_us - service_start), 0};
+    consider(deadline, event);
     Status status = AsyncFailOver(state, std::move(timed_out), deadline,
-                                  g.round + 1, "request timed out");
+                                  g.round + 1, event.queue_us,
+                                  event.service_us, event.retry_us,
+                                  "request timed out");
     if (!status.ok()) {
       AbortAsync(state, std::move(status));
       return;
@@ -853,10 +1023,34 @@ void Cluster::ProcessAsyncGroup(const AsyncStatePtr& state,
   AsyncGroupResolved(state);
 }
 
+void Cluster::MaybeSampleAsyncLoad(uint64_t now_us) {
+  // One sample sweep per interval of virtual time keeps the recorder's
+  // bounded ring meaningful under saturation (thousands of groups per
+  // virtual millisecond would otherwise rotate it instantly).
+  constexpr uint64_t kSampleIntervalUs = 1000;
+  std::vector<uint64_t> busy;
+  {
+    MutexLock lock(mu_);
+    if (now_us < next_sample_us_) return;
+    next_sample_us_ = now_us + kSampleIntervalUs;
+    busy = async_node_busy_us_;
+  }
+  FlightRecorder& recorder = FlightRecorder::Default();
+  for (uint32_t node = 0; node < busy.size(); ++node) {
+    FlightSample sample;
+    sample.sim_us = now_us;
+    sample.node = node;
+    sample.busy_horizon_us = busy[node];
+    sample.backlog_us = busy[node] > now_us ? busy[node] - now_us : 0;
+    recorder.AddSample(sample);
+  }
+}
+
 Status Cluster::AsyncFailOver(const AsyncStatePtr& state,
                               std::vector<AsyncMultiGetState::Member> failed,
                               uint64_t fail_us, uint32_t next_round,
-                              const char* reason) {
+                              uint64_t attr_queue_us, uint64_t attr_service_us,
+                              uint64_t attr_retry_us, const char* reason) {
   std::map<uint32_t, std::vector<AsyncMultiGetState::Member>> regrouped;
   for (AsyncMultiGetState::Member& m : failed) {
     const int next = NextUp(m.replicas, m.pos, state->tick);
@@ -872,7 +1066,8 @@ Status Cluster::AsyncFailOver(const AsyncStatePtr& state,
   }
   for (auto& [node, members] : regrouped) {
     state->groups.push_back(AsyncMultiGetState::Group{
-        node, fail_us, next_round, std::move(members)});
+        node, fail_us, next_round, std::move(members), attr_queue_us,
+        attr_service_us, attr_retry_us});
     ++state->outstanding;
     const size_t gi = state->groups.size() - 1;
     state->executor->PostAt(fail_us, [this, state, gi] {
@@ -901,6 +1096,14 @@ void Cluster::FinalizeAsync(const AsyncStatePtr& state) {
   state->result.hedges = state->n_hedges;
   state->result.hedge_wins = state->n_hedge_wins;
   state->result.timeouts = state->n_timeouts;
+  // The batch's attribution is its critical event's, plus the coordinator
+  // overhead as service: queue + service + retry - hedge == charged.
+  const uint64_t attr_service_us =
+      state->crit_service_us + options_.latency.coordinator_overhead_us;
+  state->result.queue_wait_us = state->crit_queue_us;
+  state->result.service_us = attr_service_us;
+  state->result.retry_penalty_us = state->crit_retry_us;
+  state->result.hedge_delta_us = state->crit_hedge_us;
 
   if (state->trace != nullptr) {
     TraceContext* trace = state->trace;
@@ -919,6 +1122,14 @@ void Cluster::FinalizeAsync(const AsyncStatePtr& state) {
                     std::to_string(state->result.bytes_read));
     trace->Annotate(state->span_id, "nodes",
                     std::to_string(state->nodes_contacted));
+    trace->Annotate(state->span_id, "queue_wait_us",
+                    std::to_string(state->crit_queue_us));
+    trace->Annotate(state->span_id, "service_us",
+                    std::to_string(attr_service_us));
+    trace->Annotate(state->span_id, "retry_penalty_us",
+                    std::to_string(state->crit_retry_us));
+    trace->Annotate(state->span_id, "hedge_delta_us",
+                    std::to_string(state->crit_hedge_us));
     trace->EndSpan(state->span_id);
   }
   const ClusterMetrics& metrics = ClusterMetrics::Get();
@@ -927,6 +1138,16 @@ void Cluster::FinalizeAsync(const AsyncStatePtr& state) {
   metrics.keys_requested_total->Increment(state->keys.size());
   metrics.bytes_read_total->Increment(state->result.bytes_read);
   metrics.simulated_micros_total->Increment(charged);
+  metrics.service_micros_total->Increment(attr_service_us);
+  if (state->crit_queue_us > 0) {
+    metrics.queue_wait_micros_total->Increment(state->crit_queue_us);
+  }
+  if (state->crit_retry_us > 0) {
+    metrics.retry_penalty_micros_total->Increment(state->crit_retry_us);
+  }
+  if (state->crit_hedge_us > 0) {
+    metrics.hedge_saved_micros_total->Increment(state->crit_hedge_us);
+  }
   metrics.multiget_batch_keys->Observe(state->keys.size());
   if (state->n_retries > 0) metrics.retries_total->Increment(state->n_retries);
   if (state->n_hedges > 0) metrics.hedges_total->Increment(state->n_hedges);
@@ -942,6 +1163,10 @@ void Cluster::FinalizeAsync(const AsyncStatePtr& state) {
     stats_.keys_requested += state->keys.size();
     stats_.bytes_read += state->result.bytes_read;
     stats_.simulated_micros += charged;
+    stats_.queue_wait_us += state->crit_queue_us;
+    stats_.service_us += attr_service_us;
+    stats_.retry_penalty_us += state->crit_retry_us;
+    stats_.hedge_delta_us += state->crit_hedge_us;
     stats_.retries += state->n_retries;
     stats_.hedges += state->n_hedges;
     stats_.hedge_wins += state->n_hedge_wins;
@@ -970,6 +1195,7 @@ Status Cluster::Delete(const std::string& table, Slice key) {
   std::vector<std::pair<uint32_t, Hint>> staged;
   int deleted = 0;
   uint64_t slowest_us = 0;
+  EventAttribution crit;
   uint64_t n_retries = 0;
   uint64_t n_timeouts = 0;
   for (uint32_t node : replicas) {
@@ -982,17 +1208,26 @@ Status Cluster::Delete(const std::string& table, Slice key) {
     n_retries += chain.retries;
     bool ok = chain.served;
     uint64_t completion = chain.failure_us;
+    EventAttribution event;
+    event.retry_us = chain.failure_us;
     if (ok) {
       completion =
           chain.start_us + ScaleMicros(options_.latency.NodeServiceMicros(1, 0),
                                        chain.slow_multiplier);
+      event.retry_us = chain.start_us;
+      event.service_us = completion - chain.start_us;
       if (timeout_us > 0 && completion > timeout_us) {
         ok = false;
         completion = timeout_us;
+        event.retry_us = std::min(chain.start_us, timeout_us);
+        event.service_us = timeout_us - event.retry_us;
         ++n_timeouts;
       }
     }
-    slowest_us = std::max(slowest_us, completion);
+    if (completion > slowest_us) {
+      slowest_us = completion;
+      crit = event;
+    }
     if (!ok) {
       staged.push_back({node, Hint{table, key.ToString(), "", true}});
       continue;
@@ -1007,6 +1242,9 @@ Status Cluster::Delete(const std::string& table, Slice key) {
   ++stats_.deletes;
   stats_.simulated_micros +=
       options_.latency.coordinator_overhead_us + slowest_us;
+  stats_.service_us +=
+      crit.service_us + options_.latency.coordinator_overhead_us;
+  stats_.retry_penalty_us += crit.retry_us;
   stats_.retries += n_retries;
   stats_.timeouts += n_timeouts;
   stats_.handoff_hints += hinted;

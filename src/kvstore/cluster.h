@@ -136,6 +136,10 @@ class Cluster : public KVStore {
   /// Hinted-handoff entries currently staged for `node` (tests/inspection).
   size_t PendingHints(uint32_t node) const;
 
+  /// The fault schedule this cluster draws from, exposed so chaos tests can
+  /// reconcile the injected-fault tallies against the coordinator's stats.
+  const FaultInjector& fault_injector() const { return injector_; }
+
  private:
   /// A write captured for a down replica, replayed on recovery.
   struct Hint {
@@ -199,6 +203,14 @@ class Cluster : public KVStore {
       uint64_t start_us;  // absolute virtual time the group was issued
       uint32_t round;     // failover depth, decorrelates fault decisions
       std::vector<Member> members;
+      /// Attribution inherited from the event chain that issued this group
+      /// (zero for initial groups): how start_us - submit_us decomposes
+      /// into queue wait / service / retry penalty. Every event this group
+      /// produces extends the inherited triple, keeping the conservation
+      /// invariant exact through arbitrary failover chains.
+      uint64_t attr_queue_us = 0;
+      uint64_t attr_service_us = 0;
+      uint64_t attr_retry_us = 0;
     };
     /// A child span recorded at an absolute virtual interval, re-based onto
     /// the query's simulated clock at finalize.
@@ -225,6 +237,13 @@ class Cluster : public KVStore {
 
     std::vector<SimSpan> sim_spans;
     uint64_t last_event_us = 0;  // absolute latest completion/failure
+    /// Attribution of the critical event — the one that set last_event_us.
+    /// Strictly-greater updates keep ties resolved toward the first event,
+    /// matching the synchronous path's iteration order exactly.
+    uint64_t crit_queue_us = 0;
+    uint64_t crit_service_us = 0;
+    uint64_t crit_retry_us = 0;
+    uint64_t crit_hedge_us = 0;
     uint32_t nodes_contacted = 0;
     uint64_t n_retries = 0;
     uint64_t n_hedges = 0;
@@ -240,12 +259,14 @@ class Cluster : public KVStore {
   /// hedging, per-member completion, failover scheduling.
   void ProcessAsyncGroup(const AsyncStatePtr& state, size_t group_index);
   /// Routes members that failed at `fail_us` to their next serving
-  /// replicas, scheduling the new groups. Strict-mode exhaustion returns
-  /// the error (caller aborts the batch).
+  /// replicas, scheduling the new groups, which inherit the failing event's
+  /// attribution triple (queue + service + retry == fail_us - submit_us).
+  /// Strict-mode exhaustion returns the error (caller aborts the batch).
   Status AsyncFailOver(const AsyncStatePtr& state,
                        std::vector<AsyncMultiGetState::Member> failed,
                        uint64_t fail_us, uint32_t next_round,
-                       const char* reason);
+                       uint64_t attr_queue_us, uint64_t attr_service_us,
+                       uint64_t attr_retry_us, const char* reason);
   /// Marks one group resolved; the last one schedules FinalizeAsync at the
   /// batch's simulated completion instant.
   void AsyncGroupResolved(const AsyncStatePtr& state);
@@ -255,6 +276,11 @@ class Cluster : public KVStore {
   /// Strict-mode batch failure: mirrors the sync early return — the span
   /// closes without an advance and nothing is charged.
   void AbortAsync(const AsyncStatePtr& state, Status error);
+
+  /// Samples every node's async busy horizon into the process-wide
+  /// FlightRecorder time series, at most once per sampling interval of
+  /// virtual time. Snapshot under mu_, recording outside it.
+  void MaybeSampleAsyncLoad(uint64_t now_us);
 
   /// Replays staged hints for every node that is up at `tick`. Called at
   /// the start of each coordinator operation (before routing, so a write
@@ -305,6 +331,10 @@ class Cluster : public KVStore {
   /// All async traffic on one cluster shares one virtual timeline; pinned
   /// at the first MultiGetAsync and DCHECKed on every later one.
   const Executor* async_executor_ RSTORE_GUARDED_BY(mu_) = nullptr;
+  /// Next virtual instant at which the async path samples the per-node
+  /// busy horizons into the flight recorder's time series (saturation
+  /// visibility over time; see common/flight_recorder.h).
+  uint64_t next_sample_us_ RSTORE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rstore

@@ -32,7 +32,10 @@ bool FaultInjector::Crashed(uint32_t node, uint64_t tick) const {
   if (!enabled_) return false;
   RSTORE_DCHECK(node < profiles_.size());
   for (const CrashWindow& w : profiles_[node].crash_windows) {
-    if (w.Contains(tick)) return true;
+    if (w.Contains(tick)) {
+      crash_injected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
   }
   return false;
 }
@@ -64,12 +67,14 @@ FaultDecision FaultInjector::Decide(uint32_t node, uint64_t tick,
   if (p.transient_error_rate > 0.0 &&
       UniformAt(node, tick, attempt, salt * 2 + 0) < p.transient_error_rate) {
     decision.kind = FaultKind::kTransientError;
+    transient_injected_.fetch_add(1, std::memory_order_relaxed);
     return decision;
   }
   if (p.slow_rate > 0.0 &&
       UniformAt(node, tick, attempt, salt * 2 + 1) < p.slow_rate) {
     decision.kind = FaultKind::kSlow;
     decision.slow_multiplier = p.slow_multiplier;
+    slow_injected_.fetch_add(1, std::memory_order_relaxed);
   }
   return decision;
 }

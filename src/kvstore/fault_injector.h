@@ -137,6 +137,26 @@ class FaultInjector {
     return profiles_[node];
   }
 
+  // -- Injected-fault tallies, by kind. Chaos tests reconcile these against
+  //    the coordinator's KVStats: every retry/failover the cluster performs
+  //    must trace back to an injected fault, so e.g. KVStats::retries can
+  //    never exceed transient_errors_injected + crash_rejections_injected.
+  //    All three stay zero on a fault-free schedule.
+
+  /// Attempts Decide failed with kTransientError.
+  uint64_t transient_errors_injected() const {
+    return transient_injected_.load(std::memory_order_relaxed);
+  }
+  /// Attempts Decide served at slow_multiplier x the modeled time.
+  uint64_t slow_attempts_injected() const {
+    return slow_injected_.load(std::memory_order_relaxed);
+  }
+  /// Times Crashed() told the coordinator a node was inside a crash window
+  /// (one per rejected attempt the coordinator probed).
+  uint64_t crash_rejections_injected() const {
+    return crash_injected_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<NodeFaultProfile> profiles_;  // resolved, one per node
   uint64_t seed_;
@@ -144,6 +164,12 @@ class FaultInjector {
   // Relaxed monotone tick dispenser; concurrent coordinator ops may claim
   // ticks in any interleaving, which the seeded hash absorbs. analyze:atomic
   std::atomic<uint64_t> ticks_{0};
+  // Relaxed monotone fault tallies, bumped from the const decision paths
+  // (observability only — decisions themselves stay pure functions of their
+  // coordinates). analyze:atomic
+  mutable std::atomic<uint64_t> transient_injected_{0};
+  mutable std::atomic<uint64_t> slow_injected_{0};    // analyze:atomic
+  mutable std::atomic<uint64_t> crash_injected_{0};   // analyze:atomic
 };
 
 }  // namespace rstore

@@ -47,6 +47,25 @@ struct KVStats {
   uint64_t handoff_hints = 0;
   uint64_t handoff_replays = 0;
 
+  // Latency attribution: a decomposition of simulated_micros. For stores
+  // that model latency the invariant
+  //   queue_wait_us + service_us + retry_penalty_us - hedge_delta_us
+  //     == simulated_micros
+  // holds exactly (all four are zero for plain in-memory stores, which
+  // charge nothing). Batched reads attribute the critical path — the event
+  // chain of the member that determined the batch's completion time.
+  /// Time spent queued behind earlier work at the serving node (async engine
+  /// busy horizons; always zero on the one-at-a-time sync path).
+  uint64_t queue_wait_us = 0;
+  /// Time the serving node (plus coordinator overhead) spent doing work.
+  uint64_t service_us = 0;
+  /// Backoff, failed attempts, and failover delay before the serving
+  /// attempt started.
+  uint64_t retry_penalty_us = 0;
+  /// Micros saved because a hedged read beat the slow primary (subtracts
+  /// from the sum: the primary's full service time is still attributed).
+  uint64_t hedge_delta_us = 0;
+
   KVStats& operator+=(const KVStats& other) {
     gets += other.gets;
     puts += other.puts;
@@ -62,6 +81,10 @@ struct KVStats {
     timeouts += other.timeouts;
     handoff_hints += other.handoff_hints;
     handoff_replays += other.handoff_replays;
+    queue_wait_us += other.queue_wait_us;
+    service_us += other.service_us;
+    retry_penalty_us += other.retry_penalty_us;
+    hedge_delta_us += other.hedge_delta_us;
     return *this;
   }
 };
@@ -90,6 +113,12 @@ struct AsyncMultiGetResult {
   uint64_t hedges = 0;
   uint64_t hedge_wins = 0;
   uint64_t timeouts = 0;
+  /// Attribution of charged_micros (see KVStats): queue_wait + service +
+  /// retry_penalty - hedge_delta == charged_micros, exactly.
+  uint64_t queue_wait_us = 0;
+  uint64_t service_us = 0;
+  uint64_t retry_penalty_us = 0;
+  uint64_t hedge_delta_us = 0;
 };
 
 /// Abstract distributed key-value store interface.
@@ -188,6 +217,10 @@ class KVStore {
     result.hedges = after.hedges - before.hedges;
     result.hedge_wins = after.hedge_wins - before.hedge_wins;
     result.timeouts = after.timeouts - before.timeouts;
+    result.queue_wait_us = after.queue_wait_us - before.queue_wait_us;
+    result.service_us = after.service_us - before.service_us;
+    result.retry_penalty_us = after.retry_penalty_us - before.retry_penalty_us;
+    result.hedge_delta_us = after.hedge_delta_us - before.hedge_delta_us;
     return MakeReadyFuture(std::move(result));
   }
 

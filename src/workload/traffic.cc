@@ -143,6 +143,7 @@ TrafficReport RunTrafficSync(RStore* store,
     report.latencies_us[i] = qs.simulated_micros;
     report.makespan_us += qs.simulated_micros;
     report.stats += qs;
+    report.stats_by_kind[static_cast<size_t>(q.kind)] += qs;
     if (status.ok()) {
       ++report.completed;
     } else {
@@ -186,6 +187,8 @@ TrafficReport RunTrafficAsync(RStore* store, Executor* executor,
       TrafficReport& report = shared->report;
       report.latencies_us[index] = end_us - start_us;
       report.stats += qs;
+      report.stats_by_kind[static_cast<size_t>(
+          (*shared->queries)[index].kind)] += qs;
       if (status.ok()) {
         ++report.completed;
       } else {

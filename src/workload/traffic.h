@@ -1,6 +1,7 @@
 #ifndef RSTORE_WORKLOAD_TRAFFIC_H_
 #define RSTORE_WORKLOAD_TRAFFIC_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -62,6 +63,11 @@ struct TrafficReport {
   uint64_t makespan_us = 0;
   /// Aggregate per-query cost accounting (sum over all queries).
   QueryStats stats;
+  /// The same accounting split by query class, indexed by
+  /// static_cast<size_t>(Query::Kind) — tail attribution differs wildly
+  /// between a full-version scan and a point lookup, so the aggregate alone
+  /// hides which class is paying the queue/retry penalty.
+  std::array<QueryStats, 4> stats_by_kind;
   /// Order-independent fingerprint of every query's full result (records
   /// and status, keyed by submission index): equal hashes mean every query
   /// returned byte-identical results.

@@ -173,5 +173,79 @@ TEST(MetricsRegistryTest, ConcurrentUpdatesDontLose) {
             static_cast<uint64_t>(kThreads) * kIncrements);
 }
 
+TEST(HistogramExemplarTest, ExemplarLandsInValueBucketLastWriterWins) {
+  Histogram histogram({10, 100});
+  // No exemplar-carrying observation yet: storage stays unallocated.
+  EXPECT_TRUE(histogram.exemplars().empty());
+
+  HistogramExemplar e;
+  e.id = 7;
+  e.queue_wait_us = 40;
+  e.service_us = 10;
+  histogram.ObserveWithExemplar(50, e);
+  std::vector<HistogramExemplar> exemplars = histogram.exemplars();
+  ASSERT_EQ(exemplars.size(), 3u);  // two boundaries + the +Inf bucket
+  EXPECT_FALSE(exemplars[0].valid);
+  ASSERT_TRUE(exemplars[1].valid);  // 50 lands in le=100
+  EXPECT_EQ(exemplars[1].id, 7u);
+  EXPECT_EQ(exemplars[1].value, 50u);  // value recorded from the observation
+  EXPECT_EQ(exemplars[1].queue_wait_us, 40u);
+  EXPECT_FALSE(exemplars[2].valid);
+
+  // A later observation in the same bucket replaces the exemplar...
+  e.id = 8;
+  histogram.ObserveWithExemplar(60, e);
+  // ...and one above the last boundary lands in +Inf.
+  e.id = 9;
+  histogram.ObserveWithExemplar(5000, e);
+  exemplars = histogram.exemplars();
+  EXPECT_EQ(exemplars[1].id, 8u);
+  EXPECT_EQ(exemplars[1].value, 60u);
+  ASSERT_TRUE(exemplars[2].valid);
+  EXPECT_EQ(exemplars[2].id, 9u);
+
+  // Tallies are shared with plain Observe().
+  EXPECT_EQ(histogram.count(), 3u);
+}
+
+TEST(HistogramExemplarTest, ExportersCarryExemplars) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("rstore_query_micros", {10, 100});
+  HistogramExemplar e;
+  e.id = 42;
+  e.queue_wait_us = 30;
+  e.service_us = 20;
+  h->ObserveWithExemplar(50, e);
+  h->Observe(5);  // exemplar-free observations leave no exemplar behind
+
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("rstore_query_micros_bucket{le=\"100\"} 2"
+                      " # {trace_id=\"42\"} 50\n"),
+            std::string::npos);
+  // The exemplar-free bucket has no suffix.
+  EXPECT_NE(text.find("rstore_query_micros_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+
+  auto parsed = json::Parse(registry.JsonSnapshot());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* hist =
+      parsed->Find("histograms")->Find("rstore_query_micros");
+  ASSERT_NE(hist, nullptr);
+  const json::Value* exemplars = hist->Find("exemplars");
+  ASSERT_NE(exemplars, nullptr);
+  ASSERT_EQ(exemplars->as_array().size(), 1u);
+  const json::Value& ex = exemplars->as_array()[0];
+  EXPECT_EQ(ex.Find("bucket")->as_int(), 1);
+  EXPECT_EQ(ex.Find("id")->as_int(), 42);
+  EXPECT_EQ(ex.Find("value")->as_int(), 50);
+  EXPECT_EQ(ex.Find("queue_wait_us")->as_int(), 30);
+  EXPECT_EQ(ex.Find("service_us")->as_int(), 20);
+}
+
+TEST(HistogramExemplarTest, StaticExponentialBoundariesMatchesFreeFunction) {
+  EXPECT_EQ(Histogram::ExponentialBoundaries(16, 4.0, 10),
+            ExponentialBoundaries(16, 4.0, 10));
+}
+
 }  // namespace
 }  // namespace rstore

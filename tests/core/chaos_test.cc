@@ -60,6 +60,10 @@ ClusterOptions ChaosClusterOptions(uint64_t seed) {
 struct ChaosRun {
   std::vector<std::string> results;
   KVStats kv;
+  // FaultInjector's own per-kind tallies, captured before teardown.
+  uint64_t transient_injected = 0;
+  uint64_t slow_injected = 0;
+  uint64_t crash_injected = 0;
 };
 
 /// Loads the chain dataset and replays the deterministic mixed query
@@ -78,6 +82,9 @@ ChaosRun RunWorkload(const ClusterOptions& cluster_options) {
   EXPECT_TRUE(replay.ok()) << replay.status().ToString();
   if (replay.ok()) out.results = std::move(replay->results);
   out.kv = cluster.stats();
+  out.transient_injected = cluster.fault_injector().transient_errors_injected();
+  out.slow_injected = cluster.fault_injector().slow_attempts_injected();
+  out.crash_injected = cluster.fault_injector().crash_rejections_injected();
   return out;
 }
 
@@ -130,6 +137,35 @@ TEST(ChaosTest, SameSeedReplaysIdenticalFaultTimeline) {
     EXPECT_EQ(a.kv.gets, b.kv.gets);
     EXPECT_EQ(a.kv.multiget_batches, b.kv.multiget_batches);
     EXPECT_EQ(a.results, b.results);
+  }
+}
+
+// The injector's per-kind tallies reconcile with what the coordinator did
+// about them: nothing injected on a clean schedule, every enabled kind
+// injected at least once under chaos, tallies deterministic per seed, and —
+// the core reconciliation — every coordinator retry traces back to an
+// injected transient error or crash rejection (the only two causes a retry
+// can have), so retries can never exceed their sum.
+TEST(ChaosTest, InjectedFaultCountersReconcileWithCoordinatorStats) {
+  ClusterOptions clean;
+  clean.num_nodes = 5;
+  clean.replication_factor = 3;
+  const ChaosRun baseline = RunWorkload(clean);
+  EXPECT_EQ(baseline.transient_injected, 0u);
+  EXPECT_EQ(baseline.slow_injected, 0u);
+  EXPECT_EQ(baseline.crash_injected, 0u);
+
+  for (uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    const ChaosRun a = RunWorkload(ChaosClusterOptions(seed));
+    EXPECT_GT(a.transient_injected, 0u);
+    EXPECT_GT(a.slow_injected, 0u);
+    EXPECT_GT(a.crash_injected, 0u);
+    EXPECT_LE(a.kv.retries, a.transient_injected + a.crash_injected);
+    const ChaosRun b = RunWorkload(ChaosClusterOptions(seed));
+    EXPECT_EQ(a.transient_injected, b.transient_injected);
+    EXPECT_EQ(a.slow_injected, b.slow_injected);
+    EXPECT_EQ(a.crash_injected, b.crash_injected);
   }
 }
 

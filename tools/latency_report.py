@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Render a flight-recorder dump into a tail-latency attribution report.
+
+The flight recorder (src/common/flight_recorder.h) keeps the N slowest and
+the N most recent queries, each carrying its latency attribution —
+
+    queue_wait + service + retry_penalty - hedge_delta == total
+
+— plus its span tree, and a bounded per-node saturation time series.
+bench_traffic writes its dump to flight_traffic.json; the shell's
+`slowlog json` command prints the same shape.
+
+The report answers the tail-latency question directly: for each slow query,
+which component dominated (queued behind saturated nodes? genuinely large?
+burned on retries?), and which nodes were backlogged while it ran.
+Conservation is re-checked on every record; a dump that violates it is a
+producer bug and fails the run.
+
+Usage:
+  tools/latency_report.py flight_traffic.json [--top 10]
+  tools/latency_report.py --self-test      # golden-dump regression check
+
+Exit status: 1 on conservation violations, unreadable input, or self-test
+failure; else 0.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+ATTRIBUTION_FIELDS = ("queue_wait_us", "service_us", "retry_penalty_us",
+                      "hedge_delta_us")
+
+
+def conservation_violations(records):
+    """Records whose attribution fails to sum to their total, exactly."""
+    out = []
+    for r in records:
+        lhs = (r["queue_wait_us"] + r["service_us"] + r["retry_penalty_us"] -
+               r["hedge_delta_us"])
+        if lhs != r["total_us"]:
+            out.append((r["id"], lhs, r["total_us"]))
+    return out
+
+
+def dominant_component(record):
+    """The attribution component that explains most of the query's time."""
+    parts = [("queue_wait", record["queue_wait_us"]),
+             ("service", record["service_us"]),
+             ("retry_penalty", record["retry_penalty_us"])]
+    return max(parts, key=lambda kv: kv[1])[0]
+
+
+def pct(part, total):
+    return 100.0 * part / total if total else 0.0
+
+
+def render_records(title, records):
+    lines = ["%s (%d):" % (title, len(records))]
+    header = "%6s  %-18s %9s  %6s %6s %6s %6s  %-13s %s" % (
+        "id", "name", "total_us", "queue%", "svc%", "retry%", "hedge%",
+        "dominant", "flags")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in records:
+        flags = []
+        if r["retries"]:
+            flags.append("retries=%d" % r["retries"])
+        if r["hedge_wins"]:
+            flags.append("hedge_wins=%d" % r["hedge_wins"])
+        if r["timeouts"]:
+            flags.append("timeouts=%d" % r["timeouts"])
+        if r["missing_chunks"]:
+            flags.append("missing=%d" % r["missing_chunks"])
+        if r["degradation"]:
+            flags.append("degraded")
+        total = r["total_us"]
+        lines.append("%6d  %-18s %9d  %6.1f %6.1f %6.1f %6.1f  %-13s %s" % (
+            r["id"], r["name"][:18], total,
+            pct(r["queue_wait_us"], total), pct(r["service_us"], total),
+            pct(r["retry_penalty_us"], total), pct(r["hedge_delta_us"], total),
+            dominant_component(r), " ".join(flags)))
+    return lines
+
+
+def render_saturation(samples):
+    """Per-node backlog summary of the saturation time series."""
+    by_node = {}
+    for s in samples:
+        by_node.setdefault(s["node"], []).append(s["backlog_us"])
+    lines = ["saturation samples (%d, %d nodes):" % (len(samples),
+                                                     len(by_node))]
+    lines.append("%6s %9s %12s %12s" % ("node", "samples", "max_backlog",
+                                        "mean_backlog"))
+    for node in sorted(by_node):
+        backlogs = by_node[node]
+        lines.append("%6d %9d %12d %12.1f" % (node, len(backlogs),
+                                              max(backlogs),
+                                              sum(backlogs) / len(backlogs)))
+    return lines
+
+
+def render_report(dump, top):
+    slowest = dump.get("slowest", [])[:top]
+    recent = dump.get("recent", [])[:top]
+    samples = dump.get("samples", [])
+    lines = []
+    lines.extend(render_records("slowest queries", slowest))
+    lines.append("")
+    lines.extend(render_records("recent queries", recent))
+    if samples:
+        lines.append("")
+        lines.extend(render_saturation(samples))
+    # The one-line takeaway: how much of the total tail is queueing.
+    total = sum(r["total_us"] for r in slowest)
+    queued = sum(r["queue_wait_us"] for r in slowest)
+    if total:
+        lines.append("")
+        lines.append("tail summary: %.1f%% of the slowest queries' time was "
+                     "queue wait" % pct(queued, total))
+    return "\n".join(lines)
+
+
+def self_test():
+    """Regression check against the committed golden dump."""
+    golden_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "testdata", "flight_golden.json")
+    with open(golden_path, encoding="utf-8") as f:
+        dump = json.load(f)
+
+    def check(cond, what):
+        if not cond:
+            raise AssertionError("self-test: %s" % what)
+
+    records = dump["slowest"] + dump["recent"]
+    check(conservation_violations(records) == [],
+          "golden dump must conserve attribution")
+    # A record that does not conserve must be flagged.
+    bad = dict(records[0])
+    bad["queue_wait_us"] += 1
+    check(conservation_violations([bad]) == [(41, 9601, 9600)],
+          "checker must flag a non-conserving record")
+
+    check(dominant_component(dump["slowest"][0]) == "queue_wait",
+          "slowest golden query is queue-dominated")
+    check(dominant_component(dump["slowest"][1]) == "service",
+          "second golden query is service-dominated")
+
+    report = render_report(dump, top=10)
+    for needle in [
+            "get_record_async",  # the queue-dominated tail query...
+            "queue_wait",        # ...attributed to queueing
+            "hedge_wins=1",      # the hedged query's flags survive
+            "degraded",
+            "max_backlog",
+            "53.0% of the slowest queries' time was queue wait",
+    ]:
+        check(needle in report, "report must contain %r" % needle)
+    sat = "\n".join(render_saturation(dump["samples"]))
+    check("     3         2          250        175.0" in sat,
+          "node 3's backlog summary (max 250, mean 175)")
+    print("latency_report self-test: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render a flight-recorder dump.")
+    parser.add_argument("dump", nargs="?", help="flight dump JSON path")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows per table (default 10)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run against the committed golden dump")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.dump:
+        parser.error("a dump path is required (or --self-test)")
+    try:
+        with open(args.dump, encoding="utf-8") as f:
+            dump = json.load(f)
+    except (OSError, ValueError) as e:
+        print("latency_report: cannot read %s: %s" % (args.dump, e),
+              file=sys.stderr)
+        return 1
+
+    violations = conservation_violations(
+        dump.get("slowest", []) + dump.get("recent", []))
+    for qid, lhs, total in violations:
+        print("latency_report: query %d violates conservation "
+              "(%d != %d)" % (qid, lhs, total), file=sys.stderr)
+    print(render_report(dump, args.top))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

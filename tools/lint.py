@@ -35,6 +35,14 @@ Enforced rules (over src/, tests/, and bench/ by default):
                   handoffs and keep the fault timeline deterministic), never
                   by poking the flag vector. Append `// lint:allow-alive-poke`
                   to a line to suppress.
+  scoped-span-math
+                  No manual duration math on trace-span timestamps
+                  (sim_start_us/sim_end_us) in src/ outside common/trace.*
+                  and common/flight_recorder.*: latency decomposition flows
+                  through the QueryStats attribution fields, whose
+                  conservation invariant is machine-checked — ad-hoc span
+                  arithmetic is unaudited. Append `// lint:allow-span-math`
+                  to a line to suppress.
 
 Usage:
   tools/lint.py [paths...]      # default: src/ tests/ bench/
@@ -285,6 +293,49 @@ ALIVE_POKE_ALLOWLIST = {
 
 ALIVE_POKE_SUPPRESSION = "lint:allow-alive-poke"
 
+# Latency attribution is the one sanctioned channel for "where did the time
+# go": QueryStats::{queue_wait,service,retry_penalty,hedge_delta}_us, which
+# the conservation invariant keeps honest. Production code doing its own
+# duration math on raw trace-span timestamps (sim_start_us/sim_end_us)
+# re-derives latencies outside that algebra, where nothing checks that the
+# pieces sum to the whole. Only the trace clock itself and the flight
+# recorder may touch the raw timestamps arithmetically; tests may too (they
+# assert the span semantics).
+SPAN_MATH_RE = re.compile(
+    r"sim_(?:start|end)_us\s*[-+]|[-+]\s*[\w.>]*\bsim_(?:start|end)_us")
+
+SPAN_MATH_ALLOWLIST = {
+    os.path.join("src", "common", "trace.h"),
+    os.path.join("src", "common", "trace.cc"),
+    os.path.join("src", "common", "flight_recorder.h"),
+    os.path.join("src", "common", "flight_recorder.cc"),
+}
+
+SPAN_MATH_SUPPRESSION = "lint:allow-span-math"
+
+
+def check_scoped_span_math(rel_path, text, stripped):
+    norm = rel_path.replace("/", os.sep)
+    if not norm.startswith("src" + os.sep):
+        return []
+    if norm in SPAN_MATH_ALLOWLIST:
+        return []
+    violations = []
+    original_lines = text.splitlines()
+    for idx, line in enumerate(stripped.splitlines()):
+        if not SPAN_MATH_RE.search(line):
+            continue
+        if idx < len(original_lines) and \
+                SPAN_MATH_SUPPRESSION in original_lines[idx]:
+            continue
+        violations.append(
+            (idx + 1, "scoped-span-math",
+             "manual duration math on trace-span timestamps — latency "
+             "decomposition flows through the QueryStats attribution "
+             "fields (conservation-checked), not ad-hoc span arithmetic; "
+             "append `// %s` to suppress" % SPAN_MATH_SUPPRESSION))
+    return violations
+
 
 def check_alive_poke(rel_path, text, stripped):
     if rel_path.replace("/", os.sep) in ALIVE_POKE_ALLOWLIST:
@@ -314,6 +365,7 @@ CHECKS = [
     ("raw-sync", check_raw_sync),
     ("raw-timing", check_raw_timing),
     ("alive-poke", check_alive_poke),
+    ("scoped-span-math", check_scoped_span_math),
 ]
 
 

@@ -197,6 +197,40 @@ class AlivePokeTest(unittest.TestCase):
                       "alive_[i] = false;\n"), [])
 
 
+class ScopedSpanMathTest(unittest.TestCase):
+    BAD = "uint64_t d = span.sim_end_us - span.sim_start_us;\n"
+
+    def test_bad_in_src(self):
+        violations = run_check("scoped-span-math", "src/core/a.cc", self.BAD)
+        self.assertEqual(len(violations), 1)  # one violation per line
+
+    def test_good_field_copy(self):
+        self.assertEqual(
+            run_check("scoped-span-math", "src/core/a.cc",
+                      "out.start = span.sim_start_us;\n"), [])
+
+    def test_good_attribution_fields(self):
+        self.assertEqual(
+            run_check("scoped-span-math", "src/core/a.cc",
+                      "stats->queue_wait_us += queue_us;\n"), [])
+
+    def test_escape_suppresses(self):
+        self.assertEqual(
+            run_check("scoped-span-math", "src/core/a.cc",
+                      self.BAD.rstrip("\n") + "  // lint:allow-span-math\n"),
+            [])
+
+    def test_trace_and_recorder_allowlisted(self):
+        for owner in ("src/common/trace.cc", "src/common/flight_recorder.cc"):
+            self.assertEqual(run_check("scoped-span-math", owner, self.BAD),
+                             [])
+
+    def test_tests_out_of_scope(self):
+        self.assertEqual(
+            run_check("scoped-span-math", "tests/core/a_test.cc", self.BAD),
+            [])
+
+
 class AllChecksFireTest(unittest.TestCase):
     """Every registered check produces a violation on a known-bad snippet —
     guards against a check being registered but made a no-op by a refactor."""
@@ -210,6 +244,8 @@ class AllChecksFireTest(unittest.TestCase):
         "raw-timing": ("src/core/a.cc",
                        "auto t = std::chrono::seconds(1);\n"),
         "alive-poke": ("src/core/a.cc", "alive_[0] = true;\n"),
+        "scoped-span-math": ("src/core/a.cc",
+                             "auto d = s.sim_end_us - s.sim_start_us;\n"),
     }
 
     def test_every_check_has_a_firing_snippet(self):
