@@ -13,6 +13,12 @@ std::string ChunkKey(ChunkId id) {
   return key;
 }
 
+std::string ChunkMapKey(ChunkId id) {
+  std::string key = "m";
+  PutVarint64(&key, id);
+  return key;
+}
+
 uint32_t Chunk::AddSubChunk(SubChunk sub_chunk) {
   uint32_t first_index = record_count();
   uint32_t sub_index = static_cast<uint32_t>(sub_chunks_.size());

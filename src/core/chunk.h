@@ -17,6 +17,10 @@ using ChunkId = uint64_t;
 /// KVS key under which a chunk is stored.
 std::string ChunkKey(ChunkId id);
 
+/// KVS key under which a chunk's map is stored, in the index table (chunks
+/// and their maps live "in two distinct tables", paper §2.4).
+std::string ChunkMapKey(ChunkId id);
+
 /// The unit of storage in the backend KV store (paper §2.4): a set of
 /// sub-chunks plus the chunk map recording which of the contained records
 /// belong to which versions.

@@ -1,0 +1,267 @@
+#include "core/ingest_pipeline.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "common/executor.h"
+#include "common/hash.h"
+#include "common/sync.h"
+
+namespace rstore {
+
+IngestShardPlan ShardedPartitioner::Plan(
+    const std::vector<uint64_t>& chunk_bytes) const {
+  IngestShardPlan plan;
+  const size_t n = chunk_bytes.size();
+  const uint32_t shards =
+      static_cast<uint32_t>(std::min<size_t>(num_shards_, std::max<size_t>(n, 1)));
+  plan.shards.resize(shards);
+  if (n == 0) return plan;
+  if (mode_ == Options::IngestShardMode::kHash) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t shard =
+          static_cast<uint32_t>(Mix64(seed_ ^ (i + 1)) % shards);
+      plan.shards[shard].push_back(static_cast<uint32_t>(i));
+    }
+    return plan;
+  }
+  // Ordered: contiguous runs, cut so cumulative bytes track the even split.
+  // Size-zero inputs fall back to an even count split.
+  uint64_t total = 0;
+  for (uint64_t b : chunk_bytes) total += b;
+  uint64_t cum = 0;
+  uint32_t shard = 0;
+  for (size_t i = 0; i < n; ++i) {
+    plan.shards[shard].push_back(static_cast<uint32_t>(i));
+    cum += chunk_bytes[i];
+    const size_t remaining_chunks = n - i - 1;
+    const uint32_t remaining_shards = shards - shard - 1;
+    if (shard + 1 < shards &&
+        (total == 0
+             ? (i + 1) * shards >= (shard + 1) * n
+             : cum * shards >= static_cast<uint64_t>(shard + 1) * total) &&
+        remaining_chunks >= remaining_shards) {
+      ++shard;
+    }
+  }
+  return plan;
+}
+
+Status MultiChunkWriter::Write(const std::vector<const EncodedChunk*>& chunks) {
+  if (chunks.empty()) return Status::OK();
+  std::vector<std::pair<std::string, std::string>> bodies;
+  std::vector<std::pair<std::string, std::string>> maps;
+  bodies.reserve(chunks.size());
+  maps.reserve(chunks.size());
+  for (const EncodedChunk* chunk : chunks) {
+    bodies.emplace_back(ChunkKey(chunk->id), chunk->body);
+    maps.emplace_back(ChunkMapKey(chunk->id), chunk->map);
+  }
+  RSTORE_RETURN_IF_ERROR(backend_->WriteBatch(chunk_table_, bodies));
+  RSTORE_RETURN_IF_ERROR(backend_->WriteBatch(index_table_, maps));
+  for (const EncodedChunk* chunk : chunks) {
+    ++chunks_written_;
+    body_bytes_ += chunk->body.size();
+    uncompressed_bytes_ += chunk->uncompressed_bytes;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status RunSerial(uint32_t num_shards, const IngestStageFn& encode,
+                 const IngestStageFn& write) {
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    RSTORE_RETURN_IF_ERROR(encode(s));
+    RSTORE_RETURN_IF_ERROR(write(s));
+  }
+  return Status::OK();
+}
+
+/// Simulation mode: every stage becomes an executor task, so the interleave
+/// is the executor's deterministic schedule (single OS thread). Encodes of
+/// up to `depth` shards are outstanding ahead of the write cursor; each
+/// completed encode drains the in-order write queue and refills the window.
+Status RunOnExecutor(uint32_t num_shards, uint32_t depth, Executor* executor,
+                     const IngestStageFn& encode, const IngestStageFn& write) {
+  struct State {
+    uint32_t next_encode = 0;
+    uint32_t next_write = 0;
+    std::vector<bool> encoded;
+    Status error = Status::OK();
+  };
+  auto state = std::make_shared<State>();
+  state->encoded.assign(num_shards, false);
+
+  // Owns the recursive task lambda so continuations can re-post themselves.
+  auto run_encode = std::make_shared<std::function<void(uint32_t)>>();
+  *run_encode = [state, run_encode, executor, num_shards, &encode,
+                 &write](uint32_t s) {
+    if (!state->error.ok()) return;
+    Status st = encode(s);
+    if (!st.ok()) {
+      state->error = st;
+      return;
+    }
+    state->encoded[s] = true;
+    while (state->next_write < num_shards &&
+           state->encoded[state->next_write] && state->error.ok()) {
+      const uint32_t w = state->next_write;
+      st = write(w);
+      if (!st.ok()) {
+        state->error = st;
+        return;
+      }
+      ++state->next_write;
+      if (state->next_encode < num_shards) {
+        const uint32_t e = state->next_encode++;
+        executor->Post([run_encode, e] { (*run_encode)(e); });
+      }
+    }
+  };
+  const uint32_t window = std::min(std::max(depth, 1u), num_shards);
+  state->next_encode = window;
+  for (uint32_t s = 0; s < window; ++s) {
+    executor->Post([run_encode, s] { (*run_encode)(s); });
+  }
+  executor->RunUntilIdle();
+  // The task lambda captures its own shared_ptr so re-posts keep it alive;
+  // break the cycle once the pipeline has drained.
+  *run_encode = nullptr;
+  return state->error;
+}
+
+/// Threaded mode: encoder workers claim shards within the depth window and
+/// fill their slots; the calling thread is the single writer, consuming
+/// shards in ascending order. Stage callbacks always run with the pipeline
+/// lock released (the writer may block on the backend, encoders on the
+/// compressor, neither under mu_).
+class ThreadedPipeline {
+ public:
+  ThreadedPipeline(uint32_t num_shards, uint32_t depth)
+      : num_shards_(num_shards), depth_(std::max(depth, 1u)) {
+    encoded_.assign(num_shards, false);
+  }
+
+  Status Run(uint32_t max_threads, const IngestStageFn& encode,
+             const IngestStageFn& write) {
+    unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+    unsigned threads = max_threads == 0 ? hardware : max_threads;
+    threads = static_cast<unsigned>(
+        std::min<size_t>({threads, num_shards_, depth_}));
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([this, &encode] { EncodeLoop(encode); });
+    }
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      bool abort = false;
+      {
+        MutexLock lock(mu_);
+        while (!failed_ && !encoded_[s]) cv_.Wait(mu_);
+        abort = failed_;
+      }
+      if (abort) break;
+      Status st = write(s);
+      MutexLock lock(mu_);
+      if (!st.ok()) {
+        Fail(st);
+        break;
+      }
+      writer_cursor_ = s + 1;
+      cv_.NotifyAll();
+    }
+    {
+      // Unblock any encoder still waiting for window space.
+      MutexLock lock(mu_);
+      done_ = true;
+      cv_.NotifyAll();
+    }
+    for (std::thread& worker : workers) worker.join();
+    MutexLock lock(mu_);
+    if (exception_) std::rethrow_exception(exception_);
+    return error_;
+  }
+
+ private:
+  void EncodeLoop(const IngestStageFn& encode) {
+    while (true) {
+      uint32_t s;
+      {
+        MutexLock lock(mu_);
+        while (!failed_ && !done_ && next_encode_ < num_shards_ &&
+               next_encode_ >= writer_cursor_ + depth_) {
+          cv_.Wait(mu_);
+        }
+        if (failed_ || done_ || next_encode_ >= num_shards_) return;
+        s = next_encode_++;
+      }
+      Status st = Status::OK();
+      try {
+        st = encode(s);
+      } catch (...) {
+        MutexLock lock(mu_);
+        if (!exception_) exception_ = std::current_exception();
+        Fail(Status::InvalidArgument("encoder threw"));
+        return;
+      }
+      MutexLock lock(mu_);
+      if (!st.ok()) {
+        Fail(st);
+        return;
+      }
+      encoded_[s] = true;
+      cv_.NotifyAll();
+    }
+  }
+
+  void Fail(Status st) RSTORE_REQUIRES(mu_) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = std::move(st);
+    }
+    cv_.NotifyAll();
+  }
+
+  const uint32_t num_shards_;
+  const uint32_t depth_;
+  Mutex mu_{kLockRankIngestPipeline, "IngestPipeline::mu_"};
+  CondVar cv_;
+  uint32_t next_encode_ RSTORE_GUARDED_BY(mu_) = 0;
+  /// Shards [0, writer_cursor_) are written; encoders may claim shards up to
+  /// writer_cursor_ + depth_ (the in-flight window).
+  uint32_t writer_cursor_ RSTORE_GUARDED_BY(mu_) = 0;
+  std::vector<bool> encoded_ RSTORE_GUARDED_BY(mu_);
+  bool failed_ RSTORE_GUARDED_BY(mu_) = false;
+  bool done_ RSTORE_GUARDED_BY(mu_) = false;
+  Status error_ RSTORE_GUARDED_BY(mu_) = Status::OK();
+  std::exception_ptr exception_ RSTORE_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+uint32_t ResolveIngestShards(const Options& options) {
+  if (options.ingest_shards != 0) return options.ingest_shards;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+Status RunIngestPipeline(const IngestPipelineOptions& options,
+                         const IngestStageFn& encode,
+                         const IngestStageFn& write) {
+  const uint32_t n = options.num_shards;
+  if (n == 0) return Status::OK();
+  if (options.executor != nullptr) {
+    return RunOnExecutor(n, options.pipeline_depth, options.executor, encode,
+                         write);
+  }
+  unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  unsigned threads =
+      options.max_threads == 0 ? hardware : options.max_threads;
+  if (n == 1 || threads <= 1) return RunSerial(n, encode, write);
+  ThreadedPipeline pipeline(n, options.pipeline_depth);
+  return pipeline.Run(options.max_threads, encode, write);
+}
+
+}  // namespace rstore

@@ -1,0 +1,139 @@
+#ifndef RSTORE_CORE_INGEST_PIPELINE_H_
+#define RSTORE_CORE_INGEST_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/chunk.h"
+#include "core/options.h"
+#include "kvstore/kv_store.h"
+
+namespace rstore {
+
+class Executor;
+
+/// Deterministic assignment of a serial partitioning decision's chunks to
+/// ingest shards. `shards[s]` holds indices into the partition's chunk list,
+/// ascending within each shard, every chunk in exactly one shard. The plan is
+/// a pure function of its inputs, so the same partitioning always yields the
+/// same shards regardless of thread count or scheduling.
+struct IngestShardPlan {
+  std::vector<std::vector<uint32_t>> shards;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards.size());
+  }
+  size_t num_chunks() const {
+    size_t total = 0;
+    for (const auto& shard : shards) total += shard.size();
+    return total;
+  }
+};
+
+/// Splits the chunk list of a (serial, already-decided) partitioning across
+/// ingest shards. The partitioning decision itself is never sharded — that is
+/// the determinism contract of the parallel write path: only the encoding and
+/// writing of chunks fan out, so query results are byte-identical to serial
+/// ingest at every shard count.
+///
+/// kOrdered packs contiguous runs balanced by estimated chunk bytes
+/// (preserves the partitioner's write locality); kHash assigns each chunk by
+/// a seeded hash of its index (evens out pathological size skew).
+class ShardedPartitioner {
+ public:
+  ShardedPartitioner(uint32_t num_shards, Options::IngestShardMode mode,
+                     uint64_t seed)
+      : num_shards_(num_shards == 0 ? 1 : num_shards),
+        mode_(mode),
+        seed_(seed) {}
+
+  /// `chunk_bytes[i]` is the estimated encoded size of chunk i, in the
+  /// partitioning's chunk order.
+  IngestShardPlan Plan(const std::vector<uint64_t>& chunk_bytes) const;
+
+ private:
+  uint32_t num_shards_;
+  Options::IngestShardMode mode_;
+  uint64_t seed_;
+};
+
+/// One chunk in encoded form, ready for the backend: the body blob for the
+/// chunk table and the chunk-map blob for the index table.
+struct EncodedChunk {
+  ChunkId id = 0;
+  std::string body;
+  std::string map;
+  /// Sum of original record sizes, for compression-ratio bookkeeping.
+  uint64_t uncompressed_bytes = 0;
+};
+
+/// Streams groups of encoded chunks into the backend with group commit: each
+/// Write() issues one WriteBatch for the bodies and one for the maps, in the
+/// caller's order. Not thread-safe — the ingest pipeline guarantees a single
+/// writer (writes are always issued in ascending shard order, from one
+/// thread, with no pipeline lock held).
+class MultiChunkWriter {
+ public:
+  MultiChunkWriter(KVStore* backend, std::string chunk_table,
+                   std::string index_table)
+      : backend_(backend),
+        chunk_table_(std::move(chunk_table)),
+        index_table_(std::move(index_table)) {}
+
+  /// Group-commits the bodies and maps of `chunks`.
+  Status Write(const std::vector<const EncodedChunk*>& chunks);
+
+  uint64_t chunks_written() const { return chunks_written_; }
+  /// Total encoded body bytes written (what the chunk table grew by).
+  uint64_t body_bytes() const { return body_bytes_; }
+  uint64_t uncompressed_bytes() const { return uncompressed_bytes_; }
+
+ private:
+  KVStore* backend_;
+  std::string chunk_table_;
+  std::string index_table_;
+  uint64_t chunks_written_ = 0;
+  uint64_t body_bytes_ = 0;
+  uint64_t uncompressed_bytes_ = 0;
+};
+
+/// A pipeline stage callback: processes one shard, identified by index.
+/// `encode` runs concurrently for distinct shards and must only touch that
+/// shard's pre-sized slots; `write` is always invoked from the calling
+/// thread, in ascending shard order, one shard at a time, with no pipeline
+/// lock held (so it may call into the backend freely).
+using IngestStageFn = std::function<Status(uint32_t shard)>;
+
+struct IngestPipelineOptions {
+  uint32_t num_shards = 1;
+  /// How many shards the encode stage may run ahead of the writer (in-flight
+  /// window). Clamped to >= 1.
+  uint32_t pipeline_depth = 2;
+  /// Encoder thread cap for the threaded runner; 0 = hardware concurrency.
+  uint32_t max_threads = 0;
+  /// When set, encode/write tasks are interleaved deterministically on this
+  /// executor's virtual timeline instead of real threads (simulation mode).
+  /// The executor must be idle — the pipeline drives RunUntilIdle itself.
+  Executor* executor = nullptr;
+};
+
+/// Effective shard count for Options::ingest_shards (0 = hardware
+/// concurrency, never less than 1).
+uint32_t ResolveIngestShards(const Options& options);
+
+/// Runs encode(s) for every shard and write(s) in ascending shard order,
+/// overlapping encodes of later shards with writes of earlier ones subject
+/// to `pipeline_depth`. On the first stage error the pipeline stops issuing
+/// new work, drains, and returns that error; shards after the failed write
+/// are never written (prefix semantics, like the serial loop).
+Status RunIngestPipeline(const IngestPipelineOptions& options,
+                         const IngestStageFn& encode,
+                         const IngestStageFn& write);
+
+}  // namespace rstore
+
+#endif  // RSTORE_CORE_INGEST_PIPELINE_H_

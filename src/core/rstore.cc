@@ -1,24 +1,20 @@
 #include "core/rstore.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_set>
 
 #include "common/coding.h"
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "core/ingest_pipeline.h"
 #include "core/partitioner.h"
 #include "core/sub_chunk_builder.h"
 
 namespace rstore {
 
 namespace {
-
-std::string MapKey(ChunkId id) {
-  std::string key = "m";
-  PutVarint64(&key, id);
-  return key;
-}
 
 /// Write-path registry handles, resolved once per process.
 struct WriteMetrics {
@@ -103,6 +99,38 @@ void RecordQueryFlight(const char* name, const QueryStats& qs,
   FlightRecorder::Default().Record(std::move(record));
 }
 
+/// Flight-recorder epilogue for a batch drain: every ProcessBatch logs a
+/// "process_batch" record whose counters come from the backend stats
+/// bracketing the drain and whose span subtree is the drain's own spans
+/// (depths re-based so "write.process_batch" sits at depth 0). Exact: the
+/// write path is single-caller per store, so nothing else moves the
+/// backend's tallies inside the bracket.
+void RecordIngestFlight(const TraceContext& trace, size_t first_span,
+                        const KVStats& before, const KVStats& after) {
+  FlightRecord record;
+  record.id = FlightRecorder::Default().NextQueryId();
+  record.name = "process_batch";
+  record.total_us = after.simulated_micros - before.simulated_micros;
+  record.queue_wait_us = after.queue_wait_us - before.queue_wait_us;
+  record.service_us = after.service_us - before.service_us;
+  record.retry_penalty_us = after.retry_penalty_us - before.retry_penalty_us;
+  record.hedge_delta_us = after.hedge_delta_us - before.hedge_delta_us;
+  record.retries = after.retries - before.retries;
+  record.hedges = after.hedges - before.hedges;
+  record.hedge_wins = after.hedge_wins - before.hedge_wins;
+  record.timeouts = after.timeouts - before.timeouts;
+  const std::vector<TraceSpan>& spans = trace.spans();
+  const uint32_t base_depth =
+      first_span < spans.size() ? spans[first_span].depth : 0;
+  record.spans.reserve(spans.size() - first_span);
+  for (size_t i = first_span; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    record.spans.push_back(FlightSpan{span.name, span.depth - base_depth,
+                                      span.sim_start_us, span.sim_end_us});
+  }
+  FlightRecorder::Default().Record(std::move(record));
+}
+
 }  // namespace
 
 RStore::RStore(KVStore* backend, const Options& options)
@@ -139,7 +167,7 @@ Status RStore::WriteChunk(Chunk* chunk) {
   RSTORE_RETURN_IF_ERROR(
       backend_->Put(options_.chunk_table, ChunkKey(chunk->id()), body));
   RSTORE_RETURN_IF_ERROR(
-      backend_->Put(options_.index_table, MapKey(chunk->id()), map));
+      backend_->Put(options_.index_table, ChunkMapKey(chunk->id()), map));
   stored_chunk_bytes_ += body.size();
   stored_record_bytes_ += chunk->uncompressed_bytes();
   const WriteMetrics& metrics = WriteMetrics::Get();
@@ -177,6 +205,13 @@ Status RStore::PartitionAndWrite(const VersionedDataset& placement_view,
   partition_span.End();
 
   ScopedSpan write_span(trace, "write.encode_and_put");
+  // Chunk assembly and catalog registration stay serial and in partition
+  // order at every shard count: the catalog is single-threaded state and
+  // chunk ids must match serial ingest exactly (the determinism contract,
+  // DESIGN.md "Parallel ingest"). Only the encoding and backend writes
+  // below fan out.
+  std::vector<Chunk> chunks;
+  chunks.reserve(partitioned->chunks.size());
   for (const std::vector<uint32_t>& item_indices : partitioned->chunks) {
     Chunk chunk(next_chunk_id_++);
     VersionId origin = kInvalidVersion;
@@ -194,8 +229,68 @@ Status RStore::PartitionAndWrite(const VersionedDataset& placement_view,
       catalog_.AddVersionChunk(v, chunk.id());
     }
     RSTORE_RETURN_IF_ERROR(chunk.SetChunkMap(std::move(map).value()));
-    RSTORE_RETURN_IF_ERROR(WriteChunk(&chunk));
+    chunks.push_back(std::move(chunk));
   }
+
+  const uint32_t ingest_shards = ResolveIngestShards(options_);
+  const bool sharded =
+      (ingest_shards > 1 || options_.ingest_executor != nullptr) &&
+      !chunks.empty();
+  if (!sharded) {
+    for (Chunk& chunk : chunks) {
+      RSTORE_RETURN_IF_ERROR(WriteChunk(&chunk));
+    }
+    return Status::OK();
+  }
+
+  // Sharded path: plan over the serial decision, fan the pure per-chunk
+  // encoding out, and stream each shard's group commit in ascending shard
+  // order — same keys, same values, same write order as the serial loop.
+  std::vector<uint64_t> chunk_bytes(chunks.size(), 0);
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    chunk_bytes[i] = chunks[i].payload_bytes();
+  }
+  ShardedPartitioner sharder(ingest_shards, options_.ingest_shard_mode,
+                             options_.seed);
+  const IngestShardPlan plan = sharder.Plan(chunk_bytes);
+  write_span.Annotate("shards", std::to_string(plan.num_shards()));
+
+  std::vector<EncodedChunk> encoded(chunks.size());
+  MultiChunkWriter writer(backend_, options_.chunk_table,
+                          options_.index_table);
+  IngestPipelineOptions pipeline;
+  pipeline.num_shards = plan.num_shards();
+  pipeline.pipeline_depth = options_.ingest_pipeline_depth;
+  // Shard count sets the plan (and thus the stored bytes); the thread count
+  // is capped at the core count, since encode is pure CPU work and extra
+  // threads would only add context switches.
+  pipeline.max_threads = std::min(
+      ingest_shards, std::max(1u, std::thread::hardware_concurrency()));
+  pipeline.executor = options_.ingest_executor;
+  auto encode = [&](uint32_t shard) -> Status {
+    for (uint32_t c : plan.shards[shard]) {
+      EncodedChunk& slot = encoded[c];
+      const Chunk& chunk = chunks[c];
+      slot.id = chunk.id();
+      chunk.EncodeTo(&slot.body);
+      chunk.chunk_map().EncodeTo(&slot.map);
+      slot.uncompressed_bytes = chunk.uncompressed_bytes();
+    }
+    return Status::OK();
+  };
+  auto write = [&](uint32_t shard) -> Status {
+    std::vector<const EncodedChunk*> group;
+    group.reserve(plan.shards[shard].size());
+    for (uint32_t c : plan.shards[shard]) group.push_back(&encoded[c]);
+    return writer.Write(group);
+  };
+  RSTORE_RETURN_IF_ERROR(RunIngestPipeline(pipeline, encode, write));
+
+  stored_chunk_bytes_ += writer.body_bytes();
+  stored_record_bytes_ += writer.uncompressed_bytes();
+  const WriteMetrics& metrics = WriteMetrics::Get();
+  metrics.chunks_written_total->Increment(writer.chunks_written());
+  metrics.chunk_bytes_total->Increment(writer.body_bytes());
   return Status::OK();
 }
 
@@ -233,7 +328,8 @@ Status RStore::BulkLoad(const VersionedDataset& dataset,
   return Status::OK();
 }
 
-Result<VersionId> RStore::Commit(VersionId parent, CommitDelta delta) {
+Result<VersionId> RStore::Commit(VersionId parent, CommitDelta delta,
+                                 TraceContext* trace) {
   // Resolve the membership delta against the parent version.
   VersionMembership parent_members;
   if (tree_.graph.empty()) {
@@ -306,26 +402,27 @@ Result<VersionId> RStore::Commit(VersionId parent, CommitDelta delta) {
   metrics.pending_versions->Add(1);
 
   if (delta_store_.pending_versions() >= options_.online_batch_size) {
-    RSTORE_RETURN_IF_ERROR(ProcessBatch());
+    RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   }
   return version;
 }
 
 Result<VersionId> RStore::CommitSnapshot(
-    VersionId parent, const std::map<std::string, std::string>& snapshot) {
+    VersionId parent, const std::map<std::string, std::string>& snapshot,
+    TraceContext* trace) {
   CommitDelta delta;
   if (tree_.graph.empty()) {
     // No parent to diff against: everything is an insert.
     for (const auto& [key, payload] : snapshot) {
       delta.upserts.push_back(Record{CompositeKey(key, 0), payload});
     }
-    return Commit(parent, std::move(delta));
+    return Commit(parent, std::move(delta), trace);
   }
   if (parent >= tree_.graph.size()) {
     return Status::InvalidArgument("unknown parent version");
   }
   // Retrieve the prior version and diff record contents.
-  auto prior = GetVersion(parent);
+  auto prior = GetVersion(parent, nullptr, trace);
   if (!prior.ok()) return prior.status();
   std::unordered_map<std::string, const Record*> prior_by_key;
   prior_by_key.reserve(prior->size());
@@ -339,14 +436,37 @@ Result<VersionId> RStore::CommitSnapshot(
   for (const Record& r : *prior) {
     if (!snapshot.count(r.key.key)) delta.deletes.push_back(r.key.key);
   }
-  return Commit(parent, std::move(delta));
+  return Commit(parent, std::move(delta), trace);
 }
 
 Status RStore::ProcessBatch(TraceContext* trace) {
   if (delta_store_.empty()) return Status::OK();
+  // Every drain gets a span tree: callers without a context (Commit-driven
+  // drains, maintenance entry points) use a local one, so the flight
+  // recorder can attribute every batch regardless of who triggered it.
+  TraceContext local_trace;
+  if (trace == nullptr) trace = &local_trace;
+  const size_t first_span = trace->spans().size();
+  const KVStats before = backend_->stats();
   const uint64_t batch_versions = delta_store_.pending_versions();
   ScopedSpan batch_span(trace, "write.process_batch");
   batch_span.Annotate("versions", std::to_string(batch_versions));
+  Status status = ProcessBatchImpl(trace);
+  // Reconcile the span tree with the backend charge before the root span
+  // closes: the drain's simulated cost advances the trace clock here, so
+  // the "write.process_batch" sim duration equals the backend stats delta
+  // exactly (asserted in observability_test).
+  const KVStats after = backend_->stats();
+  trace->AdvanceSim(after.simulated_micros - before.simulated_micros);
+  batch_span.End();
+  if (status.ok()) {
+    RecordIngestFlight(*trace, first_span, before, after);
+  }
+  return status;
+}
+
+Status RStore::ProcessBatchImpl(TraceContext* trace) {
+  const uint64_t batch_versions = delta_store_.pending_versions();
   RecordVersionMap& record_versions = *catalog_.record_versions();
 
   // Phase 1 (§4): extend the membership indexes with each staged version,
@@ -393,7 +513,7 @@ Status RStore::ProcessBatch(TraceContext* trace) {
     std::string encoded;
     map->EncodeTo(&encoded);
     RSTORE_RETURN_IF_ERROR(
-        backend_->Put(options_.index_table, MapKey(id), encoded));
+        backend_->Put(options_.index_table, ChunkMapKey(id), encoded));
     // The rewrite invalidates every cached copy of this chunk: bumping the
     // generation changes the cache key, so stale entries are unreachable and
     // simply age out of the LRU.
@@ -481,8 +601,8 @@ Result<std::unique_ptr<RStore>> RStore::Reopen(KVStore* backend,
   return store;
 }
 
-Status RStore::Repartition() {
-  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+Status RStore::Repartition(TraceContext* trace) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   if (tree_.graph.empty()) return Status::OK();
 
   // Read every record payload back from the backend (the authoritative
@@ -512,7 +632,7 @@ Status RStore::Repartition() {
           }
         }
         old_entries.emplace_back(options_.index_table,
-                                 MapKey(chunk.id()));
+                                 ChunkMapKey(chunk.id()));
       });
   RSTORE_RETURN_IF_ERROR(s);
   RSTORE_RETURN_IF_ERROR(extract_status);
@@ -526,12 +646,12 @@ Status RStore::Repartition() {
   stored_chunk_bytes_ = 0;
   stored_record_bytes_ = 0;
   *catalog_.record_versions() = tree_.BuildRecordVersionMap();
-  RSTORE_RETURN_IF_ERROR(PartitionAndWrite(tree_, payloads));
+  RSTORE_RETURN_IF_ERROR(PartitionAndWrite(tree_, payloads, trace));
   return Status::OK();
 }
 
-Status RStore::VerifyIntegrity() {
-  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+Status RStore::VerifyIntegrity(TraceContext* trace) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   // Per-version record sets reconstructed from chunk maps.
   std::vector<std::unordered_set<CompositeKey, CompositeKeyHash>>
       from_chunks(tree_.graph.size());
@@ -553,7 +673,7 @@ Status RStore::VerifyIntegrity() {
       return Status::Corruption("catalog record list diverges for chunk " +
                                 std::to_string(id));
     }
-    auto map_blob = backend_->Get(options_.index_table, MapKey(id));
+    auto map_blob = backend_->Get(options_.index_table, ChunkMapKey(id));
     if (!map_blob.ok()) {
       return Status::Corruption("chunk map " + std::to_string(id) +
                                 " unreadable");
@@ -614,8 +734,8 @@ Status RStore::VerifyIntegrity() {
   return Status::OK();
 }
 
-Status RStore::Flush() {
-  RSTORE_RETURN_IF_ERROR(ProcessBatch());
+Status RStore::Flush(TraceContext* trace) {
+  RSTORE_RETURN_IF_ERROR(ProcessBatch(trace));
   // Persist the projections and the version graph alongside the data.
   RSTORE_RETURN_IF_ERROR(
       catalog_.PersistProjections(backend_, options_.index_table));

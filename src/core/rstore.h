@@ -40,6 +40,11 @@ namespace rstore {
 /// Commits accumulate in the delta store and are partitioned in batches
 /// (Options::online_batch_size, paper §4); Flush() forces the pending batch
 /// through. All methods are single-threaded; wrap externally if sharing.
+/// With Options::ingest_shards > 1 the write path fans sub-chunk compression
+/// and chunk encoding out across worker threads internally (or across
+/// Options::ingest_executor's virtual timeline), but the public interface
+/// stays single-threaded and the stored bytes are identical to serial
+/// ingest — see DESIGN.md "Parallel ingest" for the determinism contract.
 class RStore {
  public:
   /// Creates the layer on `backend` (borrowed; must outlive the store) and
@@ -65,8 +70,11 @@ class RStore {
 
   /// Commits a new version derived from `parent`. The commit is staged in
   /// the delta store and physically partitioned when the batch fills
-  /// (§4). Returns the new version id immediately.
-  Result<VersionId> Commit(VersionId parent, CommitDelta delta);
+  /// (§4). Returns the new version id immediately. When the commit triggers
+  /// a batch drain and `trace` is set, the drain's "write.*" spans land in
+  /// it; every drain is also logged to the flight recorder regardless.
+  Result<VersionId> Commit(VersionId parent, CommitDelta delta,
+                           TraceContext* trace = nullptr);
 
   /// Commits a FULL snapshot: the server diffs `snapshot` (key -> payload,
   /// the complete desired contents of the new version) against the parent
@@ -75,11 +83,12 @@ class RStore {
   /// prior version and perform a diff operation to check which records have
   /// been modified" (§2.4). Unchanged records cost nothing.
   Result<VersionId> CommitSnapshot(
-      VersionId parent, const std::map<std::string, std::string>& snapshot);
+      VersionId parent, const std::map<std::string, std::string>& snapshot,
+      TraceContext* trace = nullptr);
 
   /// Forces the pending batch through the online partitioner and persists
   /// the projections.
-  Status Flush();
+  Status Flush(TraceContext* trace = nullptr);
 
   /// Full offline repartitioning of the entire store: every record payload
   /// is read back from the backend, the configured algorithm is re-run over
@@ -88,14 +97,14 @@ class RStore {
   /// online batches — "online partitioning without repartitioning, combined
   /// with a full repartitioning periodically, presents a pragmatic approach
   /// to handling updates" (paper §4).
-  Status Repartition();
+  Status Repartition(TraceContext* trace = nullptr);
 
   /// Offline integrity check (fsck): every chunk body and chunk map in the
   /// backend decodes, agrees with the in-memory catalog, and the per-version
   /// record sets reconstructed from the chunk maps exactly equal the
   /// membership derived from the deltas. O(total membership); returns
   /// kCorruption naming the first inconsistency.
-  Status VerifyIntegrity();
+  Status VerifyIntegrity(TraceContext* trace = nullptr);
 
   // -- Queries (see QueryProcessor). Staged-but-unflushed versions are
   //    flushed on demand before being queried. Pass a TraceContext to
@@ -194,6 +203,9 @@ class RStore {
   /// non-null (queries forward their context here because a query against a
   /// staged version flushes the batch first).
   Status ProcessBatch(TraceContext* trace = nullptr);
+  /// ProcessBatch's body; the wrapper owns the "write.process_batch" span,
+  /// stats bracketing, sim-clock reconciliation and flight-recorder entry.
+  Status ProcessBatchImpl(TraceContext* trace);
 
   Status WriteChunk(Chunk* chunk);
 

@@ -160,8 +160,8 @@ Status FileStore::CreateTable(const std::string& table) {
   return Status::OK();
 }
 
-Status FileStore::AppendRecord(Table* table, char op, Slice key,
-                               Slice value) {
+Status FileStore::AppendUnflushed(Table* table, char op, Slice key,
+                                  Slice value) {
   std::string record;
   record.push_back(op);
   PutLengthPrefixed(&record, key);
@@ -172,11 +172,21 @@ Status FileStore::AppendRecord(Table* table, char op, Slice key,
       framed.size()) {
     return Status::IOError("log append failed");
   }
+  table->log_bytes += framed.size();
+  return Status::OK();
+}
+
+Status FileStore::FlushLog(Table* table) {
   if (std::fflush(table->log) != 0) {
     return Status::IOError("log flush failed");
   }
-  table->log_bytes += framed.size();
   return Status::OK();
+}
+
+Status FileStore::AppendRecord(Table* table, char op, Slice key,
+                               Slice value) {
+  RSTORE_RETURN_IF_ERROR(AppendUnflushed(table, op, key, value));
+  return FlushLog(table);
 }
 
 Status FileStore::Put(const std::string& table, Slice key, Slice value) {
@@ -188,6 +198,22 @@ Status FileStore::Put(const std::string& table, Slice key, Slice value) {
   ++stats_.puts;
   stats_.bytes_written += key.size() + value.size();
   return Status::OK();
+}
+
+Status FileStore::WriteBatch(
+    const std::string& table,
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  MutexLock lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  for (const auto& [key, value] : entries) {
+    RSTORE_RETURN_IF_ERROR(
+        AppendUnflushed(&it->second, kOpPut, Slice(key), Slice(value)));
+    it->second.entries[key] = value;
+    ++stats_.puts;
+    stats_.bytes_written += key.size() + value.size();
+  }
+  return FlushLog(&it->second);
 }
 
 Result<std::string> FileStore::Get(const std::string& table, Slice key) {

@@ -140,6 +140,22 @@ class KVStore {
   /// Stores `value` under `key`, overwriting any previous value.
   virtual Status Put(const std::string& table, Slice key, Slice value) = 0;
 
+  /// Group commit: stores every (key, value) pair of `entries`, equivalent
+  /// to issuing the Puts in order. The default implementation is exactly
+  /// that loop, so stats and simulated charges match the serial path
+  /// byte-for-byte; single-node stores override it to apply the whole group
+  /// under one lock acquisition (the ingest pipeline's write batches). Not
+  /// atomic: a mid-batch error leaves the earlier entries applied, like the
+  /// equivalent Put sequence.
+  virtual Status WriteBatch(
+      const std::string& table,
+      const std::vector<std::pair<std::string, std::string>>& entries) {
+    for (const auto& [key, value] : entries) {
+      RSTORE_RETURN_IF_ERROR(Put(table, key, value));
+    }
+    return Status::OK();
+  }
+
   /// Point lookup. kNotFound if the key is absent.
   virtual Result<std::string> Get(const std::string& table, Slice key) = 0;
 

@@ -18,6 +18,20 @@ Status MemoryStore::Put(const std::string& table, Slice key, Slice value) {
   return Status::OK();
 }
 
+Status MemoryStore::WriteBatch(
+    const std::string& table,
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  MutexLock lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  for (const auto& [key, value] : entries) {
+    it->second[key] = value;
+    ++stats_.puts;
+    stats_.bytes_written += key.size() + value.size();
+  }
+  return Status::OK();
+}
+
 Result<std::string> MemoryStore::Get(const std::string& table, Slice key) {
   MutexLock lock(mu_);
   auto it = tables_.find(table);

@@ -19,6 +19,11 @@ class MemoryStore : public KVStore {
 
   Status CreateTable(const std::string& table) override;
   Status Put(const std::string& table, Slice key, Slice value) override;
+  /// Applies the whole group under one lock acquisition (group commit);
+  /// stats are identical to the equivalent Put sequence.
+  Status WriteBatch(const std::string& table,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        entries) override;
   Result<std::string> Get(const std::string& table, Slice key) override;
   using KVStore::MultiGet;
   Status MultiGet(const std::string& table,

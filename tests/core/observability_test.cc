@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/report.h"
@@ -385,6 +386,145 @@ TEST(ObservabilityTest, AsyncHedgeWinsOnlyCountWhenTheHedgeActuallyWins) {
     EXPECT_GT(kv.hedges, 0u);
     EXPECT_LT(kv.hedge_wins, kv.hedges);
   }
+}
+
+/// Stages `versions - 1` commits without draining, then brackets the final
+/// commit — the one that trips online_batch_size and drains the batch —
+/// with cluster stats. Staging itself touches no backend, so the bracketed
+/// delta is exactly the drain's charge.
+struct TracedIngest {
+  Cluster cluster;
+  std::unique_ptr<RStore> store;
+  TraceContext trace;
+  uint64_t charged_micros = 0;
+
+  TracedIngest() : cluster(ClusterOptions()) {}
+};
+
+std::unique_ptr<TracedIngest> RunTracedBatchDrain(uint32_t ingest_shards) {
+  auto out = std::make_unique<TracedIngest>();
+  const ExampleData data = MakeChain(8, 8, 3);
+  const uint32_t versions = data.dataset.graph.size();
+  Options options;
+  options.chunk_capacity_bytes = 600;
+  options.online_batch_size = versions;
+  options.ingest_shards = ingest_shards;
+  auto store = RStore::Open(&out->cluster, options);
+  EXPECT_TRUE(store.ok());
+  out->store = std::move(*store);
+  for (VersionId v = 0; v < versions; ++v) {
+    CommitDelta delta;
+    for (const CompositeKey& ck : data.dataset.deltas[v].added) {
+      delta.upserts.push_back(Record{ck, data.payloads.at(ck)});
+    }
+    VersionId parent =
+        v == 0 ? kInvalidVersion : data.dataset.graph.PrimaryParent(v);
+    if (v + 1 == versions) {
+      const uint64_t before = out->cluster.stats().simulated_micros;
+      auto r = out->store->Commit(parent, std::move(delta), &out->trace);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      out->charged_micros =
+          out->cluster.stats().simulated_micros - before;
+    } else {
+      auto r = out->store->Commit(parent, std::move(delta));
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }
+  return out;
+}
+
+// The write-path counterpart of TraceReconcilesWithClusterCharges: a batch
+// drain's "write.process_batch" root span covers the drain's entire
+// simulated cost, the phase spans sit under it, and the flight recorder's
+// "process_batch" record repeats the same numbers and the same span tree.
+// Holding at shard count 1 and 4 — sharding must not change the charge.
+TEST(ObservabilityTest, IngestSpanReconcilesWithBackendCharge) {
+  uint64_t serial_charge = 0;
+  for (uint32_t shards : {1u, 4u}) {
+    SCOPED_TRACE("ingest_shards=" + std::to_string(shards));
+    auto ingest = RunTracedBatchDrain(shards);
+    const std::vector<TraceSpan>& spans = ingest->trace.spans();
+    ASSERT_FALSE(spans.empty());
+    EXPECT_EQ(spans[0].name, "write.process_batch");
+    EXPECT_EQ(spans[0].parent, TraceSpan::kNoParent);
+    EXPECT_GT(ingest->charged_micros, 0u);
+    EXPECT_EQ(spans[0].sim_duration_us(), ingest->charged_micros);
+    bool saw_index = false, saw_encode = false;
+    for (const TraceSpan& span : spans) {
+      if (span.name == "write.index_update") saw_index = true;
+      if (span.name == "write.encode_and_put") saw_encode = true;
+      if (span.parent != TraceSpan::kNoParent) {
+        EXPECT_GE(span.sim_start_us, spans[span.parent].sim_start_us);
+        EXPECT_LE(span.sim_end_us, spans[span.parent].sim_end_us);
+      }
+    }
+    EXPECT_TRUE(saw_index);
+    EXPECT_TRUE(saw_encode);
+
+    // The flight record of this drain (newest "process_batch" entry)
+    // carries the same total, a consistent attribution decomposition, and
+    // the span tree re-based to depth 0.
+    // Recent() returns a snapshot by value; keep it alive while inspecting.
+    const std::vector<FlightRecord> recent = FlightRecorder::Default().Recent();
+    const FlightRecord* record = nullptr;
+    for (const FlightRecord& r : recent) {
+      if (r.name == "process_batch") {
+        record = &r;
+        break;
+      }
+    }
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->total_us, ingest->charged_micros);
+    EXPECT_EQ(record->queue_wait_us + record->service_us +
+                  record->retry_penalty_us - record->hedge_delta_us,
+              record->total_us);
+    ASSERT_EQ(record->spans.size(), spans.size());
+    EXPECT_EQ(record->spans[0].name, "write.process_batch");
+    EXPECT_EQ(record->spans[0].depth, 0u);
+
+    if (shards == 1) {
+      serial_charge = ingest->charged_micros;
+    } else {
+      // Writes are issued from the one calling thread in shard order, so
+      // the simulated charge is identical to serial ingest.
+      EXPECT_EQ(ingest->charged_micros, serial_charge);
+    }
+  }
+}
+
+// Every drain reaches the flight recorder, even when no caller passes a
+// TraceContext: ProcessBatch falls back to a local context, so untraced
+// Commit-driven drains still log a record with a full span tree.
+TEST(ObservabilityTest, UntracedBatchDrainStillRecordsFlight) {
+  Cluster cluster((ClusterOptions()));
+  const ExampleData data = MakeChain(6, 6, 2);
+  Options options;
+  options.chunk_capacity_bytes = 600;
+  options.online_batch_size = 2;
+  auto store = RStore::Open(&cluster, options);
+  ASSERT_TRUE(store.ok());
+  const uint64_t marker = FlightRecorder::Default().NextQueryId();
+  for (VersionId v = 0; v < 6; ++v) {
+    CommitDelta delta;
+    for (const CompositeKey& ck : data.dataset.deltas[v].added) {
+      delta.upserts.push_back(Record{ck, data.payloads.at(ck)});
+    }
+    VersionId parent =
+        v == 0 ? kInvalidVersion : data.dataset.graph.PrimaryParent(v);
+    ASSERT_TRUE((*store)->Commit(parent, std::move(delta)).ok());
+  }
+  // 6 commits at batch size 2: three drains, each with its own record and
+  // a span tree rooted at write.process_batch.
+  size_t drains = 0;
+  for (const FlightRecord& r : FlightRecorder::Default().Recent()) {
+    if (r.id <= marker) break;  // Recent() is newest-first
+    if (r.name != "process_batch") continue;
+    ++drains;
+    ASSERT_FALSE(r.spans.empty());
+    EXPECT_EQ(r.spans[0].name, "write.process_batch");
+    EXPECT_EQ(r.spans[0].depth, 0u);
+  }
+  EXPECT_EQ(drains, 3u);
 }
 
 TEST(ObservabilityTest, RegistryCountersFoldIntoStoreReport) {

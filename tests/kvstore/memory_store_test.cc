@@ -164,5 +164,38 @@ TEST(MemoryStoreTest, ScanCallbackMayReenterStore) {
   EXPECT_EQ(*store.TableSize("t"), 20u);
 }
 
+// WriteBatch is a group commit under one lock acquisition, but its visible
+// semantics — end state, put/byte counters — must equal a loop of Puts,
+// because ingest stats are asserted identical across batched and serial
+// write paths.
+TEST(MemoryStoreTest, WriteBatchMatchesIndividualPuts) {
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {"a", "1"}, {"b", "22"}, {"c", "333"}};
+
+  MemoryStore batched;
+  ASSERT_TRUE(batched.CreateTable("t").ok());
+  ASSERT_TRUE(batched.WriteBatch("t", entries).ok());
+
+  MemoryStore serial;
+  ASSERT_TRUE(serial.CreateTable("t").ok());
+  for (const auto& [key, value] : entries) {
+    ASSERT_TRUE(serial.Put("t", key, value).ok());
+  }
+
+  EXPECT_EQ(batched.stats().puts, serial.stats().puts);
+  EXPECT_EQ(batched.stats().bytes_written, serial.stats().bytes_written);
+  EXPECT_EQ(*batched.TableSize("t"), 3u);
+  for (const auto& [key, value] : entries) {
+    auto got = batched.Get("t", key);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, value);
+  }
+  // Later entries win on duplicate keys, like sequential Puts.
+  ASSERT_TRUE(batched.WriteBatch("t", {{"a", "x"}, {"a", "y"}}).ok());
+  EXPECT_EQ(*batched.Get("t", "a"), "y");
+  // Unknown table fails up front.
+  EXPECT_TRUE(batched.WriteBatch("missing", entries).IsNotFound());
+}
+
 }  // namespace
 }  // namespace rstore
